@@ -1,0 +1,236 @@
+// Benchmarks regenerating every table and figure of the paper's evaluation
+// (Section VI) at reduced scale, plus micro-benchmarks of the pipeline
+// stages. Run the full-size experiments with cmd/experiments; these benches
+// exist so `go test -bench=.` exercises every artefact end to end and
+// reports per-edge costs.
+package repro
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/bench"
+	"repro/internal/cluster"
+	"repro/internal/game"
+	"repro/internal/gen"
+	"repro/internal/partition"
+	"repro/internal/stream"
+)
+
+// benchConfig keeps one benchmark iteration around a second.
+func benchConfig() bench.Config {
+	return bench.Config{Scale: 0.08, Ks: []int{8, 64}, Seed: 42}
+}
+
+func runExperiment(b *testing.B, name string) {
+	cfg := benchConfig()
+	for i := 0; i < b.N; i++ {
+		tables, err := bench.Run(name, cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(tables) == 0 {
+			b.Fatal("no tables")
+		}
+	}
+}
+
+func BenchmarkTable1(b *testing.B) { runExperiment(b, "table1") }
+func BenchmarkFig3(b *testing.B)   { runExperiment(b, "3") }
+func BenchmarkFig4(b *testing.B)   { runExperiment(b, "4") }
+func BenchmarkFig5(b *testing.B)   { runExperiment(b, "5") }
+func BenchmarkFig6(b *testing.B)   { runExperiment(b, "6") }
+func BenchmarkFig7(b *testing.B)   { runExperiment(b, "7") }
+func BenchmarkFig8(b *testing.B)   { runExperiment(b, "8") }
+func BenchmarkFig9(b *testing.B)   { runExperiment(b, "9") }
+func BenchmarkFig10(b *testing.B)  { runExperiment(b, "10") }
+func BenchmarkFig11(b *testing.B)  { runExperiment(b, "11") }
+
+// Micro-benchmarks: per-stage and per-algorithm costs on a fixed graph.
+
+func benchGraph(b *testing.B) *Graph {
+	b.Helper()
+	return gen.Web(gen.WebConfig{N: 20000, OutDegree: 10, IntraSite: 0.88, Seed: 7})
+}
+
+func BenchmarkStreamBFSOrder(b *testing.B) {
+	g := benchGraph(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		edges := stream.Edges(g, stream.BFS, 0)
+		if len(edges) != g.NumEdges() {
+			b.Fatal("edge count changed")
+		}
+	}
+	b.ReportMetric(float64(g.NumEdges()), "edges/op")
+}
+
+func BenchmarkPass1Clustering(b *testing.B) {
+	g := benchGraph(b)
+	edges := stream.Edges(g, stream.BFS, 0)
+	vmax := int64(len(edges) / (5 * 32))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := cluster.Run(edges, g.NumVertices, cluster.Config{Vmax: vmax}); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(len(edges)), "edges/op")
+}
+
+func BenchmarkPass2Game(b *testing.B) {
+	g := benchGraph(b)
+	edges := stream.Edges(g, stream.BFS, 0)
+	res, err := cluster.Run(edges, g.NumVertices, cluster.Config{Vmax: int64(len(edges) / (5 * 32))})
+	if err != nil {
+		b.Fatal(err)
+	}
+	res.Compact()
+	cg, err := cluster.BuildGraph(edges, res)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := game.Solve(cg, game.Config{K: 32, Seed: 1}); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(cg.NumClusters), "clusters/op")
+}
+
+func benchPartitioner(b *testing.B, name string, k int) {
+	g := benchGraph(b)
+	p, err := partition.New(name, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	edges := stream.Edges(g, p.PreferredOrder(), 1)
+	b.ResetTimer()
+	var rf float64
+	for i := 0; i < b.N; i++ {
+		assign, err := p.Partition(edges, g.NumVertices, k)
+		if err != nil {
+			b.Fatal(err)
+		}
+		_ = assign
+	}
+	b.StopTimer()
+	res, err := partition.Run(p, g, k, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	rf = res.Quality.ReplicationFactor
+	b.ReportMetric(rf, "RF")
+	b.ReportMetric(float64(len(edges))*float64(b.N)/b.Elapsed().Seconds(), "edges/s")
+}
+
+func BenchmarkHashingK32(b *testing.B) { benchPartitioner(b, "Hashing", 32) }
+func BenchmarkDBHK32(b *testing.B)     { benchPartitioner(b, "DBH", 32) }
+func BenchmarkGreedyK32(b *testing.B)  { benchPartitioner(b, "Greedy", 32) }
+func BenchmarkHDRFK32(b *testing.B)    { benchPartitioner(b, "HDRF", 32) }
+func BenchmarkMintK32(b *testing.B)    { benchPartitioner(b, "Mint", 32) }
+func BenchmarkCLUGPK32(b *testing.B)   { benchPartitioner(b, "CLUGP", 32) }
+
+// The large-k regime, where the paper's runtime claims live (Figure 7).
+func BenchmarkHDRFK256(b *testing.B)  { benchPartitioner(b, "HDRF", 256) }
+func BenchmarkCLUGPK256(b *testing.B) { benchPartitioner(b, "CLUGP", 256) }
+
+// Ablations called out in DESIGN.md.
+func BenchmarkCLUGPNoSplitK64(b *testing.B) { benchPartitioner(b, "CLUGP-S", 64) }
+func BenchmarkCLUGPGreedyK64(b *testing.B)  { benchPartitioner(b, "CLUGP-G", 64) }
+
+func BenchmarkPageRank32Nodes(b *testing.B) {
+	g := benchGraph(b)
+	res, err := Partition(g, "CLUGP", 32, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	pl, err := NewPlacement(res)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := PageRank(pl, PageRankConfig{Iterations: 10}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkDistributedCLUGP4Nodes(b *testing.B) {
+	g := benchGraph(b)
+	p := &DistributedCLUGP{Nodes: 4, Seed: 1}
+	edges := stream.Edges(g, p.PreferredOrder(), 1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := p.Partition(edges, g.NumVertices, 32); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkEdgeCutMultilevel(b *testing.B) {
+	g := benchGraph(b)
+	ml := &Multilevel{Seed: 1}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := ml.Partition(g, 32); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkEdgeCutLDG(b *testing.B) {
+	g := benchGraph(b)
+	l := &LDG{}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := l.Partition(g, 32); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkStoreWrite(b *testing.B) {
+	g := benchGraph(b)
+	b.ResetTimer()
+	var n int
+	for i := 0; i < b.N; i++ {
+		var buf bytes.Buffer
+		if err := WriteCompressed(&buf, g); err != nil {
+			b.Fatal(err)
+		}
+		n = buf.Len()
+	}
+	b.ReportMetric(float64(n)/float64(g.NumEdges()), "bytes/edge")
+}
+
+func BenchmarkStoreRead(b *testing.B) {
+	g := benchGraph(b)
+	var buf bytes.Buffer
+	if err := WriteCompressed(&buf, g); err != nil {
+		b.Fatal(err)
+	}
+	data := buf.Bytes()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := ReadCompressed(bytes.NewReader(data)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkEvaluateMetrics(b *testing.B) {
+	g := benchGraph(b)
+	res, err := Partition(g, "DBH", 32, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := EvaluatePartition(res.Edges, res.Assign, g.NumVertices, 32); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

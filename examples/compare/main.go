@@ -1,0 +1,32 @@
+// Compare all six partitioners across partition counts on one graph - a
+// one-dataset slice of the paper's Figure 3/7 sweep, printing replication
+// factor, balance and runtime side by side.
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"repro"
+)
+
+func main() {
+	g := repro.GenerateWeb(repro.WebConfig{N: 30000, OutDegree: 10, IntraSite: 0.88, Seed: 11})
+	fmt.Printf("graph: %d vertices, %d edges\n\n", g.NumVertices, g.NumEdges())
+
+	for _, k := range []int{8, 32, 128} {
+		fmt.Printf("k = %d\n", k)
+		fmt.Printf("  %-8s  %8s  %8s  %10s\n", "algo", "RF", "balance", "runtime")
+		for _, p := range repro.Suite(11) {
+			res, err := repro.RunPartitioner(p, g, k, 11)
+			if err != nil {
+				log.Fatal(err)
+			}
+			fmt.Printf("  %-8s  %8.3f  %8.3f  %10v\n",
+				p.Name(), res.Quality.ReplicationFactor,
+				res.Quality.RelativeBalance, res.Runtime.Round(time.Millisecond))
+		}
+		fmt.Println()
+	}
+}

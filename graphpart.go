@@ -1,0 +1,286 @@
+// Package repro is a from-scratch Go reproduction of "Clustering-based
+// Partitioning for Large Web Graphs" (Kong, Xie, Zhang - ICDE 2022): the
+// CLUGP three-pass restreaming vertex-cut graph partitioner, the five
+// streaming baselines it is evaluated against (Hashing, DBH, Greedy, HDRF,
+// Mint), deterministic web-graph generators standing in for the paper's
+// crawls, the partition-quality metrics, and a simulated PowerGraph-style
+// distributed GAS engine for end-to-end PageRank / connected-components /
+// SSSP experiments.
+//
+// This file is the public facade: everything a downstream user needs is
+// re-exported here, so examples and tools import only this package.
+//
+// Quickstart:
+//
+//	g := repro.GenerateWeb(repro.WebConfig{N: 100000, OutDegree: 8, Seed: 1})
+//	res, err := repro.Partition(g, "CLUGP", 32, 1)
+//	fmt.Println(res.Quality.ReplicationFactor)
+package repro
+
+import (
+	"io"
+
+	"repro/internal/bench"
+	"repro/internal/cluster"
+	"repro/internal/core"
+	"repro/internal/edgecut"
+	"repro/internal/engine"
+	"repro/internal/game"
+	"repro/internal/gen"
+	"repro/internal/graph"
+	"repro/internal/metrics"
+	"repro/internal/partition"
+	"repro/internal/store"
+	"repro/internal/stream"
+)
+
+// Graph types.
+type (
+	// Graph is a directed multigraph stored as an edge list.
+	Graph = graph.Graph
+	// Edge is a directed edge.
+	Edge = graph.Edge
+	// VertexID identifies a vertex.
+	VertexID = graph.VertexID
+	// CSR is a compressed sparse row adjacency view.
+	CSR = graph.CSR
+	// GraphStats summarises degree structure (power-law fit etc.).
+	GraphStats = graph.Stats
+)
+
+// NewGraph builds a graph from edges; n <= 0 infers the vertex count.
+func NewGraph(n int, edges []Edge) *Graph { return graph.New(n, edges) }
+
+// ReadEdgeList parses "src dst" lines (comments with '#' or '%').
+func ReadEdgeList(r io.Reader) (*Graph, error) { return graph.ReadEdgeList(r) }
+
+// WriteCompressed encodes the graph in the package's gap-compressed binary
+// format (~2 bytes/edge on crawl-ordered web graphs), preserving edge order.
+func WriteCompressed(w io.Writer, g *Graph) error { return store.Write(w, g) }
+
+// ReadCompressed decodes a graph written by WriteCompressed.
+func ReadCompressed(r io.Reader) (*Graph, error) { return store.Read(r) }
+
+// BuildCSR builds an out-adjacency view.
+func BuildCSR(g *Graph) *CSR { return graph.BuildCSR(g) }
+
+// ComputeStats computes degree statistics and a power-law fit.
+func ComputeStats(g *Graph) GraphStats { return graph.ComputeStats(g) }
+
+// Generators (substitutes for the paper's crawl datasets; see DESIGN.md).
+type WebConfig = gen.WebConfig
+
+// GenerateWeb generates a site-structured copying-model web graph.
+func GenerateWeb(cfg WebConfig) *Graph { return gen.Web(cfg) }
+
+// GenerateBarabasiAlbert generates a preferential-attachment social graph.
+func GenerateBarabasiAlbert(n, m int, seed uint64) *Graph { return gen.BarabasiAlbert(n, m, seed) }
+
+// GenerateRMAT generates a recursive-matrix (Kronecker) graph.
+func GenerateRMAT(scale, edgeFactor int, a, b, c float64, seed uint64) *Graph {
+	return gen.RMAT(scale, edgeFactor, a, b, c, seed)
+}
+
+// GenerateErdosRenyi generates a uniform random graph (no-skew control).
+func GenerateErdosRenyi(n, m int, seed uint64) *Graph { return gen.ErdosRenyi(n, m, seed) }
+
+// SampleVertices returns a random vertex-induced subgraph (Figure 5).
+func SampleVertices(g *Graph, frac float64, seed uint64) *Graph {
+	return gen.SampleVertices(g, frac, seed)
+}
+
+// Stream orders (Definition 1; each partitioner declares its preference).
+type Order = stream.Order
+
+const (
+	// OrderNatural preserves generation order.
+	OrderNatural = stream.Natural
+	// OrderBFS is the web-crawl order (CLUGP's and Mint's setting).
+	OrderBFS = stream.BFS
+	// OrderDFS is the depth-first analogue.
+	OrderDFS = stream.DFS
+	// OrderRandom is a seeded shuffle (the one-pass heuristics' setting).
+	OrderRandom = stream.Random
+)
+
+// StreamEdges returns the graph's edges in the requested order.
+func StreamEdges(g *Graph, order Order, seed uint64) []Edge { return stream.Edges(g, order, seed) }
+
+// Partitioners.
+type (
+	// Partitioner assigns streamed edges to k partitions.
+	Partitioner = partition.Partitioner
+	// PartitionResult bundles a finished run with quality metrics.
+	PartitionResult = partition.Result
+	// Quality holds replication factor and balance (Section II-B).
+	Quality = metrics.Quality
+	// CLUGP is the paper's three-pass partitioner with all its knobs.
+	CLUGP = partition.CLUGP
+	// CLUGPTrace carries CLUGP's per-pass diagnostics.
+	CLUGPTrace = partition.Trace
+	// HDRF is the state-of-the-art one-pass baseline.
+	HDRF = partition.HDRF
+	// Greedy is PowerGraph's greedy heuristic.
+	Greedy = partition.Greedy
+	// Hashing is random edge placement.
+	Hashing = partition.Hashing
+	// DBH is degree-based hashing.
+	DBH = partition.DBH
+	// Mint is the quasi-streaming game-theoretic baseline.
+	Mint = partition.Mint
+	// DistributedCLUGP is the Section III-C sharded-ingest mode.
+	DistributedCLUGP = partition.DistributedCLUGP
+	// HybridCut is PowerLyra's differentiated partitioning (extension).
+	HybridCut = partition.HybridCut
+	// Grid is the 2D constrained-hash partitioner (extension).
+	Grid = partition.Grid
+)
+
+// Edge-cut partitioning (the Section II-C comparison family).
+type (
+	// EdgeCutPartitioner assigns vertices (not edges) to partitions.
+	EdgeCutPartitioner = edgecut.Partitioner
+	// EdgeCutQuality holds cut fraction and balance for a vertex assignment.
+	EdgeCutQuality = edgecut.Quality
+	// LDG is the linear deterministic greedy streaming vertex partitioner.
+	LDG = edgecut.LDG
+	// FENNEL is the streaming vertex partitioner of Tsourakakis et al.
+	FENNEL = edgecut.FENNEL
+	// Multilevel is the METIS-style offline edge-cut partitioner.
+	Multilevel = edgecut.Multilevel
+	// Restream wraps LDG/FENNEL in the restreaming framework (ReLDG,
+	// ReFENNEL) the paper's own architecture descends from.
+	Restream = edgecut.Restream
+)
+
+// EvaluateEdgeCut computes edge-cut quality for a vertex assignment.
+func EvaluateEdgeCut(g *Graph, assign []int32, k int) (*EdgeCutQuality, error) {
+	return edgecut.Evaluate(g, assign, k)
+}
+
+// NewPartitioner constructs an algorithm by evaluation name
+// (Hashing, DBH, Greedy, HDRF, Mint, CLUGP, CLUGP-S, CLUGP-G).
+func NewPartitioner(name string, seed uint64) (Partitioner, error) {
+	return partition.New(name, seed)
+}
+
+// PartitionerNames lists every name NewPartitioner accepts.
+func PartitionerNames() []string { return partition.Names() }
+
+// Suite returns the six algorithms of the paper's evaluation.
+func Suite(seed uint64) []Partitioner { return partition.Suite(seed) }
+
+// Partition runs the named algorithm over g's edges (in the algorithm's
+// preferred stream order) and evaluates quality.
+func Partition(g *Graph, algorithm string, k int, seed uint64) (*PartitionResult, error) {
+	p, err := partition.New(algorithm, seed)
+	if err != nil {
+		return nil, err
+	}
+	return partition.Run(p, g, k, seed)
+}
+
+// RunPartitioner runs a custom-configured partitioner.
+func RunPartitioner(p Partitioner, g *Graph, k int, seed uint64) (*PartitionResult, error) {
+	return partition.Run(p, g, k, seed)
+}
+
+// EvaluatePartition recomputes quality metrics from an edge assignment.
+func EvaluatePartition(edges []Edge, assign []int32, numVertices, k int) (*Quality, error) {
+	return metrics.Evaluate(edges, assign, numVertices, k)
+}
+
+// Pipeline access (the paper's contribution, stage by stage).
+type (
+	// PipelineOptions configure a stage-retaining CLUGP run.
+	PipelineOptions = core.Options
+	// Pipeline retains every intermediate CLUGP stage.
+	Pipeline = core.Pipeline
+	// Clustering is the pass-1 output (vertex->cluster tables).
+	Clustering = cluster.Result
+	// ClusterGraph is the cluster-level view feeding the game.
+	ClusterGraph = cluster.Graph
+	// GameAssignment is the pass-2 Nash equilibrium.
+	GameAssignment = game.Assignment
+)
+
+// RunPipeline executes CLUGP's three passes, retaining each stage.
+func RunPipeline(g *Graph, opts PipelineOptions) (*Pipeline, error) { return core.Run(g, opts) }
+
+// Distributed engine (the PowerGraph substitute).
+type (
+	// Placement lays a partitioning onto k logical nodes.
+	Placement = engine.Placement
+	// CostModel converts counted work into simulated time.
+	CostModel = engine.CostModel
+	// RunStats aggregates messages, bytes and simulated makespan.
+	RunStats = engine.RunStats
+	// PageRankConfig controls the distributed PageRank run.
+	PageRankConfig = engine.PageRankConfig
+)
+
+// NewPlacement lays out a finished partitioning onto logical nodes.
+func NewPlacement(res *PartitionResult) (*Placement, error) { return engine.NewPlacement(res) }
+
+// PageRank runs distributed PageRank over the placement.
+func PageRank(pl *Placement, cfg PageRankConfig) ([]float64, RunStats, error) {
+	return engine.PageRank(pl, cfg)
+}
+
+// ParallelPageRank runs the same computation with per-node goroutines and
+// BSP barriers; results are bit-identical to PageRank.
+func ParallelPageRank(pl *Placement, cfg PageRankConfig, workers int) ([]float64, RunStats, error) {
+	return engine.ParallelPageRank(pl, cfg, workers)
+}
+
+// ConnectedComponents runs distributed min-label propagation.
+func ConnectedComponents(pl *Placement, cost CostModel) ([]uint32, RunStats) {
+	return engine.ConnectedComponents(pl, cost)
+}
+
+// SSSP runs distributed BFS hop distances from source.
+func SSSP(pl *Placement, source uint32, cost CostModel) ([]uint32, RunStats) {
+	return engine.SSSP(pl, source, cost)
+}
+
+// LabelPropagation runs distributed plurality label propagation.
+func LabelPropagation(pl *Placement, maxIters int, cost CostModel) ([]uint32, RunStats) {
+	return engine.LabelPropagation(pl, maxIters, cost)
+}
+
+// ReferenceLabelPropagation is the single-machine reference implementation.
+func ReferenceLabelPropagation(g *Graph, maxIters int) []uint32 {
+	return engine.ReferenceLabelPropagation(g, maxIters)
+}
+
+// ReferencePageRank is the single-machine reference implementation.
+func ReferencePageRank(g *Graph, damping float64, iters int) []float64 {
+	return engine.ReferencePageRank(g, damping, iters)
+}
+
+// ReferenceComponents is the single-machine reference implementation.
+func ReferenceComponents(g *Graph) []uint32 { return engine.ReferenceComponents(g) }
+
+// ReferenceSSSP is the single-machine reference implementation.
+func ReferenceSSSP(g *Graph, source uint32) []uint32 { return engine.ReferenceSSSP(g, source) }
+
+// Experiments (the paper's tables and figures).
+type (
+	// ExperimentConfig controls experiment scale and scope.
+	ExperimentConfig = bench.Config
+	// ExperimentTable is one regenerated table/figure panel.
+	ExperimentTable = bench.Table
+	// Dataset is a synthetic stand-in for one of the paper's graphs.
+	Dataset = bench.Dataset
+)
+
+// Datasets returns the five evaluation graphs (Table III stand-ins).
+func Datasets() []Dataset { return bench.Datasets() }
+
+// RunExperiment regenerates one paper artefact ("table1", "3".."11").
+func RunExperiment(name string, cfg ExperimentConfig) ([]ExperimentTable, error) {
+	return bench.Run(name, cfg)
+}
+
+// ExperimentNames lists the experiments RunExperiment accepts.
+func ExperimentNames() []string { return bench.ExperimentNames() }

@@ -1,0 +1,254 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"repro/internal/engine"
+	"repro/internal/gen"
+	"repro/internal/graph"
+	"repro/internal/partition"
+)
+
+// Config controls experiment scale and scope.
+type Config struct {
+	// Scale multiplies dataset sizes (1.0 = default experiment size).
+	Scale float64
+	// Ks is the partition-count sweep (default 4..256 in powers of two,
+	// the paper's x-axis).
+	Ks []int
+	// Seed drives every stochastic component.
+	Seed uint64
+	// Progress, when non-nil, receives one line per completed run.
+	Progress io.Writer
+}
+
+func (c Config) withDefaults() Config {
+	if c.Scale == 0 {
+		c.Scale = 1.0
+	}
+	if len(c.Ks) == 0 {
+		c.Ks = []int{4, 8, 16, 32, 64, 128, 256}
+	}
+	if c.Seed == 0 {
+		c.Seed = 42
+	}
+	return c
+}
+
+func (c Config) logf(format string, args ...any) {
+	if c.Progress != nil {
+		fmt.Fprintf(c.Progress, format+"\n", args...)
+	}
+}
+
+// run partitions g with the named algorithm, returning the full result.
+func (c Config) run(name string, g *graph.Graph, k int) (*partition.Result, error) {
+	p, err := partition.New(name, c.Seed)
+	if err != nil {
+		return nil, err
+	}
+	res, err := partition.Run(p, g, k, c.Seed)
+	if err != nil {
+		return nil, err
+	}
+	c.logf("  %-8s k=%-4d RF=%.3f bal=%.3f t=%v", name, k, res.Quality.ReplicationFactor, res.Quality.RelativeBalance, res.Runtime.Round(time.Millisecond))
+	return res, nil
+}
+
+// algos is the plotting order of the paper's figures.
+var algos = []string{"HDRF", "Greedy", "Hashing", "DBH", "Mint", "CLUGP"}
+
+// Fig3 regenerates Figure 3 (a-d): replication factor vs number of
+// partitions on the four web graphs, for all six algorithms.
+func Fig3(cfg Config) ([]Table, error) {
+	cfg = cfg.withDefaults()
+	var tables []Table
+	for i, ds := range WebDatasets() {
+		g := ds.Build(cfg.Scale)
+		cfg.logf("fig3: %s (%d vertices, %d edges)", ds.Name, g.NumVertices, g.NumEdges())
+		t := Table{
+			ID:     fmt.Sprintf("fig3%c", 'a'+i),
+			Title:  fmt.Sprintf("Replication factor vs #partitions (%s)", ds.Name),
+			Header: append([]string{"k"}, algos...),
+			Note:   fmt.Sprintf("synthetic stand-in for %s at scale %.2f", ds.Paper, cfg.Scale),
+		}
+		for _, k := range cfg.Ks {
+			row := []string{fmt.Sprintf("%d", k)}
+			for _, a := range algos {
+				res, err := cfg.run(a, g, k)
+				if err != nil {
+					return nil, fmt.Errorf("fig3 %s %s k=%d: %w", ds.Name, a, k, err)
+				}
+				row = append(row, f3(res.Quality.ReplicationFactor))
+			}
+			t.AddRow(row...)
+		}
+		tables = append(tables, t)
+	}
+	return tables, nil
+}
+
+// Fig4 regenerates Figure 4: (a) replication factor vs #partitions on the
+// Twitter social graph for HDRF and CLUGP; (b) total task runtime
+// (partitioning wall time + simulated PageRank makespan) at 32 partitions.
+func Fig4(cfg Config) ([]Table, error) {
+	cfg = cfg.withDefaults()
+	ds, err := DatasetByName("Twitter")
+	if err != nil {
+		return nil, err
+	}
+	g := ds.Build(cfg.Scale)
+	cfg.logf("fig4: Twitter (%d vertices, %d edges)", g.NumVertices, g.NumEdges())
+
+	a := Table{
+		ID:     "fig4a",
+		Title:  "Replication factor vs #partitions (Twitter)",
+		Header: []string{"k", "HDRF", "CLUGP"},
+		Note:   "social graph: the paper reports CLUGP slightly behind HDRF here",
+	}
+	for _, k := range cfg.Ks {
+		row := []string{fmt.Sprintf("%d", k)}
+		for _, alg := range []string{"HDRF", "CLUGP"} {
+			res, err := cfg.run(alg, g, k)
+			if err != nil {
+				return nil, err
+			}
+			row = append(row, f3(res.Quality.ReplicationFactor))
+		}
+		a.AddRow(row...)
+	}
+
+	b := Table{
+		ID:     "fig4b",
+		Title:  "Total task runtime, 32 partitions on Twitter (s)",
+		Header: []string{"algorithm", "partition(s)", "pagerank(s)", "total(s)"},
+		Note: "pagerank time is the simulated distributed makespan (10 iterations); " +
+			"the paper's CLUGP-wins-total claim needs billion-edge scale, where HDRF's " +
+			"partitioning dominates - at this scale both partitioners are sub-second (see fig7/fig10a for the k-scaling that drives it)",
+	}
+	for _, alg := range []string{"CLUGP", "HDRF"} {
+		res, err := cfg.run(alg, g, 32)
+		if err != nil {
+			return nil, err
+		}
+		pl, err := engine.NewPlacement(res)
+		if err != nil {
+			return nil, err
+		}
+		_, stats, err := engine.PageRank(pl, engine.PageRankConfig{Iterations: 10})
+		if err != nil {
+			return nil, err
+		}
+		b.AddRow(alg,
+			f3(res.Runtime.Seconds()),
+			f3(stats.SimTime.Seconds()),
+			f3(res.Runtime.Seconds()+stats.SimTime.Seconds()))
+	}
+	return []Table{a, b}, nil
+}
+
+// Fig5 regenerates Figure 5: replication factor across sampled graph sizes
+// (random vertex samples of the UK graph), all algorithms, 32 partitions.
+func Fig5(cfg Config) ([]Table, error) {
+	cfg = cfg.withDefaults()
+	ds, err := DatasetByName("UK")
+	if err != nil {
+		return nil, err
+	}
+	base := ds.Build(cfg.Scale)
+	fractions := []float64{0.05, 0.15, 0.4, 1.0}
+	t := Table{
+		ID:     "fig5",
+		Title:  "Replication factor vs sampled graph size (UK, k=32)",
+		Header: append([]string{"sample(|V|,|E|)"}, algos...),
+		Note:   "random vertex-induced samples, mirroring the paper's 10K..60M sweep",
+	}
+	for _, f := range fractions {
+		g := base
+		if f < 1.0 {
+			g = gen.SampleVertices(base, f, cfg.Seed)
+		}
+		cfg.logf("fig5: sample %.2f -> %d vertices, %d edges", f, g.NumVertices, g.NumEdges())
+		row := []string{fmt.Sprintf("%d,%d", g.NumVertices, g.NumEdges())}
+		for _, a := range algos {
+			res, err := cfg.run(a, g, 32)
+			if err != nil {
+				return nil, err
+			}
+			row = append(row, f3(res.Quality.ReplicationFactor))
+		}
+		t.AddRow(row...)
+	}
+	return []Table{t}, nil
+}
+
+// Fig6 regenerates Figure 6: partitioner memory cost vs #partitions on IT,
+// using each algorithm's state-size model (StateBytes) - the same
+// accounting the paper applies (algorithm state, not input).
+func Fig6(cfg Config) ([]Table, error) {
+	cfg = cfg.withDefaults()
+	ds, err := DatasetByName("IT")
+	if err != nil {
+		return nil, err
+	}
+	g := ds.Build(cfg.Scale)
+	t := Table{
+		ID:     "fig6",
+		Title:  "Partitioner state memory vs #partitions (IT, MB)",
+		Header: append([]string{"k"}, algos...),
+		Note:   "heuristic methods carry the per-vertex replica table (grows with k); CLUGP carries the two O(|V|) mapping tables",
+	}
+	for _, k := range cfg.Ks {
+		row := []string{fmt.Sprintf("%d", k)}
+		for _, a := range algos {
+			p, err := partition.New(a, cfg.Seed)
+			if err != nil {
+				return nil, err
+			}
+			var bytes int64
+			if s, ok := p.(partition.StateSizer); ok {
+				bytes = s.StateBytes(g.NumVertices, g.NumEdges(), k)
+			}
+			row = append(row, mb(bytes))
+		}
+		t.AddRow(row...)
+	}
+	return []Table{t}, nil
+}
+
+// Fig7 regenerates Figure 7 (a-b): partitioning wall-clock runtime vs
+// #partitions on UK and IT. Absolute values are hardware-specific; the
+// reproduction target is the shape: HDRF/Greedy grow with k, the hashing
+// methods and CLUGP stay nearly flat.
+func Fig7(cfg Config) ([]Table, error) {
+	cfg = cfg.withDefaults()
+	var tables []Table
+	for i, name := range []string{"UK", "IT"} {
+		ds, err := DatasetByName(name)
+		if err != nil {
+			return nil, err
+		}
+		g := ds.Build(cfg.Scale)
+		cfg.logf("fig7: %s (%d vertices, %d edges)", ds.Name, g.NumVertices, g.NumEdges())
+		t := Table{
+			ID:     fmt.Sprintf("fig7%c", 'a'+i),
+			Title:  fmt.Sprintf("Partitioning runtime vs #partitions (%s, ms)", name),
+			Header: append([]string{"k"}, algos...),
+		}
+		for _, k := range cfg.Ks {
+			row := []string{fmt.Sprintf("%d", k)}
+			for _, a := range algos {
+				res, err := cfg.run(a, g, k)
+				if err != nil {
+					return nil, err
+				}
+				row = append(row, fmt.Sprintf("%.1f", float64(res.Runtime.Microseconds())/1000))
+			}
+			t.AddRow(row...)
+		}
+		tables = append(tables, t)
+	}
+	return tables, nil
+}

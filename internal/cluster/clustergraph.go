@@ -1,0 +1,146 @@
+package cluster
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/graph"
+)
+
+// Arc is one weighted inter-cluster adjacency entry. W counts directed
+// edges in both directions between the two clusters, i.e.
+// |e(ci,cj)| + |e(cj,ci)|, which is exactly the quantity the game's
+// edge-cutting cost sums over (Equation 11).
+type Arc struct {
+	To ID
+	W  int64
+}
+
+// Graph is the cluster-level view built by re-streaming the edges once the
+// vertex->cluster table is final. It is the sole input of the second pass.
+type Graph struct {
+	// NumClusters is the number of (compacted) clusters.
+	NumClusters int
+	// Intra[c] is |c|: the number of edges with both endpoints in c.
+	Intra []int64
+	// Adj[c] lists c's inter-cluster arcs, sorted by To.
+	Adj [][]Arc
+	// AdjTotal[c] is the summed arc weight of c: |e(c,V\c)| + |e(V\c,c)|.
+	AdjTotal []int64
+	// Weight[c] = 2*Intra[c] + AdjTotal[c] is c's share of edge endpoints:
+	// an intra edge contributes 2 to its cluster, a crossing edge 1 to each
+	// side, so weights sum to 2|E|. The partitioning game balances this
+	// quantity because it predicts the final per-partition edge load after
+	// the transformation pass (each partition receives its clusters' intra
+	// edges plus roughly half of their cut edges).
+	Weight []int64
+	// TotalIntra is the sum of Intra.
+	TotalIntra int64
+	// TotalInter is the number of directed edges crossing clusters
+	// (each counted once), i.e. sum over clusters of |e(ci, V\ci)|.
+	TotalInter int64
+}
+
+// BuildGraph aggregates the edge stream into the cluster graph using the
+// final assignments in res. res must be compacted first (every edge
+// endpoint assigned, ids dense).
+func BuildGraph(edges []graph.Edge, res *Result) (*Graph, error) {
+	m := res.NumClusters
+	cg := &Graph{
+		NumClusters: m,
+		Intra:       make([]int64, m),
+		Adj:         make([][]Arc, m),
+	}
+	// Aggregate pair weights in a map keyed by the (lo,hi) cluster pair.
+	// The number of distinct pairs is bounded by the edge count.
+	pair := make(map[uint64]int64, 1024)
+	for _, e := range edges {
+		cu := res.Assign[e.Src]
+		cv := res.Assign[e.Dst]
+		if cu == None || cv == None {
+			return nil, fmt.Errorf("cluster: edge %d->%d has unclustered endpoint", e.Src, e.Dst)
+		}
+		if cu == cv {
+			cg.Intra[cu]++
+			cg.TotalIntra++
+			continue
+		}
+		cg.TotalInter++
+		lo, hi := cu, cv
+		if lo > hi {
+			lo, hi = hi, lo
+		}
+		pair[uint64(uint32(lo))<<32|uint64(uint32(hi))]++
+	}
+	counts := make([]int32, m)
+	for key := range pair {
+		lo := ID(key >> 32)
+		hi := ID(key & 0xffffffff)
+		counts[lo]++
+		counts[hi]++
+	}
+	for c := 0; c < m; c++ {
+		if counts[c] > 0 {
+			cg.Adj[c] = make([]Arc, 0, counts[c])
+		}
+	}
+	for key, w := range pair {
+		lo := ID(key >> 32)
+		hi := ID(key & 0xffffffff)
+		cg.Adj[lo] = append(cg.Adj[lo], Arc{To: hi, W: w})
+		cg.Adj[hi] = append(cg.Adj[hi], Arc{To: lo, W: w})
+	}
+	for c := range cg.Adj {
+		a := cg.Adj[c]
+		sort.Slice(a, func(i, j int) bool { return a[i].To < a[j].To })
+	}
+	cg.AdjTotal = make([]int64, m)
+	cg.Weight = make([]int64, m)
+	for c := 0; c < m; c++ {
+		var t int64
+		for _, a := range cg.Adj[c] {
+			t += a.W
+		}
+		cg.AdjTotal[c] = t
+		cg.Weight[c] = 2*cg.Intra[c] + t
+	}
+	return cg, nil
+}
+
+// ArcWeight returns the symmetric inter-cluster weight between a and b
+// (0 if not adjacent), by binary search over a's sorted arcs.
+func (g *Graph) ArcWeight(a, b ID) int64 {
+	arcs := g.Adj[a]
+	i := sort.Search(len(arcs), func(i int) bool { return arcs[i].To >= b })
+	if i < len(arcs) && arcs[i].To == b {
+		return arcs[i].W
+	}
+	return 0
+}
+
+// TotalAdjacency returns the sum of c's arc weights: |e(c,V\c)|+|e(V\c,c)|.
+func (g *Graph) TotalAdjacency(c ID) int64 {
+	if g.AdjTotal != nil {
+		return g.AdjTotal[c]
+	}
+	var t int64
+	for _, a := range g.Adj[c] {
+		t += a.W
+	}
+	return t
+}
+
+// TotalWeight returns the sum of cluster weights, 2*TotalIntra+2*TotalInter
+// = 2|E|.
+func (g *Graph) TotalWeight() int64 {
+	return 2*g.TotalIntra + 2*g.TotalInter
+}
+
+// WeightOf returns Weight[c], computing it on the fly for hand-built graphs
+// that did not pass through BuildGraph.
+func (g *Graph) WeightOf(c ID) int64 {
+	if g.Weight != nil {
+		return g.Weight[c]
+	}
+	return 2*g.Intra[c] + g.TotalAdjacency(c)
+}

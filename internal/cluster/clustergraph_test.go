@@ -1,0 +1,112 @@
+package cluster
+
+import (
+	"testing"
+
+	"repro/internal/graph"
+)
+
+// fixedResult builds a Result with a hand-chosen assignment for cluster
+// graph tests: vertices 0,1 -> cluster 0; 2,3 -> cluster 1; 4 -> cluster 2.
+func fixedResult() *Result {
+	return &Result{
+		NumClusters: 3,
+		Assign:      []ID{0, 0, 1, 1, 2},
+		Degree:      []uint32{2, 2, 2, 2, 2},
+		Divided:     make([]bool, 5),
+	}
+}
+
+func TestBuildGraphCounts(t *testing.T) {
+	edges := []graph.Edge{
+		{Src: 0, Dst: 1}, // intra cluster 0
+		{Src: 2, Dst: 3}, // intra cluster 1
+		{Src: 0, Dst: 2}, // 0 -> 1
+		{Src: 3, Dst: 1}, // 1 -> 0
+		{Src: 4, Dst: 0}, // 2 -> 0
+	}
+	cg, err := BuildGraph(edges, fixedResult())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cg.TotalIntra != 2 || cg.TotalInter != 3 {
+		t.Fatalf("intra/inter = %d/%d, want 2/3", cg.TotalIntra, cg.TotalInter)
+	}
+	if cg.Intra[0] != 1 || cg.Intra[1] != 1 || cg.Intra[2] != 0 {
+		t.Fatalf("Intra = %v", cg.Intra)
+	}
+	// Weight between 0 and 1 combines both directions.
+	if w := cg.ArcWeight(0, 1); w != 2 {
+		t.Fatalf("Weight(0,1) = %d, want 2", w)
+	}
+	if w := cg.ArcWeight(1, 0); w != 2 {
+		t.Fatalf("Weight(1,0) = %d, want 2 (symmetry)", w)
+	}
+	if w := cg.ArcWeight(0, 2); w != 1 {
+		t.Fatalf("Weight(0,2) = %d, want 1", w)
+	}
+	if w := cg.ArcWeight(1, 2); w != 0 {
+		t.Fatalf("Weight(1,2) = %d, want 0", w)
+	}
+}
+
+func TestBuildGraphTotalAdjacency(t *testing.T) {
+	edges := []graph.Edge{
+		{Src: 0, Dst: 2}, {Src: 2, Dst: 0}, {Src: 4, Dst: 2},
+	}
+	cg, err := BuildGraph(edges, fixedResult())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := cg.TotalAdjacency(1); got != 3 {
+		t.Fatalf("TotalAdjacency(1) = %d, want 3", got)
+	}
+	// Sum of adjacencies counts each directed cut edge twice.
+	var sum int64
+	for c := 0; c < cg.NumClusters; c++ {
+		sum += cg.TotalAdjacency(ID(c))
+	}
+	if sum != 2*cg.TotalInter {
+		t.Fatalf("adjacency sum %d != 2*TotalInter %d", sum, 2*cg.TotalInter)
+	}
+}
+
+func TestBuildGraphRejectsUnclustered(t *testing.T) {
+	res := fixedResult()
+	res.Assign[4] = None
+	if _, err := BuildGraph([]graph.Edge{{Src: 4, Dst: 0}}, res); err == nil {
+		t.Fatal("unclustered endpoint accepted")
+	}
+}
+
+func TestBuildGraphArcsSorted(t *testing.T) {
+	edges := []graph.Edge{
+		{Src: 0, Dst: 4}, {Src: 0, Dst: 2}, {Src: 2, Dst: 4},
+	}
+	cg, err := BuildGraph(edges, fixedResult())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for c := range cg.Adj {
+		for i := 1; i < len(cg.Adj[c]); i++ {
+			if cg.Adj[c][i].To <= cg.Adj[c][i-1].To {
+				t.Fatalf("cluster %d arcs unsorted: %v", c, cg.Adj[c])
+			}
+		}
+	}
+}
+
+func TestBuildGraphConservesEdges(t *testing.T) {
+	edges := []graph.Edge{
+		{Src: 0, Dst: 1}, {Src: 1, Dst: 0}, {Src: 2, Dst: 3},
+		{Src: 0, Dst: 4}, {Src: 4, Dst: 4},
+	}
+	res := fixedResult()
+	cg, err := BuildGraph(edges, res)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cg.TotalIntra+cg.TotalInter != int64(len(edges)) {
+		t.Fatalf("intra %d + inter %d != %d edges", cg.TotalIntra, cg.TotalInter, len(edges))
+	}
+}

@@ -1,0 +1,104 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/gen"
+	"repro/internal/partition"
+	"repro/internal/stream"
+)
+
+func TestRunRetainsStages(t *testing.T) {
+	g := gen.Web(gen.WebConfig{N: 3000, OutDegree: 6, IntraSite: 0.85, Seed: 2})
+	pl, err := Run(g, Options{K: 8, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pl.Clustering == nil || pl.ClusterGraph == nil || pl.Game == nil || pl.Result == nil || pl.Trace == nil {
+		t.Fatal("missing pipeline stage")
+	}
+	if len(pl.Edges) != g.NumEdges() {
+		t.Fatalf("pipeline stream has %d edges, want %d", len(pl.Edges), g.NumEdges())
+	}
+	if pl.Clustering.NumClusters != pl.ClusterGraph.NumClusters {
+		t.Fatalf("cluster count mismatch: %d vs %d", pl.Clustering.NumClusters, pl.ClusterGraph.NumClusters)
+	}
+	if len(pl.ClusterPartition) != pl.ClusterGraph.NumClusters {
+		t.Fatal("cluster-partition table length mismatch")
+	}
+	if pl.Result.Quality.ReplicationFactor < 1 {
+		t.Fatalf("RF %v < 1", pl.Result.Quality.ReplicationFactor)
+	}
+}
+
+func TestRunMatchesBlackBoxPartitioner(t *testing.T) {
+	g := gen.Web(gen.WebConfig{N: 3000, OutDegree: 6, IntraSite: 0.85, Seed: 3})
+	pl, err := Run(g, Options{K: 16, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := &partition.CLUGP{Seed: 9}
+	res, err := partition.Run(p, g, 16, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pl.Result.Quality.ReplicationFactor != res.Quality.ReplicationFactor {
+		t.Fatalf("pipeline RF %v != black-box RF %v",
+			pl.Result.Quality.ReplicationFactor, res.Quality.ReplicationFactor)
+	}
+	for i := range res.Assign {
+		if pl.Result.Assign[i] != res.Assign[i] {
+			t.Fatalf("assignment diverges at edge %d", i)
+		}
+	}
+}
+
+func TestRunStagesConsistent(t *testing.T) {
+	// The retained cluster-partition table must be what the trace's healed
+	// fraction was computed from: every cluster id within range.
+	g := gen.Web(gen.WebConfig{N: 2000, OutDegree: 5, IntraSite: 0.85, Seed: 4})
+	pl, err := Run(g, Options{K: 4, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for c, p := range pl.ClusterPartition {
+		if p < 0 || p >= 4 {
+			t.Fatalf("cluster %d assigned to invalid partition %d", c, p)
+		}
+	}
+	// Every edge endpoint must be clustered.
+	for _, e := range pl.Edges {
+		if pl.Clustering.Assign[e.Src] < 0 || pl.Clustering.Assign[e.Dst] < 0 {
+			t.Fatalf("unclustered endpoint on edge %v", e)
+		}
+	}
+}
+
+func TestRunRejectsBadK(t *testing.T) {
+	g := gen.Web(gen.WebConfig{N: 200, OutDegree: 4, Seed: 1})
+	if _, err := Run(g, Options{K: 0}); err == nil {
+		t.Fatal("K=0 accepted")
+	}
+}
+
+func TestRunGreedyVariant(t *testing.T) {
+	g := gen.Web(gen.WebConfig{N: 2000, OutDegree: 5, IntraSite: 0.85, Seed: 5})
+	pl, err := Run(g, Options{K: 8, Seed: 1, GreedyAssign: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pl.Game == nil || pl.Game.Rounds != 0 {
+		t.Fatal("greedy variant should produce a rounds-free assignment")
+	}
+}
+
+func TestRunCustomOrder(t *testing.T) {
+	g := gen.Web(gen.WebConfig{N: 1000, OutDegree: 4, IntraSite: 0.85, Seed: 6})
+	pl, err := Run(g, Options{K: 4, Seed: 1, Order: stream.Random, OrderSeed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pl.Result.Order != stream.Random {
+		t.Fatalf("order %v, want random", pl.Result.Order)
+	}
+}

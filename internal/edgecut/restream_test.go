@@ -1,0 +1,96 @@
+package edgecut
+
+import (
+	"testing"
+
+	"repro/internal/gen"
+)
+
+func TestRestreamImprovesOverSinglePass(t *testing.T) {
+	// A harder graph (weaker locality) leaves the single pass real headroom.
+	g := gen.Web(gen.WebConfig{N: 2000, OutDegree: 6, IntraSite: 0.6, SiteMean: 40, Seed: 7})
+	k := 8
+	for _, inner := range []string{"LDG", "FENNEL"} {
+		single, err := (&Restream{Inner: inner, Passes: 1}).Partition(g, k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		qs, err := Evaluate(g, single, k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		multi, err := (&Restream{Inner: inner, Passes: 6}).Partition(g, k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		qm, err := Evaluate(g, multi, k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if qm.CutFraction > qs.CutFraction {
+			t.Fatalf("Re%s: restreaming worsened the cut: %.3f -> %.3f", inner, qs.CutFraction, qm.CutFraction)
+		}
+		// FENNEL has real headroom after one pass; LDG's strict capacity
+		// leaves little (restreaming must still never hurt it, above).
+		if inner == "FENNEL" && qm.CutFraction > 0.9*qs.CutFraction {
+			t.Fatalf("ReFENNEL improvement too small: %.3f -> %.3f", qs.CutFraction, qm.CutFraction)
+		}
+	}
+}
+
+func TestRestreamValidAndBalanced(t *testing.T) {
+	g := blockGraph(30, 30, 8)
+	k := 6
+	for _, inner := range []string{"LDG", "FENNEL"} {
+		assign, err := (&Restream{Inner: inner}).Partition(g, k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		q, err := Evaluate(g, assign, k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if q.VertexBalance > 1.5 {
+			t.Fatalf("Re%s balance %.3f too loose", inner, q.VertexBalance)
+		}
+	}
+}
+
+func TestRestreamName(t *testing.T) {
+	if (&Restream{}).Name() != "ReLDG" {
+		t.Fatal("default name wrong")
+	}
+	if (&Restream{Inner: "FENNEL"}).Name() != "ReFENNEL" {
+		t.Fatal("fennel name wrong")
+	}
+}
+
+func TestRestreamRejectsUnknownInner(t *testing.T) {
+	g := blockGraph(5, 10, 9)
+	if _, err := (&Restream{Inner: "nope"}).Partition(g, 2); err == nil {
+		t.Fatal("unknown inner accepted")
+	}
+	if _, err := (&Restream{}).Partition(g, 0); err == nil {
+		t.Fatal("k=0 accepted")
+	}
+}
+
+func TestRestreamDeterministic(t *testing.T) {
+	// Restreaming dynamics may oscillate (the framework runs a fixed pass
+	// budget, not to convergence), but equal budgets must give equal
+	// results.
+	g := blockGraph(20, 25, 10)
+	a, err := (&Restream{Passes: 7}).Partition(g, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := (&Restream{Passes: 7}).Partition(g, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for v := range a {
+		if a[v] != b[v] {
+			t.Fatalf("restreaming nondeterministic at vertex %d", v)
+		}
+	}
+}

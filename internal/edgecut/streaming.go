@@ -1,0 +1,154 @@
+package edgecut
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/graph"
+)
+
+// LDG is the Linear Deterministic Greedy streaming vertex partitioner of
+// Stanton and Kliot (KDD 2012): vertices arrive with their adjacency lists;
+// each goes to the partition holding most of its already-placed neighbours,
+// weighted by a linear capacity penalty (1 - |p|/C).
+type LDG struct {
+	// Slack scales each partition's capacity C = Slack * |V|/k
+	// (default 1.0: strict balance).
+	Slack float64
+}
+
+// Name implements Partitioner.
+func (l *LDG) Name() string { return "LDG" }
+
+// Partition implements Partitioner: vertices stream in id order (the
+// crawl order of our generators) with their undirected adjacency.
+func (l *LDG) Partition(g *graph.Graph, k int) ([]int32, error) {
+	if k < 1 {
+		return nil, fmt.Errorf("edgecut: k must be >= 1, got %d", k)
+	}
+	slack := l.Slack
+	if slack == 0 {
+		slack = 1.0
+	}
+	csr := graph.BuildUndirectedCSR(g)
+	assign := make([]int32, g.NumVertices)
+	for v := range assign {
+		assign[v] = -1
+	}
+	sizes := make([]int64, k)
+	capacity := slack * float64(g.NumVertices) / float64(k)
+	neighCount := make([]int32, k)
+
+	for v := 0; v < g.NumVertices; v++ {
+		for p := range neighCount {
+			neighCount[p] = 0
+		}
+		for _, w := range csr.Neigh(graph.VertexID(v)) {
+			if p := assign[w]; p >= 0 {
+				neighCount[p]++
+			}
+		}
+		best := int32(0)
+		bestScore := math.Inf(-1)
+		for p := 0; p < k; p++ {
+			penalty := 1 - float64(sizes[p])/capacity
+			if penalty < 0 {
+				penalty = 0
+			}
+			score := float64(neighCount[p]) * penalty
+			// Tie-break to the least-loaded partition so empty-neighbour
+			// vertices spread out.
+			if score > bestScore || (score == bestScore && sizes[p] < sizes[best]) {
+				bestScore = score
+				best = int32(p)
+			}
+		}
+		assign[v] = best
+		sizes[best]++
+	}
+	return assign, nil
+}
+
+// FENNEL is the streaming vertex partitioner of Tsourakakis et al. (WSDM
+// 2014): it places each vertex to maximize (neighbours in p) minus the
+// marginal cost of the partition-size term alpha*gamma*|p|^(gamma-1), a
+// relaxation of modularity-style objectives.
+type FENNEL struct {
+	// Gamma is the size-cost exponent (default 1.5, the paper's choice).
+	Gamma float64
+	// Balance bounds partition size at Balance*|V|/k (default 1.1).
+	Balance float64
+}
+
+// Name implements Partitioner.
+func (f *FENNEL) Name() string { return "FENNEL" }
+
+// Partition implements Partitioner.
+func (f *FENNEL) Partition(g *graph.Graph, k int) ([]int32, error) {
+	if k < 1 {
+		return nil, fmt.Errorf("edgecut: k must be >= 1, got %d", k)
+	}
+	gamma := f.Gamma
+	if gamma == 0 {
+		gamma = 1.5
+	}
+	balance := f.Balance
+	if balance == 0 {
+		balance = 1.1
+	}
+	n := float64(g.NumVertices)
+	m := float64(g.NumEdges())
+	if m == 0 {
+		return make([]int32, g.NumVertices), nil
+	}
+	// alpha = sqrt(k) * m / n^gamma, the FENNEL paper's recommended value.
+	alpha := math.Sqrt(float64(k)) * m / math.Pow(n, gamma)
+
+	csr := graph.BuildUndirectedCSR(g)
+	assign := make([]int32, g.NumVertices)
+	for v := range assign {
+		assign[v] = -1
+	}
+	sizes := make([]int64, k)
+	maxSize := int64(balance * n / float64(k))
+	if maxSize < 1 {
+		maxSize = 1
+	}
+	neighCount := make([]int32, k)
+
+	for v := 0; v < g.NumVertices; v++ {
+		for p := range neighCount {
+			neighCount[p] = 0
+		}
+		for _, w := range csr.Neigh(graph.VertexID(v)) {
+			if p := assign[w]; p >= 0 {
+				neighCount[p]++
+			}
+		}
+		best := int32(-1)
+		bestScore := math.Inf(-1)
+		for p := 0; p < k; p++ {
+			if sizes[p] >= maxSize {
+				continue
+			}
+			// Marginal objective: neighbours gained minus marginal size
+			// cost d/ds [alpha*s^gamma] = alpha*gamma*s^(gamma-1).
+			score := float64(neighCount[p]) - alpha*gamma*math.Pow(float64(sizes[p]), gamma-1)
+			if score > bestScore {
+				bestScore = score
+				best = int32(p)
+			}
+		}
+		if best < 0 { // all partitions at the balance cap: least loaded
+			best = 0
+			for p := 1; p < k; p++ {
+				if sizes[p] < sizes[best] {
+					best = int32(p)
+				}
+			}
+		}
+		assign[v] = best
+		sizes[best]++
+	}
+	return assign, nil
+}

@@ -1,0 +1,187 @@
+package engine
+
+import "math"
+
+// ConnectedComponents runs min-label propagation over the underlying
+// undirected graph as GAS supersteps until no label changes, returning the
+// per-vertex component label (the smallest vertex id in the component,
+// among vertices appearing in edges; isolated vertices label themselves).
+//
+// Message accounting is delta-based, as in PowerGraph's dynamic scheduling:
+// a sync pair only exchanges messages in a superstep when the synced value
+// changed.
+func ConnectedComponents(pl *Placement, cost CostModel) ([]uint32, RunStats) {
+	cm := cost.withDefaults()
+	n := pl.NumVertices
+
+	label := make([][]uint32, pl.K)
+	minAcc := make([][]uint32, pl.K)
+	for i := range pl.Nodes {
+		node := &pl.Nodes[i]
+		label[i] = make([]uint32, len(node.Global))
+		minAcc[i] = make([]uint32, len(node.Global))
+		for l, v := range node.Global {
+			label[i][l] = uint32(v)
+		}
+	}
+
+	var stats RunStats
+	stats.MaxLocalEdges = pl.MaxLocalEdges()
+
+	for {
+		var messages int64
+		changedAny := false
+
+		// Gather: local undirected min over edges.
+		for i := range pl.Nodes {
+			node := &pl.Nodes[i]
+			lb := label[i]
+			ma := minAcc[i]
+			copy(ma, lb)
+			for _, e := range node.Edges {
+				if ma[e.Dst] > lb[e.Src] {
+					ma[e.Dst] = lb[e.Src]
+				}
+				if ma[e.Src] > lb[e.Dst] {
+					ma[e.Src] = lb[e.Dst]
+				}
+			}
+		}
+
+		// Mirror -> master min combine; message only when the mirror has
+		// something smaller than its last synced label.
+		for _, sp := range pl.Sync {
+			mv := minAcc[sp.MirrorNode][sp.MirrorLocal]
+			if mv < label[sp.MirrorNode][sp.MirrorLocal] {
+				messages++
+			}
+			if mv < minAcc[sp.MasterNode][sp.MasterLocal] {
+				minAcc[sp.MasterNode][sp.MasterLocal] = mv
+			}
+		}
+
+		// Apply at masters.
+		for i := range pl.Nodes {
+			node := &pl.Nodes[i]
+			for l := range node.Global {
+				if node.IsMaster[l] && minAcc[i][l] < label[i][l] {
+					label[i][l] = minAcc[i][l]
+					changedAny = true
+				}
+			}
+		}
+
+		// Master -> mirror sync, delta-only.
+		for _, sp := range pl.Sync {
+			mv := label[sp.MasterNode][sp.MasterLocal]
+			if label[sp.MirrorNode][sp.MirrorLocal] != mv {
+				label[sp.MirrorNode][sp.MirrorLocal] = mv
+				messages++
+			}
+		}
+
+		stats.accountSuperstep(cm, stats.MaxLocalEdges, messages)
+		if !changedAny {
+			break
+		}
+	}
+
+	out := make([]uint32, n)
+	for i := range pl.Nodes {
+		node := &pl.Nodes[i]
+		for l, v := range node.Global {
+			if node.IsMaster[l] {
+				out[v] = label[i][l]
+			}
+		}
+	}
+	return out, stats
+}
+
+// SSSP computes hop distances from source over directed edges (BFS levels)
+// as GAS supersteps, returning per-vertex distances with math.MaxUint32 for
+// unreachable vertices. Accounting is delta-based like ConnectedComponents.
+func SSSP(pl *Placement, source uint32, cost CostModel) ([]uint32, RunStats) {
+	const inf = math.MaxUint32
+	cm := cost.withDefaults()
+	n := pl.NumVertices
+
+	dist := make([][]uint32, pl.K)
+	acc := make([][]uint32, pl.K)
+	for i := range pl.Nodes {
+		node := &pl.Nodes[i]
+		dist[i] = make([]uint32, len(node.Global))
+		acc[i] = make([]uint32, len(node.Global))
+		for l, v := range node.Global {
+			if uint32(v) == source {
+				dist[i][l] = 0
+			} else {
+				dist[i][l] = inf
+			}
+		}
+	}
+
+	var stats RunStats
+	stats.MaxLocalEdges = pl.MaxLocalEdges()
+
+	for {
+		var messages int64
+		changedAny := false
+
+		for i := range pl.Nodes {
+			node := &pl.Nodes[i]
+			d := dist[i]
+			a := acc[i]
+			copy(a, d)
+			for _, e := range node.Edges {
+				if d[e.Src] != inf && d[e.Src]+1 < a[e.Dst] {
+					a[e.Dst] = d[e.Src] + 1
+				}
+			}
+		}
+
+		for _, sp := range pl.Sync {
+			mv := acc[sp.MirrorNode][sp.MirrorLocal]
+			if mv < dist[sp.MirrorNode][sp.MirrorLocal] {
+				messages++
+			}
+			if mv < acc[sp.MasterNode][sp.MasterLocal] {
+				acc[sp.MasterNode][sp.MasterLocal] = mv
+			}
+		}
+
+		for i := range pl.Nodes {
+			node := &pl.Nodes[i]
+			for l := range node.Global {
+				if node.IsMaster[l] && acc[i][l] < dist[i][l] {
+					dist[i][l] = acc[i][l]
+					changedAny = true
+				}
+			}
+		}
+
+		for _, sp := range pl.Sync {
+			mv := dist[sp.MasterNode][sp.MasterLocal]
+			if dist[sp.MirrorNode][sp.MirrorLocal] != mv {
+				dist[sp.MirrorNode][sp.MirrorLocal] = mv
+				messages++
+			}
+		}
+
+		stats.accountSuperstep(cm, stats.MaxLocalEdges, messages)
+		if !changedAny {
+			break
+		}
+	}
+
+	out := make([]uint32, n)
+	for i := range pl.Nodes {
+		node := &pl.Nodes[i]
+		for l, v := range node.Global {
+			if node.IsMaster[l] {
+				out[v] = dist[i][l]
+			}
+		}
+	}
+	return out, stats
+}

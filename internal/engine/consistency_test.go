@@ -1,0 +1,110 @@
+package engine
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/graph"
+	"repro/internal/metrics"
+	"repro/internal/partition"
+)
+
+// TestPlacementRFMatchesMetrics: the engine's replica accounting and the
+// metrics package must agree on the replication factor whenever every
+// vertex appears in the stream (they differ only in how absent vertices
+// are counted).
+func TestPlacementRFMatchesMetrics(t *testing.T) {
+	g := testGraph(21) // generators touch every vertex
+	res, err := partition.Run(&partition.DBH{Seed: 1}, g, 16, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Quality.Vertices != g.NumVertices {
+		t.Skip("graph has absent vertices; accounting legitimately differs")
+	}
+	pl, err := NewPlacement(res)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(pl.ReplicationFactor()-res.Quality.ReplicationFactor) > 1e-12 {
+		t.Fatalf("engine RF %v != metrics RF %v", pl.ReplicationFactor(), res.Quality.ReplicationFactor)
+	}
+	// And both must match a recomputation from scratch.
+	q, err := metrics.Evaluate(res.Edges, res.Assign, g.NumVertices, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.ReplicationFactor != res.Quality.ReplicationFactor {
+		t.Fatal("metrics recomputation diverged")
+	}
+}
+
+// TestMessagesScaleWithRF: across partitioners on the same graph, PageRank
+// messages must be ordered exactly as the replication factors are (the
+// message count is an affine function of total mirrors).
+func TestMessagesScaleWithRF(t *testing.T) {
+	g := testGraph(22)
+	type run struct {
+		rf   float64
+		msgs int64
+	}
+	var runs []run
+	for _, p := range []partition.Partitioner{
+		&partition.Hashing{Seed: 1}, &partition.DBH{Seed: 1}, &partition.CLUGP{Seed: 1},
+	} {
+		res, err := partition.Run(p, g, 16, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		pl, err := NewPlacement(res)
+		if err != nil {
+			t.Fatal(err)
+		}
+		_, stats, err := PageRank(pl, PageRankConfig{Iterations: 3})
+		if err != nil {
+			t.Fatal(err)
+		}
+		runs = append(runs, run{rf: pl.ReplicationFactor(), msgs: stats.Messages})
+	}
+	for i := 0; i < len(runs); i++ {
+		for j := i + 1; j < len(runs); j++ {
+			if (runs[i].rf < runs[j].rf) != (runs[i].msgs < runs[j].msgs) {
+				t.Fatalf("message ordering disagrees with RF ordering: %+v", runs)
+			}
+		}
+	}
+}
+
+// TestSyncPairCountFormula: messages per PageRank superstep must equal
+// 2*sum_v(|P(v)|-1) + k, tying the engine to the paper's Equation 1
+// objective (minimizing RF minimizes synchronizations).
+func TestSyncPairCountFormula(t *testing.T) {
+	g := testGraph(23)
+	res, err := partition.Run(&partition.Greedy{}, g, 8, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pl, err := NewPlacement(res)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rs := metrics.NewReplicaSets(g.NumVertices, 8)
+	for i, e := range res.Edges {
+		rs.Add(e.Src, int(res.Assign[i]))
+		rs.Add(e.Dst, int(res.Assign[i]))
+	}
+	var mirrors int64
+	for v := 0; v < g.NumVertices; v++ {
+		if c := rs.Count(graph.VertexID(v)); c > 0 {
+			mirrors += int64(c - 1)
+		}
+	}
+	_, stats, err := PageRank(pl, PageRankConfig{Iterations: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := 2*mirrors + int64(pl.K)
+	if stats.Messages != want {
+		t.Fatalf("superstep messages %d, want %d (2*mirrors + k)", stats.Messages, want)
+	}
+}

@@ -1,0 +1,85 @@
+package engine
+
+import "time"
+
+// CostModel converts counted work into simulated wall-clock time. The
+// defaults approximate the paper's cluster: commodity nodes on a
+// gigabit-class network. Only relative behaviour matters for the
+// reproduction; the knobs let experiments sweep latency as Figure 8(c)
+// does with PUMBA.
+type CostModel struct {
+	// ComputePerEdge is the per-edge gather cost on a node (default 5ns).
+	ComputePerEdge time.Duration
+	// MsgBytes is the payload size of one value message (default 8: one
+	// float64 rank or one 8-byte label frame).
+	MsgBytes int64
+	// MsgOverheadBytes is the framing overhead per message (default 16).
+	MsgOverheadBytes int64
+	// BandwidthBytesPerSec is the aggregate network bandwidth (default 1 GB/s).
+	BandwidthBytesPerSec float64
+	// RTT is the per-superstep round-trip synchronization latency. Each
+	// superstep pays 2*RTT: one gather barrier, one scatter barrier.
+	RTT time.Duration
+}
+
+// DefaultCostModel returns the baseline cost model used by the experiment
+// harness.
+func DefaultCostModel() CostModel {
+	return CostModel{
+		ComputePerEdge:       5 * time.Nanosecond,
+		MsgBytes:             8,
+		MsgOverheadBytes:     16,
+		BandwidthBytesPerSec: 1e9,
+		RTT:                  0,
+	}
+}
+
+func (c CostModel) withDefaults() CostModel {
+	d := DefaultCostModel()
+	if c.ComputePerEdge == 0 {
+		c.ComputePerEdge = d.ComputePerEdge
+	}
+	if c.MsgBytes == 0 {
+		c.MsgBytes = d.MsgBytes
+	}
+	if c.MsgOverheadBytes == 0 {
+		c.MsgOverheadBytes = d.MsgOverheadBytes
+	}
+	if c.BandwidthBytesPerSec == 0 {
+		c.BandwidthBytesPerSec = d.BandwidthBytesPerSec
+	}
+	return c
+}
+
+// RunStats aggregates the accounting of a distributed run.
+type RunStats struct {
+	// Supersteps is the number of GAS iterations executed.
+	Supersteps int
+	// Messages is the total count of mirror->master and master->mirror
+	// messages.
+	Messages int64
+	// CommBytes is the total bytes moved (payload + overhead).
+	CommBytes int64
+	// ComputeTime is the summed per-superstep compute makespan
+	// (max over nodes of local-edge work).
+	ComputeTime time.Duration
+	// CommTime is the summed network transfer + latency time.
+	CommTime time.Duration
+	// SimTime is the modeled end-to-end makespan (ComputeTime + CommTime).
+	SimTime time.Duration
+	// MaxLocalEdges is the per-node compute bottleneck.
+	MaxLocalEdges int64
+}
+
+// accountSuperstep folds one superstep's counters into the stats.
+func (s *RunStats) accountSuperstep(cm CostModel, maxLocalEdges, messages int64) {
+	s.Supersteps++
+	s.Messages += messages
+	bytes := messages * (cm.MsgBytes + cm.MsgOverheadBytes)
+	s.CommBytes += bytes
+	compute := time.Duration(maxLocalEdges) * cm.ComputePerEdge
+	comm := time.Duration(float64(bytes)/cm.BandwidthBytesPerSec*1e9)*time.Nanosecond + 2*cm.RTT
+	s.ComputeTime += compute
+	s.CommTime += comm
+	s.SimTime += compute + comm
+}

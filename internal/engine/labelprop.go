@@ -1,0 +1,138 @@
+package engine
+
+// LabelPropagation runs synchronous community label propagation over
+// the underlying undirected graph as GAS supersteps: each vertex adopts the
+// most frequent label among its neighbours (ties to the smaller label),
+// until no label changes or maxIters supersteps elapse. It is the second
+// iterative workload the paper's introduction motivates ("such as pagerank
+// and label propagation").
+//
+// The gather step needs per-label counts, which do not combine as cheaply
+// as sums or minima; each node counts locally and mirrors forward their
+// full local histogram entry for the winning label - accounted as one
+// message per (mirror, distinct winning label), a faithful approximation of
+// PowerGraph's combiner behaviour.
+func LabelPropagation(pl *Placement, maxIters int, cost CostModel) ([]uint32, RunStats) {
+	cm := cost.withDefaults()
+	n := pl.NumVertices
+	if maxIters <= 0 {
+		maxIters = 20
+	}
+
+	label := make([][]uint32, pl.K)
+	for i := range pl.Nodes {
+		node := &pl.Nodes[i]
+		label[i] = make([]uint32, len(node.Global))
+		for l, v := range node.Global {
+			label[i][l] = uint32(v)
+		}
+	}
+
+	// Per-node scratch: neighbour label histogram per local vertex, kept as
+	// a slice of small maps (labels seen per superstep are few).
+	hist := make([]map[int32]map[uint32]int32, pl.K)
+	for i := range hist {
+		hist[i] = make(map[int32]map[uint32]int32)
+	}
+
+	var stats RunStats
+	stats.MaxLocalEdges = pl.MaxLocalEdges()
+
+	for it := 0; it < maxIters; it++ {
+		var messages int64
+		changedAny := false
+
+		// Gather: local histograms over undirected adjacency.
+		for i := range pl.Nodes {
+			node := &pl.Nodes[i]
+			h := hist[i]
+			for k := range h {
+				delete(h, k)
+			}
+			lb := label[i]
+			bump := func(at int32, lab uint32) {
+				m := h[at]
+				if m == nil {
+					m = make(map[uint32]int32, 4)
+					h[at] = m
+				}
+				m[lab]++
+			}
+			for _, e := range node.Edges {
+				bump(e.Dst, lb[e.Src])
+				bump(e.Src, lb[e.Dst])
+			}
+		}
+
+		// Mirror -> master: ship each mirror's local histogram (bounded by
+		// its distinct labels; accounted per entry).
+		for _, sp := range pl.Sync {
+			src := hist[sp.MirrorNode][sp.MirrorLocal]
+			if len(src) == 0 {
+				continue
+			}
+			dst := hist[sp.MasterNode]
+			m := dst[sp.MasterLocal]
+			if m == nil {
+				m = make(map[uint32]int32, len(src))
+				dst[sp.MasterLocal] = m
+			}
+			for lab, c := range src {
+				m[lab] += c
+				messages++
+			}
+		}
+
+		// Apply at masters: plurality label, ties to the smaller label;
+		// keep the current label unless strictly beaten.
+		for i := range pl.Nodes {
+			node := &pl.Nodes[i]
+			for l := range node.Global {
+				if !node.IsMaster[l] {
+					continue
+				}
+				m := hist[i][int32(l)]
+				if len(m) == 0 {
+					continue
+				}
+				cur := label[i][l]
+				best := cur
+				bestCount := m[cur]
+				for lab, c := range m {
+					if c > bestCount || (c == bestCount && lab < best) {
+						best, bestCount = lab, c
+					}
+				}
+				if best != cur {
+					label[i][l] = best
+					changedAny = true
+				}
+			}
+		}
+
+		// Master -> mirror sync, delta-only.
+		for _, sp := range pl.Sync {
+			mv := label[sp.MasterNode][sp.MasterLocal]
+			if label[sp.MirrorNode][sp.MirrorLocal] != mv {
+				label[sp.MirrorNode][sp.MirrorLocal] = mv
+				messages++
+			}
+		}
+
+		stats.accountSuperstep(cm, stats.MaxLocalEdges, messages)
+		if !changedAny {
+			break
+		}
+	}
+
+	out := make([]uint32, n)
+	for i := range pl.Nodes {
+		node := &pl.Nodes[i]
+		for l, v := range node.Global {
+			if node.IsMaster[l] {
+				out[v] = label[i][l]
+			}
+		}
+	}
+	return out, stats
+}

@@ -1,0 +1,49 @@
+package engine
+
+import (
+	"testing"
+
+	"repro/internal/partition"
+)
+
+// TestParallelPageRankBitIdentical: the concurrent executor must produce
+// the exact float64 values of the sequential engine (per-node work is
+// disjoint; exchange order is fixed), for any worker count.
+func TestParallelPageRankBitIdentical(t *testing.T) {
+	g := testGraph(11)
+	pl := place(t, g, &partition.CLUGP{Seed: 1}, 8)
+	seq, seqStats, err := PageRank(pl, PageRankConfig{Iterations: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{1, 3, 16} {
+		par, parStats, err := ParallelPageRank(pl, PageRankConfig{Iterations: 8}, workers)
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		for v := range seq {
+			if par[v] != seq[v] {
+				t.Fatalf("workers=%d: rank[%d] differs: %v vs %v", workers, v, par[v], seq[v])
+			}
+		}
+		if parStats.Messages != seqStats.Messages {
+			t.Fatalf("workers=%d: message count %d vs %d", workers, parStats.Messages, seqStats.Messages)
+		}
+	}
+}
+
+func TestParallelPageRankEmptyAndErrors(t *testing.T) {
+	res := &partition.Result{Algorithm: "hand", K: 2, NumVertices: 0, Assign: []int32{}}
+	pl, err := NewPlacement(res)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := ParallelPageRank(pl, PageRankConfig{}, 4); err != nil {
+		t.Fatal(err)
+	}
+	g := testGraph(12)
+	pl2 := place(t, g, &partition.Hashing{Seed: 1}, 4)
+	if _, _, err := ParallelPageRank(pl2, PageRankConfig{Damping: 2}, 4); err == nil {
+		t.Fatal("bad damping accepted")
+	}
+}

@@ -1,0 +1,226 @@
+// Package engine simulates a PowerGraph-style distributed graph-processing
+// system over a vertex-cut partitioning: k logical nodes each own the edges
+// of one partition, vertices cut across partitions exist as one master plus
+// mirrors, and iterative vertex programs run as gather-apply-scatter (GAS)
+// supersteps with explicit mirror->master gather messages and
+// master->mirror sync messages.
+//
+// This is the substitution for the paper's 32-docker-node PowerGraph
+// testbed (Figure 8): message and byte counts are exact deterministic
+// functions of the partitioning, per-node computation is proportional to
+// local edge counts, and the network latency knob plays the role of PUMBA's
+// injected RTT. Vertex programs compute real values (PageRank ranks, CC
+// labels, SSSP distances) that tests validate against single-machine
+// reference implementations.
+package engine
+
+import (
+	"fmt"
+
+	"repro/internal/graph"
+	"repro/internal/metrics"
+	"repro/internal/partition"
+)
+
+// Placement is the physical layout induced by a vertex-cut partitioning:
+// per-node local vertex tables, local edges, master designation and the
+// mirror synchronization topology.
+type Placement struct {
+	K           int
+	NumVertices int
+	// Master[v] is the node hosting v's master copy. Vertices absent from
+	// the stream are placed round-robin with no edges (they still take part
+	// in PageRank as dangling vertices).
+	Master []int32
+	// Nodes are the per-partition local structures.
+	Nodes []Node
+	// Sync lists one entry per (vertex, mirror) pair: the gather/scatter
+	// message topology. len(Sync) == sum_v (|P(v)|-1).
+	Sync []SyncPair
+	// Replicas is sum_v |P(v)| counting unseen vertices once.
+	Replicas int64
+}
+
+// Node is one logical machine.
+type Node struct {
+	ID int
+	// Global[l] is the global id of local vertex l.
+	Global []graph.VertexID
+	// Edges are the node's edges in local vertex ids.
+	Edges []LocalEdge
+	// IsMaster[l] reports whether this node hosts the master of local
+	// vertex l.
+	IsMaster []bool
+}
+
+// LocalEdge is an edge in node-local vertex ids.
+type LocalEdge struct {
+	Src, Dst int32
+}
+
+// SyncPair connects a mirror copy of a vertex to its master copy.
+type SyncPair struct {
+	MirrorNode  int32
+	MirrorLocal int32
+	MasterNode  int32
+	MasterLocal int32
+}
+
+// NewPlacement lays out a finished partitioning onto k logical nodes.
+// Masters are placed on the partition holding the most of the vertex's
+// edges (ties to the lowest partition id), the placement PowerGraph's
+// loader approximates.
+func NewPlacement(res *partition.Result) (*Placement, error) {
+	k := res.K
+	nv := res.NumVertices
+	if len(res.Assign) != len(res.Edges) {
+		return nil, fmt.Errorf("engine: %d assignments for %d edges", len(res.Assign), len(res.Edges))
+	}
+
+	rs := metrics.NewReplicaSets(nv, k)
+	// edgeCount[v*k+p] would be k*nv; count incident edges per (vertex,
+	// partition) via a two-pass: first replica sets, then per-vertex counts
+	// over its partitions only.
+	for i, e := range res.Edges {
+		p := int(res.Assign[i])
+		rs.Add(e.Src, p)
+		rs.Add(e.Dst, p)
+	}
+
+	// Incident-edge counts per (vertex, partition) using a compact
+	// hashmap; the number of entries is sum_v |P(v)|.
+	counts := make(map[uint64]int32, nv)
+	ckey := func(v graph.VertexID, p int32) uint64 { return uint64(v)<<16 | uint64(uint16(p)) }
+	for i, e := range res.Edges {
+		p := res.Assign[i]
+		counts[ckey(e.Src, p)]++
+		counts[ckey(e.Dst, p)]++
+	}
+
+	pl := &Placement{K: k, NumVertices: nv, Master: make([]int32, nv)}
+	scratch := make([]int, 0, k)
+	for v := 0; v < nv; v++ {
+		parts := rs.Partitions(graph.VertexID(v), scratch[:0])
+		if len(parts) == 0 {
+			pl.Master[v] = int32(v % k) // unseen vertex: round-robin master
+			continue
+		}
+		best := parts[0]
+		bestCnt := counts[ckey(graph.VertexID(v), int32(best))]
+		for _, p := range parts[1:] {
+			if c := counts[ckey(graph.VertexID(v), int32(p))]; c > bestCnt {
+				best, bestCnt = p, c
+			}
+		}
+		pl.Master[v] = int32(best)
+	}
+
+	// Build per-node local vertex tables: masters and mirrors both get
+	// local slots; unseen vertices get a (edge-less) master slot.
+	pl.Nodes = make([]Node, k)
+	local := make([]int32, nv*1) // local id of v on the node currently being built; rebuilt per node via epoch trick
+	epoch := make([]int32, nv)
+	for i := range epoch {
+		epoch[i] = -1
+	}
+	addLocal := func(n *Node, nid int, v graph.VertexID) int32 {
+		if epoch[v] == int32(nid) {
+			return local[v]
+		}
+		epoch[v] = int32(nid)
+		l := int32(len(n.Global))
+		local[v] = l
+		n.Global = append(n.Global, v)
+		n.IsMaster = append(n.IsMaster, pl.Master[v] == int32(nid))
+		return l
+	}
+
+	// Group edges by partition first so each node is built contiguously.
+	perNode := make([][]graph.Edge, k)
+	sizes := make([]int64, k)
+	for i := range res.Edges {
+		sizes[res.Assign[i]]++
+	}
+	for p := 0; p < k; p++ {
+		perNode[p] = make([]graph.Edge, 0, sizes[p])
+	}
+	for i, e := range res.Edges {
+		perNode[res.Assign[i]] = append(perNode[res.Assign[i]], e)
+	}
+
+	for p := 0; p < k; p++ {
+		n := &pl.Nodes[p]
+		n.ID = p
+		n.Edges = make([]LocalEdge, 0, len(perNode[p]))
+		for _, e := range perNode[p] {
+			lu := addLocal(n, p, e.Src)
+			lv := addLocal(n, p, e.Dst)
+			n.Edges = append(n.Edges, LocalEdge{Src: lu, Dst: lv})
+		}
+	}
+	// Unseen vertices: master slot on their round-robin node.
+	seen := make([]bool, nv)
+	for _, e := range res.Edges {
+		seen[e.Src] = true
+		seen[e.Dst] = true
+	}
+	for v := 0; v < nv; v++ {
+		if !seen[v] {
+			nid := int(pl.Master[v])
+			addLocal(&pl.Nodes[nid], nid, graph.VertexID(v))
+		}
+	}
+
+	// Sync topology: for every vertex on multiple nodes, link each mirror
+	// slot to the master slot. Local ids are recovered by one sweep per
+	// node over its Global table.
+	masterLocal := make([]int32, nv)
+	for i := range masterLocal {
+		masterLocal[i] = -1
+	}
+	for p := range pl.Nodes {
+		n := &pl.Nodes[p]
+		for l, v := range n.Global {
+			if n.IsMaster[l] {
+				masterLocal[v] = int32(l)
+			}
+		}
+	}
+	for p := range pl.Nodes {
+		n := &pl.Nodes[p]
+		for l, v := range n.Global {
+			pl.Replicas++
+			if n.IsMaster[l] {
+				continue
+			}
+			pl.Sync = append(pl.Sync, SyncPair{
+				MirrorNode:  int32(p),
+				MirrorLocal: int32(l),
+				MasterNode:  pl.Master[v],
+				MasterLocal: masterLocal[v],
+			})
+		}
+	}
+	return pl, nil
+}
+
+// MaxLocalEdges returns the largest per-node edge count, the compute
+// bottleneck of a superstep.
+func (pl *Placement) MaxLocalEdges() int64 {
+	var max int64
+	for i := range pl.Nodes {
+		if n := int64(len(pl.Nodes[i].Edges)); n > max {
+			max = n
+		}
+	}
+	return max
+}
+
+// ReplicationFactor is sum_v |P(v)| / |V| over this placement, counting
+// unseen vertices as a single copy.
+func (pl *Placement) ReplicationFactor() float64 {
+	if pl.NumVertices == 0 {
+		return 0
+	}
+	return float64(pl.Replicas) / float64(pl.NumVertices)
+}

@@ -1,0 +1,390 @@
+// Package game implements the paper's second pass: assigning clusters to the
+// k partitions by playing an exact potential game until Nash equilibrium
+// (Section V, Algorithm 3).
+//
+// Each cluster is a player whose strategy is its partition choice. The
+// individual cost (Equation 11) combines a load-balancing term
+// (lambda/k)*|ci|*|ai| with an edge-cutting term, half the weight of ci's
+// arcs leaving its partition. Theorem 4 shows the game admits the exact
+// potential function of Definition 4, so sequential best-response dynamics
+// terminate at a pure Nash equilibrium; Theorems 7 and 8 bound the price of
+// anarchy by k+1 and the price of stability by 2.
+//
+// For scale, clusters are grouped by id into batches that play independent
+// games in parallel (Section V-D): cluster ids are assigned in stream order,
+// so id-adjacent clusters are structurally adjacent and most arcs stay
+// within a batch. Each batch balances its own clusters across all k
+// partitions; because every batch is individually balanced, their union is
+// too.
+package game
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	"repro/internal/cluster"
+	"repro/internal/xrand"
+)
+
+// Config controls the cluster-partitioning game.
+type Config struct {
+	// K is the number of partitions.
+	K int
+	// Lambda is the normalization factor of Equation 10/11. Zero selects
+	// the paper's default: the maximum of the valid range from Theorem 5,
+	// k^2 * sum_i |e(ci,V\ci)| / (sum_i |ci|)^2, computed per batch.
+	Lambda float64
+	// RelWeight is the relative weight of the load-balancing term versus
+	// the edge-cutting term (Figure 11b). 0.5 (the default when zero)
+	// weighs them equally, reproducing Equation 11 exactly; w scales the
+	// load term by 2w and the cut term by 2(1-w).
+	RelWeight float64
+	// BatchSize is the number of clusters per independent game. Zero plays
+	// one global game. The paper recommends a constant multiple of K and
+	// defaults to 6400.
+	BatchSize int
+	// Threads is the number of parallel batch workers (0 = GOMAXPROCS).
+	Threads int
+	// MaxRounds caps best-response rounds per batch as a safety valve; the
+	// potential argument guarantees termination, and equilibria are
+	// typically reached in well under 50 rounds. Zero means 1000.
+	MaxRounds int
+	// Restarts plays each batch's game from that many independent random
+	// initial assignments and keeps the equilibrium with the lowest
+	// potential. The theory motivates this directly: any equilibrium is
+	// within PoA = k+1 of optimal (Theorem 7) but the best one is within
+	// PoS = 2 (Theorem 8), so extra restarts close the anarchy gap.
+	// Zero means 1.
+	Restarts int
+	// Seed drives the random initial assignment (Algorithm 3 line 2).
+	Seed uint64
+}
+
+func (c Config) withDefaults() Config {
+	if c.RelWeight == 0 {
+		c.RelWeight = 0.5
+	}
+	if c.MaxRounds == 0 {
+		c.MaxRounds = 1000
+	}
+	if c.Threads <= 0 {
+		c.Threads = runtime.GOMAXPROCS(0)
+	}
+	if c.Restarts <= 0 {
+		c.Restarts = 1
+	}
+	return c
+}
+
+// Assignment is the outcome of the game: the cluster -> partition table
+// (the second mapping table of Figure 1) plus convergence diagnostics.
+type Assignment struct {
+	// Partition[c] is the partition chosen for cluster c.
+	Partition []int32
+	// Rounds is the maximum number of best-response rounds any batch took.
+	Rounds int
+	// Moves is the total number of strategy changes across all batches.
+	Moves int64
+	// Batches is the number of independent games played.
+	Batches int
+}
+
+// Solve plays the cluster-partitioning game and returns a Nash-equilibrium
+// assignment (per batch).
+func Solve(cg *cluster.Graph, cfg Config) (*Assignment, error) {
+	cfg = cfg.withDefaults()
+	if cfg.K < 1 {
+		return nil, fmt.Errorf("game: K must be >= 1, got %d", cfg.K)
+	}
+	if cfg.RelWeight <= 0 || cfg.RelWeight >= 1 {
+		return nil, fmt.Errorf("game: RelWeight must lie in (0,1), got %v", cfg.RelWeight)
+	}
+	m := cg.NumClusters
+	out := &Assignment{Partition: make([]int32, m)}
+	if m == 0 {
+		return out, nil
+	}
+	batch := cfg.BatchSize
+	if batch <= 0 || batch > m {
+		batch = m
+	}
+	nBatches := (m + batch - 1) / batch
+	out.Batches = nBatches
+
+	type batchStats struct {
+		rounds int
+		moves  int64
+	}
+	stats := make([]batchStats, nBatches)
+
+	var wg sync.WaitGroup
+	sem := make(chan struct{}, cfg.Threads)
+	for b := 0; b < nBatches; b++ {
+		lo := b * batch
+		hi := lo + batch
+		if hi > m {
+			hi = m
+		}
+		wg.Add(1)
+		sem <- struct{}{}
+		go func(b, lo, hi int) {
+			defer wg.Done()
+			defer func() { <-sem }()
+			rounds, moves := playBatchBest(cg, cfg, lo, hi, out.Partition)
+			stats[b] = batchStats{rounds: rounds, moves: moves}
+		}(b, lo, hi)
+	}
+	wg.Wait()
+	for _, s := range stats {
+		if s.rounds > out.Rounds {
+			out.Rounds = s.rounds
+		}
+		out.Moves += s.moves
+	}
+	return out, nil
+}
+
+// playBatchBest plays the batch game cfg.Restarts times from independent
+// random initializations and keeps the equilibrium with the lowest
+// batch-local potential, writing it into assign[lo:hi].
+func playBatchBest(cg *cluster.Graph, cfg Config, lo, hi int, assign []int32) (rounds int, moves int64) {
+	if cfg.Restarts <= 1 {
+		return playBatch(cg, cfg, lo, hi, assign)
+	}
+	best := make([]int32, hi-lo)
+	bestPot := 0.0
+	scratch := make([]int32, len(assign)) // playBatch indexes globally
+	for r := 0; r < cfg.Restarts; r++ {
+		attempt := cfg
+		attempt.Seed = cfg.Seed + uint64(r)*0x9e3779b97f4a7c15
+		rr, mm := playBatch(cg, attempt, lo, hi, scratch)
+		rounds += rr
+		moves += mm
+		pot := batchPotential(cg, scratch, cfg, lo, hi)
+		if r == 0 || pot < bestPot {
+			bestPot = pot
+			copy(best, scratch[lo:hi])
+		}
+	}
+	copy(assign[lo:hi], best)
+	return rounds, moves
+}
+
+// batchPotential evaluates the batch-local potential (Definition 4
+// restricted to in-batch clusters and arcs) of assign[lo:hi].
+func batchPotential(cg *cluster.Graph, assign []int32, cfg Config, lo, hi int) float64 {
+	k := cfg.K
+	lambda := cfg.Lambda
+	if lambda == 0 {
+		var sumW, inter int64
+		for c := lo; c < hi; c++ {
+			sumW += cg.WeightOf(cluster.ID(c))
+			inter += cg.TotalAdjacency(cluster.ID(c))
+		}
+		inter /= 2
+		if sumW > 0 {
+			lambda = float64(k*k) * float64(inter) / (float64(sumW) * float64(sumW))
+		} else {
+			lambda = 1
+		}
+	}
+	load := make([]int64, k)
+	for c := lo; c < hi; c++ {
+		load[assign[c]] += cg.WeightOf(cluster.ID(c))
+	}
+	var loadSq float64
+	for _, l := range load {
+		loadSq += float64(l) * float64(l)
+	}
+	var cut float64
+	for c := lo; c < hi; c++ {
+		ac := assign[c]
+		for _, a := range cg.Adj[c] {
+			if int(a.To) < lo || int(a.To) >= hi {
+				continue
+			}
+			if assign[a.To] != ac {
+				cut += float64(a.W)
+			}
+		}
+	}
+	cut /= 2
+	return lambda/(2*float64(k))*loadSq + cut/2
+}
+
+// playBatch runs sequential best-response dynamics over clusters [lo,hi),
+// writing final choices into assign[lo:hi]. It only reads cg and the
+// assign entries of its own range, so batches are data-race free.
+func playBatch(cg *cluster.Graph, cfg Config, lo, hi int, assign []int32) (rounds int, moves int64) {
+	k := cfg.K
+	rng := xrand.New(cfg.Seed ^ (0x9e3779b97f4a7c15 * uint64(lo+1)))
+
+	// Cluster sizes for load balancing: the weight 2*intra+adjacency, which
+	// predicts the partition's eventual edge load after transformation
+	// (every intra edge lands with its cluster; a cut edge lands with one of
+	// its two sides).
+	size := make([]int64, hi-lo)
+	for c := lo; c < hi; c++ {
+		size[c-lo] = cg.WeightOf(cluster.ID(c))
+	}
+
+	// Random initial strategies (Algorithm 3 line 2).
+	load := make([]int64, k)
+	for c := lo; c < hi; c++ {
+		p := int32(rng.Intn(k))
+		assign[c] = p
+		load[p] += size[c-lo]
+	}
+
+	// Batch-local lambda default (Theorem 5 upper bound, on the weight
+	// scale): k^2 * (directed inter edges) / (sum of weights)^2.
+	lambda := cfg.Lambda
+	if lambda == 0 {
+		var sumW, sumInterDirected int64
+		for c := lo; c < hi; c++ {
+			sumW += size[c-lo]
+			// TotalAdjacency counts both directions; summing it over
+			// clusters counts each directed cut edge twice, so the directed
+			// total sum_i |e(ci,V\ci)| is half of it. Arcs leaving the
+			// batch contribute too, keeping lambda on the paper's scale.
+			sumInterDirected += cg.TotalAdjacency(cluster.ID(c))
+		}
+		sumInterDirected /= 2
+		if sumW > 0 {
+			lambda = float64(k*k) * float64(sumInterDirected) / (float64(sumW) * float64(sumW))
+		} else {
+			lambda = 1
+		}
+	}
+	wLoad := 2 * cfg.RelWeight * lambda / float64(k)
+	wCut := 2 * (1 - cfg.RelWeight) * 0.5
+
+	// Scratch: weight from the current cluster to each partition.
+	wTo := make([]float64, k)
+	touched := make([]int32, 0, k)
+
+	for rounds = 1; rounds <= cfg.MaxRounds; rounds++ {
+		changed := false
+		for c := lo; c < hi; c++ {
+			ci := cluster.ID(c)
+			sz := float64(size[c-lo])
+			cur := assign[c]
+
+			// Accumulate arc weight toward each partition currently chosen
+			// by in-batch neighbours. Out-of-batch arcs are a constant cost
+			// regardless of choice, so they drop out of the argmin.
+			var totalW float64
+			for _, a := range cg.Adj[ci] {
+				if int(a.To) < lo || int(a.To) >= hi {
+					continue
+				}
+				p := assign[a.To]
+				if wTo[p] == 0 {
+					touched = append(touched, p)
+				}
+				wTo[p] += float64(a.W)
+				totalW += float64(a.W)
+			}
+
+			best := cur
+			bestCost := wLoad*sz*float64(load[cur]) + wCut*(totalW-wTo[cur])
+			for p := int32(0); p < int32(k); p++ {
+				if p == cur {
+					continue
+				}
+				cost := wLoad*sz*float64(load[p]+size[c-lo]) + wCut*(totalW-wTo[p])
+				if cost < bestCost-1e-9 {
+					bestCost = cost
+					best = p
+				}
+			}
+			if best != cur {
+				load[cur] -= size[c-lo]
+				load[best] += size[c-lo]
+				assign[c] = best
+				moves++
+				changed = true
+			}
+
+			for _, p := range touched {
+				wTo[p] = 0
+			}
+			touched = touched[:0]
+		}
+		if !changed {
+			break
+		}
+	}
+	return rounds, moves
+}
+
+// GreedyAssign is the CLUGP-G ablation (Figure 9): sort clusters by
+// descending size and place each into the currently least-loaded partition
+// (longest-processing-time scheduling). It balances load but ignores
+// edge-cutting entirely.
+func GreedyAssign(cg *cluster.Graph, k int) *Assignment {
+	m := cg.NumClusters
+	out := &Assignment{Partition: make([]int32, m), Batches: 1}
+	size := make([]int64, m)
+	for c := range size {
+		size[c] = cg.WeightOf(cluster.ID(c))
+	}
+	order := make([]int32, m)
+	for i := range order {
+		order[i] = int32(i)
+	}
+	sortBySizeDesc(order, size)
+	load := make([]int64, k)
+	for _, c := range order {
+		best := 0
+		for p := 1; p < k; p++ {
+			if load[p] < load[best] {
+				best = p
+			}
+		}
+		out.Partition[c] = int32(best)
+		load[best] += size[c]
+	}
+	return out
+}
+
+func sortBySizeDesc(order []int32, size []int64) {
+	// Simple bottom-up merge sort: deterministic, no stdlib sort.Slice
+	// closure allocation per comparison on the hot path.
+	tmp := make([]int32, len(order))
+	for width := 1; width < len(order); width *= 2 {
+		for lo := 0; lo < len(order); lo += 2 * width {
+			mid := lo + width
+			hi := lo + 2*width
+			if mid > len(order) {
+				mid = len(order)
+			}
+			if hi > len(order) {
+				hi = len(order)
+			}
+			i, j, o := lo, mid, lo
+			for i < mid && j < hi {
+				if size[order[i]] >= size[order[j]] {
+					tmp[o] = order[i]
+					i++
+				} else {
+					tmp[o] = order[j]
+					j++
+				}
+				o++
+			}
+			for i < mid {
+				tmp[o] = order[i]
+				i++
+				o++
+			}
+			for j < hi {
+				tmp[o] = order[j]
+				j++
+				o++
+			}
+		}
+		copy(order, tmp)
+	}
+}

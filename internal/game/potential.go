@@ -1,0 +1,91 @@
+package game
+
+import "repro/internal/cluster"
+
+// Costs evaluates the paper's cost functions over a full (un-batched)
+// assignment, for analysis and for the property tests that check the
+// exact-potential identity of Theorem 4. All functions use RelWeight = 0.5,
+// i.e. the unscaled Equations 10, 11 and 13, with cluster size measured by
+// the weight 2*intra+adjacency (the game's load unit).
+
+// GlobalCost is phi(Lambda) of Equation 10:
+// lambda/k * sum_p |p|^2 + sum_p |e(p, V\p)|,
+// with |p| = sum of weights of p's clusters and the cut term counting
+// directed edges leaving each partition.
+func GlobalCost(cg *cluster.Graph, assign []int32, k int, lambda float64) float64 {
+	load := partitionLoads(cg, assign, k)
+	var loadSq float64
+	for _, l := range load {
+		loadSq += float64(l) * float64(l)
+	}
+	// Each symmetric arc weight W between clusters in different partitions
+	// contributes W directed cut edges in total; summing per partition both
+	// directions and halving gives the same value.
+	var cut float64
+	for c := range cg.Adj {
+		ac := assign[c]
+		for _, a := range cg.Adj[c] {
+			if assign[a.To] != ac {
+				cut += float64(a.W)
+			}
+		}
+	}
+	cut /= 2 // every crossing arc counted from both endpoints
+	return lambda/float64(k)*loadSq + cut
+}
+
+// Potential is Phi(Lambda) of Definition 4 (Equation 13):
+// lambda/(2k) * sum_p |p|^2 + 1/2 * sum_p |e(p, V\p)|.
+func Potential(cg *cluster.Graph, assign []int32, k int, lambda float64) float64 {
+	load := partitionLoads(cg, assign, k)
+	var loadSq float64
+	for _, l := range load {
+		loadSq += float64(l) * float64(l)
+	}
+	var cut float64
+	for c := range cg.Adj {
+		ac := assign[c]
+		for _, a := range cg.Adj[c] {
+			if assign[a.To] != ac {
+				cut += float64(a.W)
+			}
+		}
+	}
+	cut /= 2 // every crossing arc counted from both endpoints -> directed cut
+	return lambda/(2*float64(k))*loadSq + cut/2
+}
+
+// IndividualCost is phi(a_c) of Equation 11 for cluster c:
+// lambda/k * |c| * |a_c| + 1/2 * (weight of c's arcs leaving its partition).
+func IndividualCost(cg *cluster.Graph, assign []int32, c cluster.ID, k int, lambda float64) float64 {
+	load := partitionLoads(cg, assign, k)
+	var cut float64
+	for _, a := range cg.Adj[c] {
+		if assign[a.To] != assign[c] {
+			cut += float64(a.W)
+		}
+	}
+	return lambda/float64(k)*float64(cg.WeightOf(c))*float64(load[assign[c]]) + cut/2
+}
+
+// LambdaMax is the Theorem 5 upper bound of the valid lambda range on the
+// weight scale: k^2 * sum_i |e(ci, V\ci)| / (sum_i w_i)^2. Returns 1 when
+// the graph carries no weight (no edges).
+func LambdaMax(cg *cluster.Graph, k int) float64 {
+	var sumW int64
+	for c := 0; c < cg.NumClusters; c++ {
+		sumW += cg.WeightOf(cluster.ID(c))
+	}
+	if sumW == 0 {
+		return 1
+	}
+	return float64(k*k) * float64(cg.TotalInter) / (float64(sumW) * float64(sumW))
+}
+
+func partitionLoads(cg *cluster.Graph, assign []int32, k int) []int64 {
+	load := make([]int64, k)
+	for c, p := range assign {
+		load[p] += cg.WeightOf(cluster.ID(c))
+	}
+	return load
+}

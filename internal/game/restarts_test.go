@@ -1,0 +1,73 @@
+package game
+
+import (
+	"testing"
+
+	"repro/internal/cluster"
+)
+
+// TestRestartsNeverWorsenPotential: best-of-R equilibria must have
+// potential no higher than the single-run equilibrium from the same base
+// seed (restart 0 reproduces it exactly).
+func TestRestartsNeverWorsenPotential(t *testing.T) {
+	cg := testClusterGraph(t, 2500, 24, 31)
+	k := 8
+	lambda := LambdaMax(cg, k)
+	one, err := Solve(cg, Config{K: k, Lambda: lambda, Seed: 4, BatchSize: 0, Restarts: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	best, err := Solve(cg, Config{K: k, Lambda: lambda, Seed: 4, BatchSize: 0, Restarts: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pOne := Potential(cg, one.Partition, k, lambda)
+	pBest := Potential(cg, best.Partition, k, lambda)
+	if pBest > pOne+1e-9 {
+		t.Fatalf("restarts worsened potential: %v -> %v", pOne, pBest)
+	}
+}
+
+// TestRestartsStillEquilibrium: the kept assignment must itself be a Nash
+// equilibrium (it came out of best-response dynamics unmodified).
+func TestRestartsStillEquilibrium(t *testing.T) {
+	cg := testClusterGraph(t, 1200, 16, 32)
+	k := 5
+	lambda := LambdaMax(cg, k)
+	asg, err := Solve(cg, Config{K: k, Lambda: lambda, Seed: 7, BatchSize: 0, Restarts: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	assign := asg.Partition
+	for c := 0; c < cg.NumClusters; c++ {
+		cur := IndividualCost(cg, assign, cluster.ID(c), k, lambda)
+		orig := assign[c]
+		for p := int32(0); p < int32(k); p++ {
+			if p == orig {
+				continue
+			}
+			assign[c] = p
+			if alt := IndividualCost(cg, assign, cluster.ID(c), k, lambda); alt < cur-1e-6 {
+				t.Fatalf("cluster %d can improve after restarts: %v -> %v", c, cur, alt)
+			}
+		}
+		assign[c] = orig
+	}
+}
+
+func TestRestartsDeterministic(t *testing.T) {
+	cg := testClusterGraph(t, 1500, 16, 33)
+	a, err := Solve(cg, Config{K: 6, Seed: 2, Restarts: 3, BatchSize: 128})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Solve(cg, Config{K: 6, Seed: 2, Restarts: 3, BatchSize: 128})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for c := range a.Partition {
+		if a.Partition[c] != b.Partition[c] {
+			t.Fatalf("restarted solve nondeterministic at cluster %d", c)
+		}
+	}
+}

@@ -1,0 +1,69 @@
+package graph
+
+// CSR is a compressed sparse row adjacency view of a graph. Out[Offsets[v]:
+// Offsets[v+1]] lists the out-neighbours of v in edge order. CSR views are
+// immutable snapshots; mutating the source graph afterwards does not affect
+// them.
+type CSR struct {
+	NumVertices int
+	Offsets     []int64
+	Neighbors   []VertexID
+}
+
+// BuildCSR builds an out-adjacency CSR from the graph using counting sort,
+// O(|V|+|E|) time and exactly one |E|-sized allocation for the neighbour
+// array.
+func BuildCSR(g *Graph) *CSR {
+	n := g.NumVertices
+	off := make([]int64, n+1)
+	for _, e := range g.Edges {
+		off[e.Src+1]++
+	}
+	for i := 0; i < n; i++ {
+		off[i+1] += off[i]
+	}
+	nbr := make([]VertexID, len(g.Edges))
+	cursor := make([]int64, n)
+	copy(cursor, off[:n])
+	for _, e := range g.Edges {
+		nbr[cursor[e.Src]] = e.Dst
+		cursor[e.Src]++
+	}
+	return &CSR{NumVertices: n, Offsets: off, Neighbors: nbr}
+}
+
+// BuildUndirectedCSR builds a CSR where every directed edge contributes both
+// (u,v) and (v,u), i.e. the adjacency of the underlying undirected
+// multigraph. BFS crawl ordering and connected components use this view.
+func BuildUndirectedCSR(g *Graph) *CSR {
+	n := g.NumVertices
+	off := make([]int64, n+1)
+	for _, e := range g.Edges {
+		off[e.Src+1]++
+		off[e.Dst+1]++
+	}
+	for i := 0; i < n; i++ {
+		off[i+1] += off[i]
+	}
+	nbr := make([]VertexID, 2*len(g.Edges))
+	cursor := make([]int64, n)
+	copy(cursor, off[:n])
+	for _, e := range g.Edges {
+		nbr[cursor[e.Src]] = e.Dst
+		cursor[e.Src]++
+		nbr[cursor[e.Dst]] = e.Src
+		cursor[e.Dst]++
+	}
+	return &CSR{NumVertices: n, Offsets: off, Neighbors: nbr}
+}
+
+// Neigh returns the out-neighbour slice of v. The slice aliases internal
+// storage and must not be modified.
+func (c *CSR) Neigh(v VertexID) []VertexID {
+	return c.Neighbors[c.Offsets[v]:c.Offsets[v+1]]
+}
+
+// OutDegree returns the out-degree of v in this view.
+func (c *CSR) OutDegree(v VertexID) int {
+	return int(c.Offsets[v+1] - c.Offsets[v])
+}

@@ -1,0 +1,39 @@
+package graph
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// FuzzReadEdgeList checks the text parser never panics and that anything it
+// accepts survives a write/read round trip.
+func FuzzReadEdgeList(f *testing.F) {
+	f.Add("0 1\n1 2\n")
+	f.Add("# comment\n5\t7\n")
+	f.Add("1,2\n")
+	f.Add("")
+	f.Add("a b\n")
+	f.Add("4294967295 0\n")
+	f.Add("-1 2\n")
+	f.Fuzz(func(t *testing.T, input string) {
+		g, err := ReadEdgeList(strings.NewReader(input))
+		if err != nil {
+			return // rejection is fine; panics are not
+		}
+		if err := g.Validate(); err != nil {
+			t.Fatalf("parser accepted invalid graph: %v", err)
+		}
+		var buf bytes.Buffer
+		if err := g.WriteEdgeList(&buf); err != nil {
+			t.Fatal(err)
+		}
+		back, err := ReadEdgeList(&buf)
+		if err != nil {
+			t.Fatalf("round trip of accepted input failed: %v", err)
+		}
+		if back.NumEdges() != g.NumEdges() {
+			t.Fatalf("round trip changed edge count: %d vs %d", back.NumEdges(), g.NumEdges())
+		}
+	})
+}

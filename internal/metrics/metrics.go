@@ -1,0 +1,163 @@
+// Package metrics implements the partition-quality measures of Section II-B:
+// the replication factor (Equation 1's objective) and the relative load
+// balance (its constraint), plus the replica-set bitsets shared by the
+// heuristic partitioners and the memory accounting behind Figure 6.
+package metrics
+
+import (
+	"fmt"
+	"math/bits"
+
+	"repro/internal/graph"
+)
+
+// ReplicaSets tracks P(v), the set of partitions holding each vertex, as a
+// dense bitset: k bits per vertex. This is exactly the "global status table"
+// the paper identifies as the scalability bottleneck of heuristic-based
+// streaming partitioners; its size is the dominant term of their memory
+// cost.
+type ReplicaSets struct {
+	k     int
+	words int
+	bits  []uint64
+}
+
+// NewReplicaSets returns an empty table for n vertices and k partitions.
+func NewReplicaSets(n, k int) *ReplicaSets {
+	words := (k + 63) / 64
+	return &ReplicaSets{k: k, words: words, bits: make([]uint64, n*words)}
+}
+
+// K returns the number of partitions.
+func (r *ReplicaSets) K() int { return r.k }
+
+// Add records that partition p holds vertex v.
+func (r *ReplicaSets) Add(v graph.VertexID, p int) {
+	r.bits[int(v)*r.words+p/64] |= 1 << uint(p%64)
+}
+
+// Has reports whether partition p holds vertex v.
+func (r *ReplicaSets) Has(v graph.VertexID, p int) bool {
+	return r.bits[int(v)*r.words+p/64]&(1<<uint(p%64)) != 0
+}
+
+// Count returns |P(v)|.
+func (r *ReplicaSets) Count(v graph.VertexID) int {
+	n := 0
+	for _, w := range r.bits[int(v)*r.words : (int(v)+1)*r.words] {
+		n += bits.OnesCount64(w)
+	}
+	return n
+}
+
+// Partitions appends the partitions holding v to dst and returns it.
+func (r *ReplicaSets) Partitions(v graph.VertexID, dst []int) []int {
+	base := int(v) * r.words
+	for w := 0; w < r.words; w++ {
+		word := r.bits[base+w]
+		for word != 0 {
+			b := bits.TrailingZeros64(word)
+			dst = append(dst, w*64+b)
+			word &= word - 1
+		}
+	}
+	return dst
+}
+
+// Intersect appends the partitions holding both u and v to dst.
+func (r *ReplicaSets) Intersect(u, v graph.VertexID, dst []int) []int {
+	bu := int(u) * r.words
+	bv := int(v) * r.words
+	for w := 0; w < r.words; w++ {
+		word := r.bits[bu+w] & r.bits[bv+w]
+		for word != 0 {
+			b := bits.TrailingZeros64(word)
+			dst = append(dst, w*64+b)
+			word &= word - 1
+		}
+	}
+	return dst
+}
+
+// Union appends the partitions holding u or v to dst.
+func (r *ReplicaSets) Union(u, v graph.VertexID, dst []int) []int {
+	bu := int(u) * r.words
+	bv := int(v) * r.words
+	for w := 0; w < r.words; w++ {
+		word := r.bits[bu+w] | r.bits[bv+w]
+		for word != 0 {
+			b := bits.TrailingZeros64(word)
+			dst = append(dst, w*64+b)
+			word &= word - 1
+		}
+	}
+	return dst
+}
+
+// Bytes returns the memory footprint of the table.
+func (r *ReplicaSets) Bytes() int64 { return int64(len(r.bits)) * 8 }
+
+// Quality summarises a finished vertex-cut partitioning.
+type Quality struct {
+	K int
+	// ReplicationFactor is (1/|V'|) * sum_v |P(v)| over vertices that occur
+	// in at least one edge (vertices absent from the stream cannot be
+	// replicated and are excluded, matching how the literature reports RF).
+	ReplicationFactor float64
+	// RelativeBalance is k * max|p| / |E| (>= 1; 1.0 is perfect).
+	RelativeBalance float64
+	// Sizes is the number of edges per partition.
+	Sizes []int64
+	// MaxSize and MinSize are the extreme partition sizes.
+	MaxSize, MinSize int64
+	// Vertices is the number of distinct vertices seen in the stream.
+	Vertices int
+	// Replicas is sum_v |P(v)|.
+	Replicas int64
+}
+
+// Evaluate recomputes partition quality from scratch given the edge stream
+// and the per-edge partition assignment (ground truth, independent of any
+// partitioner-internal bookkeeping). numVertices must exceed all endpoints.
+func Evaluate(edges []graph.Edge, assign []int32, numVertices, k int) (*Quality, error) {
+	if len(edges) != len(assign) {
+		return nil, fmt.Errorf("metrics: %d edges but %d assignments", len(edges), len(assign))
+	}
+	rs := NewReplicaSets(numVertices, k)
+	sizes := make([]int64, k)
+	seen := make([]bool, numVertices)
+	for i, e := range edges {
+		p := assign[i]
+		if p < 0 || int(p) >= k {
+			return nil, fmt.Errorf("metrics: edge %d assigned to invalid partition %d (k=%d)", i, p, k)
+		}
+		sizes[p]++
+		rs.Add(e.Src, int(p))
+		rs.Add(e.Dst, int(p))
+		seen[e.Src] = true
+		seen[e.Dst] = true
+	}
+	q := &Quality{K: k, Sizes: sizes, MinSize: int64(^uint64(0) >> 1)}
+	for _, s := range sizes {
+		if s > q.MaxSize {
+			q.MaxSize = s
+		}
+		if s < q.MinSize {
+			q.MinSize = s
+		}
+	}
+	for v := 0; v < numVertices; v++ {
+		if !seen[v] {
+			continue
+		}
+		q.Vertices++
+		q.Replicas += int64(rs.Count(graph.VertexID(v)))
+	}
+	if q.Vertices > 0 {
+		q.ReplicationFactor = float64(q.Replicas) / float64(q.Vertices)
+	}
+	if len(edges) > 0 {
+		q.RelativeBalance = float64(k) * float64(q.MaxSize) / float64(len(edges))
+	}
+	return q, nil
+}

@@ -1,0 +1,176 @@
+package metrics
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/graph"
+)
+
+func TestReplicaSetsBasics(t *testing.T) {
+	rs := NewReplicaSets(10, 100)
+	if rs.K() != 100 {
+		t.Fatalf("K = %d", rs.K())
+	}
+	if rs.Has(3, 64) {
+		t.Fatal("fresh table has membership")
+	}
+	rs.Add(3, 64)
+	rs.Add(3, 64) // idempotent
+	rs.Add(3, 0)
+	if !rs.Has(3, 64) || !rs.Has(3, 0) {
+		t.Fatal("Add not visible")
+	}
+	if rs.Has(3, 1) || rs.Has(4, 64) {
+		t.Fatal("membership leaked")
+	}
+	if rs.Count(3) != 2 {
+		t.Fatalf("Count = %d, want 2", rs.Count(3))
+	}
+	parts := rs.Partitions(3, nil)
+	if len(parts) != 2 || parts[0] != 0 || parts[1] != 64 {
+		t.Fatalf("Partitions = %v", parts)
+	}
+}
+
+func TestReplicaSetsSetOps(t *testing.T) {
+	rs := NewReplicaSets(4, 130)
+	rs.Add(0, 1)
+	rs.Add(0, 65)
+	rs.Add(0, 129)
+	rs.Add(1, 65)
+	rs.Add(1, 2)
+	inter := rs.Intersect(0, 1, nil)
+	if len(inter) != 1 || inter[0] != 65 {
+		t.Fatalf("Intersect = %v, want [65]", inter)
+	}
+	union := rs.Union(0, 1, nil)
+	want := []int{1, 2, 65, 129}
+	if len(union) != len(want) {
+		t.Fatalf("Union = %v, want %v", union, want)
+	}
+	for i := range want {
+		if union[i] != want[i] {
+			t.Fatalf("Union = %v, want %v", union, want)
+		}
+	}
+}
+
+func TestReplicaSetsQuick(t *testing.T) {
+	check := func(adds []uint16, kRaw uint8) bool {
+		k := int(kRaw)%200 + 1
+		const nv = 32
+		rs := NewReplicaSets(nv, k)
+		ref := make(map[[2]int]bool)
+		for _, a := range adds {
+			v := int(a>>8) % nv
+			p := int(a&0xff) % k
+			rs.Add(graph.VertexID(v), p)
+			ref[[2]int{v, p}] = true
+		}
+		for v := 0; v < nv; v++ {
+			count := 0
+			for p := 0; p < k; p++ {
+				has := ref[[2]int{v, p}]
+				if rs.Has(graph.VertexID(v), p) != has {
+					return false
+				}
+				if has {
+					count++
+				}
+			}
+			if rs.Count(graph.VertexID(v)) != count {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEvaluateHandExample(t *testing.T) {
+	// Figure 1(c-2)-style example: 5 edges, 2 partitions.
+	// Partition 0: (0,1),(1,2); partition 1: (0,3),(3,4),(0,4).
+	edges := []graph.Edge{{Src: 0, Dst: 1}, {Src: 1, Dst: 2}, {Src: 0, Dst: 3}, {Src: 3, Dst: 4}, {Src: 0, Dst: 4}}
+	assign := []int32{0, 0, 1, 1, 1}
+	q, err := Evaluate(edges, assign, 5, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// P(0)={0,1} -> 2, P(1)={0}, P(2)={0}, P(3)={1}, P(4)={1}: sum 6 over 5.
+	if math.Abs(q.ReplicationFactor-6.0/5.0) > 1e-12 {
+		t.Fatalf("RF = %v, want 1.2", q.ReplicationFactor)
+	}
+	if q.Sizes[0] != 2 || q.Sizes[1] != 3 {
+		t.Fatalf("Sizes = %v", q.Sizes)
+	}
+	// balance = k*max/|E| = 2*3/5.
+	if math.Abs(q.RelativeBalance-1.2) > 1e-12 {
+		t.Fatalf("balance = %v, want 1.2", q.RelativeBalance)
+	}
+	if q.Vertices != 5 || q.Replicas != 6 {
+		t.Fatalf("vertices/replicas = %d/%d", q.Vertices, q.Replicas)
+	}
+}
+
+func TestEvaluateExcludesUnseenVertices(t *testing.T) {
+	edges := []graph.Edge{{Src: 0, Dst: 1}}
+	q, err := Evaluate(edges, []int32{0}, 10, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.Vertices != 2 {
+		t.Fatalf("Vertices = %d, want 2 (8 unseen excluded)", q.Vertices)
+	}
+	if q.ReplicationFactor != 1.0 {
+		t.Fatalf("RF = %v, want 1.0", q.ReplicationFactor)
+	}
+}
+
+func TestEvaluateErrors(t *testing.T) {
+	edges := []graph.Edge{{Src: 0, Dst: 1}}
+	if _, err := Evaluate(edges, []int32{}, 2, 2); err == nil {
+		t.Fatal("length mismatch accepted")
+	}
+	if _, err := Evaluate(edges, []int32{5}, 2, 2); err == nil {
+		t.Fatal("invalid partition accepted")
+	}
+	if _, err := Evaluate(edges, []int32{-1}, 2, 2); err == nil {
+		t.Fatal("negative partition accepted")
+	}
+}
+
+func TestEvaluateRFLowerBound(t *testing.T) {
+	// RF is always >= 1 and <= k, whatever the assignment.
+	check := func(raw []uint16, kRaw uint8) bool {
+		k := int(kRaw)%8 + 1
+		if len(raw) == 0 {
+			return true
+		}
+		const nv = 16
+		edges := make([]graph.Edge, len(raw))
+		assign := make([]int32, len(raw))
+		for i, r := range raw {
+			edges[i] = graph.Edge{Src: graph.VertexID(int(r>>8) % nv), Dst: graph.VertexID(int(r) % nv)}
+			assign[i] = int32(i % k)
+		}
+		q, err := Evaluate(edges, assign, nv, k)
+		if err != nil {
+			return false
+		}
+		return q.ReplicationFactor >= 1 && q.ReplicationFactor <= float64(k)
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBytes(t *testing.T) {
+	rs := NewReplicaSets(1000, 128)
+	if rs.Bytes() != 1000*2*8 {
+		t.Fatalf("Bytes = %d, want %d", rs.Bytes(), 1000*2*8)
+	}
+}

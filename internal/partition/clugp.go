@@ -1,0 +1,322 @@
+package partition
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/game"
+	"repro/internal/graph"
+	"repro/internal/stream"
+)
+
+// CLUGP is the paper's contribution: a three-pass restreaming vertex-cut
+// partitioner (Figure 1).
+//
+// Pass 1 clusters vertices with the allocation-splitting-migration streaming
+// algorithm (package cluster). Pass 2 maps clusters to partitions at Nash
+// equilibrium of an exact potential game (package game). Pass 3 re-streams
+// the edges and materializes the edge->partition assignment while enforcing
+// the imbalance factor tau (Algorithm 1).
+type CLUGP struct {
+	// Tau is the imbalance factor: no partition may exceed tau*|E|/k edges
+	// (Algorithm 1 line 2). Zero means 1.0, the paper's default.
+	Tau float64
+	// VmaxFactor scales the maximum cluster volume Vmax = factor*|E|/k.
+	// Zero means 0.2, i.e. Vmax = |E|/(5k). The paper follows Hollocou's
+	// |E|/k suggestion; our calibration (DESIGN.md) found that partitioning
+	// quality needs clusters an order of magnitude finer than partitions,
+	// so that the game has enough movable pieces to both balance and heal
+	// inter-cluster adjacency - at factor 1.0 the transformation's balance
+	// guard ends up rerouting a large share of edges.
+	VmaxFactor float64
+	// RelWeight is the relative weight of load balance vs edge cutting in
+	// the game (Figure 11b); zero means 0.5 (equal, Equation 11).
+	RelWeight float64
+	// Lambda overrides the game normalization factor; zero selects the
+	// Theorem 5 maximum, the paper's default.
+	Lambda float64
+	// BatchSize is the cluster-game batch size (default 6400, Section VI).
+	BatchSize int
+	// GameRestarts plays each batch game from that many random starts,
+	// keeping the lowest-potential equilibrium (closing the PoA/PoS gap of
+	// Theorems 7-8). Zero means 1.
+	GameRestarts int
+	// Threads is the number of parallel game workers (default GOMAXPROCS;
+	// the paper uses 32).
+	Threads int
+	// MigrateMaxDegree forwards to cluster.Config.MigrateMaxDegree
+	// (0 = default cap of 1; -1 = uncapped, the literal Algorithm 2).
+	MigrateMaxDegree int
+	// DisableSplitting yields the CLUGP-S ablation (Holl clustering).
+	DisableSplitting bool
+	// GreedyAssign yields the CLUGP-G ablation (size-greedy cluster
+	// placement instead of the game).
+	GreedyAssign bool
+	// Seed drives the game's random initial strategies.
+	Seed uint64
+
+	// LastTrace captures diagnostics of the most recent run (nil before).
+	LastTrace *Trace
+}
+
+// Trace exposes per-pass diagnostics of a CLUGP run for the ablation and
+// parallelization experiments.
+type Trace struct {
+	NumClusters int
+	Splits      int64
+	Migrations  int64
+	// IntraFraction is the share of edges with both endpoints in the same
+	// cluster after pass 1 - the direct measure of clustering quality.
+	IntraFraction float64
+	// HealedFraction is the share of inter-cluster edges whose two clusters
+	// the game co-located, so they cut nothing.
+	HealedFraction float64
+	GameRounds     int
+	GameMoves      int64
+	GameBatches    int
+	Overflowed     int64 // edges rerouted by the balance guard (Alg. 1 lines 6-14)
+	// Per-pass wall times: pass 1 (clustering), the cluster-graph build,
+	// pass 2 (the game - the parallelized computation of Figure 10), and
+	// pass 3 (transformation). Streaming passes 1 and 3 are I/O-bound in
+	// the paper's accounting; the game is the compute-bound part.
+	ClusterTime   time.Duration
+	BuildTime     time.Duration
+	GameTime      time.Duration
+	TransformTime time.Duration
+}
+
+// Name implements Partitioner.
+func (c *CLUGP) Name() string {
+	switch {
+	case c.DisableSplitting && c.GreedyAssign:
+		return "CLUGP-SG"
+	case c.DisableSplitting:
+		return "CLUGP-S"
+	case c.GreedyAssign:
+		return "CLUGP-G"
+	default:
+		return "CLUGP"
+	}
+}
+
+// PreferredOrder implements Partitioner: BFS, the natural web-crawl order
+// the paper's streaming-clustering analysis assumes.
+func (c *CLUGP) PreferredOrder() stream.Order { return stream.BFS }
+
+// Partition implements Partitioner, running the three passes.
+func (c *CLUGP) Partition(edges []graph.Edge, numVertices, k int) ([]int32, error) {
+	tau := c.Tau
+	if tau == 0 {
+		tau = 1.0
+	}
+	if tau < 1.0 {
+		return nil, fmt.Errorf("clugp: tau must be >= 1.0, got %v", tau)
+	}
+	vf := c.VmaxFactor
+	if vf == 0 {
+		vf = 0.2
+	}
+	if len(edges) == 0 {
+		return []int32{}, nil
+	}
+
+	// Pass 1: streaming clustering. Vmax = vf*|E|/k, at least 2 so that
+	// tiny graphs still form multi-vertex clusters.
+	vmax := int64(vf * float64(len(edges)) / float64(k))
+	if vmax < 2 {
+		vmax = 2
+	}
+	t0 := time.Now()
+	cres, err := cluster.Run(edges, numVertices, cluster.Config{
+		Vmax:             vmax,
+		DisableSplitting: c.DisableSplitting,
+		MigrateMaxDegree: c.MigrateMaxDegree,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("clugp pass 1: %w", err)
+	}
+	cres.Compact()
+	t1 := time.Now()
+
+	// Pass 2: build the cluster graph and play the partitioning game.
+	cg, err := cluster.BuildGraph(edges, cres)
+	if err != nil {
+		return nil, fmt.Errorf("clugp pass 2: %w", err)
+	}
+	t2 := time.Now()
+	var asg *game.Assignment
+	if c.GreedyAssign {
+		asg = game.GreedyAssign(cg, k)
+	} else {
+		batch := c.BatchSize
+		if batch == 0 {
+			batch = 6400
+		}
+		asg, err = game.Solve(cg, game.Config{
+			K:         k,
+			Lambda:    c.Lambda,
+			RelWeight: c.RelWeight,
+			BatchSize: batch,
+			Threads:   c.Threads,
+			Restarts:  c.GameRestarts,
+			Seed:      c.Seed,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("clugp pass 2: %w", err)
+		}
+	}
+	t3 := time.Now()
+
+	// Pass 3: transformation (Algorithm 1).
+	assign, overflowed := transform(edges, cres, asg.Partition, k, tau)
+	t4 := time.Now()
+
+	tr := &Trace{
+		NumClusters:   cres.NumClusters,
+		Splits:        cres.Splits,
+		Migrations:    cres.Migrations,
+		GameRounds:    asg.Rounds,
+		GameMoves:     asg.Moves,
+		GameBatches:   asg.Batches,
+		Overflowed:    overflowed,
+		ClusterTime:   t1.Sub(t0),
+		BuildTime:     t2.Sub(t1),
+		GameTime:      t3.Sub(t2),
+		TransformTime: t4.Sub(t3),
+	}
+	if total := cg.TotalIntra + cg.TotalInter; total > 0 {
+		tr.IntraFraction = float64(cg.TotalIntra) / float64(total)
+	}
+	if cg.TotalInter > 0 {
+		var healed int64
+		for ci := 0; ci < cg.NumClusters; ci++ {
+			p := asg.Partition[ci]
+			for _, a := range cg.Adj[ci] {
+				if asg.Partition[a.To] == p {
+					healed += a.W
+				}
+			}
+		}
+		// Each co-located pair's weight got counted from both sides, and
+		// arc weights already combine both edge directions.
+		tr.HealedFraction = float64(healed) / float64(2*cg.TotalInter)
+	}
+	c.LastTrace = tr
+	return assign, nil
+}
+
+// transform implements Algorithm 1: stream the edges once more, mapping
+// each through vertex->cluster->partition, with the balance guard and the
+// replica-reducing rules.
+//
+// The key refinement over a literal line-by-line transcription concerns
+// divided vertices (lines 18-19). A vertex split in pass 1 is present in
+// two partitions: that of its final cluster and that of the cluster holding
+// its mirror ("e will be assigned to the partitions where u's mirror vertex
+// belongs", Section III-C). The edge is therefore routed to whichever
+// candidate partition creates the fewest new replicas, judging presence by
+// exactly those O(1) tables - master partition and mirror partition - so
+// pass 3 keeps its O(1)-per-edge budget. Ties fall back to the paper's
+// cut-the-higher-degree rule (lines 21-22), then to the lighter partition.
+func transform(edges []graph.Edge, cres *cluster.Result, cpart []int32, k int, tau float64) (assign []int32, overflowed int64) {
+	assign = make([]int32, len(edges))
+	sizes := make([]int64, k)
+	// Lmax = ceil(tau*|E|/k): the ceiling guarantees k*Lmax >= |E| so an
+	// underflow partition always exists when the guard trips.
+	lmax := int64((tau*float64(len(edges)) + float64(k) - 1) / float64(k))
+	if lmax < 1 {
+		lmax = 1
+	}
+
+	deg := cres.Degree
+	// mirror partition of a vertex, or -1.
+	mirrorPart := func(v graph.VertexID) int32 {
+		if c := cres.SplitFrom[v]; c != cluster.None {
+			return cpart[c]
+		}
+		return -1
+	}
+
+	for i, e := range edges {
+		u, v := e.Src, e.Dst
+		pu := cpart[cres.Assign[u]]
+		pv := cpart[cres.Assign[v]]
+
+		var p int32
+		if sizes[pu] >= lmax || sizes[pv] >= lmax {
+			// Balance guard (lines 6-14): reroute to an underflow
+			// partition, preferring the endpoints' own partitions.
+			overflowed++
+			switch {
+			case sizes[pu] < lmax:
+				p = pu
+			case sizes[pv] < lmax:
+				p = pv
+			default:
+				p = int32(leastLoadedAll(sizes))
+			}
+		} else if pu == pv {
+			// Same partition: no cut (lines 15-16).
+			p = pu
+		} else {
+			mu, mv := mirrorPart(u), mirrorPart(v)
+			// presentU(p): u exists at p already (master or mirror copy).
+			presentU := func(p int32) bool { return p == pu || p == mu }
+			presentV := func(p int32) bool { return p == pv || p == mv }
+			// Candidates: each endpoint's master partition, plus mirror
+			// partitions when they host the other endpoint too.
+			bestCost := int32(3)
+			pick := func(cand int32, cost int32) {
+				if cand < 0 || sizes[cand] >= lmax {
+					return
+				}
+				if cost < bestCost || (cost == bestCost && sizes[cand] < sizes[p]) {
+					bestCost = cost
+					p = cand
+				}
+			}
+			p = pu
+			cost := func(cand int32) int32 {
+				c := int32(0)
+				if !presentU(cand) {
+					c++
+				}
+				if !presentV(cand) {
+					c++
+				}
+				return c
+			}
+			// Degree rule ordering (lines 21-22): evaluating the
+			// lower-degree endpoint's partition first makes it win ties,
+			// cutting the higher-degree endpoint.
+			if deg[v] > deg[u] {
+				pick(pu, cost(pu))
+				pick(pv, cost(pv))
+			} else {
+				pick(pv, cost(pv))
+				pick(pu, cost(pu))
+			}
+			pick(mu, cost(mu))
+			pick(mv, cost(mv))
+		}
+		assign[i] = p
+		sizes[p]++
+	}
+	return assign, overflowed
+}
+
+// StateBytes implements StateSizer. CLUGP's standing state is the two
+// mapping tables (vertex->cluster at 4 bytes/vertex, cluster->partition at
+// <= 4 bytes/vertex) plus the degree array and divided marks - the O(2|V|)
+// of Section III - plus the per-worker game scratch.
+func (c *CLUGP) StateBytes(numVertices, numEdges, k int) int64 {
+	perVertex := int64(numVertices) * (4 + 4 + 4 + 1) // cluster id, cluster->partition, degree, divided
+	threads := c.Threads
+	if threads <= 0 {
+		threads = 8
+	}
+	// Each game worker holds k loads and a k-sized scratch.
+	gameState := int64(threads) * int64(k) * 16
+	return perVertex + gameState + int64(k)*8
+}

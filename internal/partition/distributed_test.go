@@ -1,0 +1,100 @@
+package partition
+
+import (
+	"testing"
+
+	"repro/internal/gen"
+)
+
+func TestDistributedCLUGPValid(t *testing.T) {
+	g := gen.Web(gen.WebConfig{N: 8000, OutDegree: 8, IntraSite: 0.88, Seed: 21})
+	for _, nodes := range []int{1, 2, 4, 8} {
+		p := &DistributedCLUGP{Nodes: nodes, Seed: 1}
+		res, err := Run(p, g, 16, 1)
+		if err != nil {
+			t.Fatalf("nodes=%d: %v", nodes, err)
+		}
+		if len(res.Assign) != g.NumEdges() {
+			t.Fatalf("nodes=%d: assignment truncated", nodes)
+		}
+		for _, a := range res.Assign {
+			if a < 0 || a >= 16 {
+				t.Fatalf("nodes=%d: invalid partition %d", nodes, a)
+			}
+		}
+	}
+}
+
+func TestDistributedCLUGPBalance(t *testing.T) {
+	g := gen.Web(gen.WebConfig{N: 8000, OutDegree: 8, IntraSite: 0.88, Seed: 22})
+	k := 16
+	nodes := 4
+	p := &DistributedCLUGP{Nodes: nodes, Seed: 1}
+	res, err := Run(p, g, k, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Union of per-shard tau=1.0 bounds: global Lmax + one ceiling unit per
+	// shard.
+	lmax := int64((float64(g.NumEdges()))/float64(k)) + int64(nodes) + 1
+	for pid, s := range res.Quality.Sizes {
+		if s > lmax {
+			t.Fatalf("partition %d holds %d > combined Lmax %d", pid, s, lmax)
+		}
+	}
+}
+
+func TestDistributedCLUGPQualityDegradesGracefully(t *testing.T) {
+	g := gen.Web(gen.WebConfig{N: 10000, OutDegree: 8, IntraSite: 0.88, Seed: 23})
+	k := 32
+	single, err := Run(&CLUGP{Seed: 1}, g, k, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sharded, err := Run(&DistributedCLUGP{Nodes: 4, Seed: 1}, g, k, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hash, err := Run(&Hashing{Seed: 1}, g, k, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Sharding costs quality but must stay well ahead of random placement.
+	if sharded.Quality.ReplicationFactor > 1.6*single.Quality.ReplicationFactor {
+		t.Fatalf("sharding cost too high: %.3f vs single %.3f",
+			sharded.Quality.ReplicationFactor, single.Quality.ReplicationFactor)
+	}
+	if sharded.Quality.ReplicationFactor >= hash.Quality.ReplicationFactor {
+		t.Fatalf("sharded CLUGP (%.3f) no better than hashing (%.3f)",
+			sharded.Quality.ReplicationFactor, hash.Quality.ReplicationFactor)
+	}
+}
+
+func TestDistributedCLUGPDeterministic(t *testing.T) {
+	g := gen.Web(gen.WebConfig{N: 4000, OutDegree: 6, IntraSite: 0.85, Seed: 24})
+	a, err := Run(&DistributedCLUGP{Nodes: 4, Seed: 5}, g, 8, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(&DistributedCLUGP{Nodes: 4, Seed: 5}, g, 8, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a.Assign {
+		if a.Assign[i] != b.Assign[i] {
+			t.Fatalf("nondeterministic at edge %d", i)
+		}
+	}
+}
+
+func TestDistributedCLUGPMoreNodesThanEdges(t *testing.T) {
+	g := gen.Web(gen.WebConfig{N: 100, OutDegree: 2, Seed: 25})
+	p := &DistributedCLUGP{Nodes: 1 << 20, Seed: 1}
+	res, err := Run(p, g, 4, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Assign) != g.NumEdges() {
+		t.Fatal("assignment truncated")
+	}
+}

@@ -1,0 +1,74 @@
+package partition
+
+import (
+	"repro/internal/graph"
+	"repro/internal/stream"
+	"repro/internal/xrand"
+)
+
+// Hashing is PowerGraph's random edge placement: each edge goes to a
+// partition chosen by hashing the edge itself. O(1) time per edge, zero
+// state, lowest quality (Table I: time Low, quality Low).
+type Hashing struct {
+	// Seed perturbs the hash so independent runs decorrelate.
+	Seed uint64
+}
+
+// Name implements Partitioner.
+func (h *Hashing) Name() string { return "Hashing" }
+
+// PreferredOrder implements Partitioner. Hashing is order-oblivious; random
+// is the paper's stated setting.
+func (h *Hashing) PreferredOrder() stream.Order { return stream.Random }
+
+// Partition implements Partitioner.
+func (h *Hashing) Partition(edges []graph.Edge, numVertices, k int) ([]int32, error) {
+	assign := make([]int32, len(edges))
+	kk := uint64(k)
+	for i, e := range edges {
+		key := uint64(e.Src)<<32 | uint64(e.Dst)
+		assign[i] = int32(xrand.Hash64(key^h.Seed) % kk)
+	}
+	return assign, nil
+}
+
+// StateBytes implements StateSizer: a hash function needs no state beyond
+// the k partition counters (the paper reports Hashing at 0 space cost).
+func (h *Hashing) StateBytes(numVertices, numEdges, k int) int64 { return 0 }
+
+// DBH is degree-based hashing (Xie et al., NeurIPS 2014): the edge is
+// placed by hashing its lower-degree endpoint, so low-degree vertices keep
+// their edges together while high-degree vertices are cut - the right
+// trade for power-law graphs. Degrees are the partial (streamed-so-far)
+// counts, keeping the algorithm single-pass.
+type DBH struct {
+	Seed uint64
+}
+
+// Name implements Partitioner.
+func (d *DBH) Name() string { return "DBH" }
+
+// PreferredOrder implements Partitioner.
+func (d *DBH) PreferredOrder() stream.Order { return stream.Random }
+
+// Partition implements Partitioner.
+func (d *DBH) Partition(edges []graph.Edge, numVertices, k int) ([]int32, error) {
+	assign := make([]int32, len(edges))
+	deg := make([]uint32, numVertices)
+	kk := uint64(k)
+	for i, e := range edges {
+		deg[e.Src]++
+		deg[e.Dst]++
+		low := e.Src
+		if deg[e.Dst] < deg[e.Src] {
+			low = e.Dst
+		}
+		assign[i] = int32(xrand.Hash64(uint64(low)^d.Seed) % kk)
+	}
+	return assign, nil
+}
+
+// StateBytes implements StateSizer: one degree counter per vertex.
+func (d *DBH) StateBytes(numVertices, numEdges, k int) int64 {
+	return int64(numVertices) * 4
+}

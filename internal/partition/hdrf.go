@@ -1,0 +1,100 @@
+package partition
+
+import (
+	"repro/internal/graph"
+	"repro/internal/metrics"
+	"repro/internal/stream"
+)
+
+// HDRF is High-Degree (are) Replicated First (Petroni et al., CIKM 2015),
+// the paper's state-of-the-art one-pass baseline. For each edge it scores
+// every partition with a replication term that prefers partitions already
+// holding an endpoint - weighted so the LOWER-degree endpoint counts more,
+// which steers cuts toward high-degree vertices - plus a balance term, and
+// picks the argmax:
+//
+//	theta(u)   = delta(u) / (delta(u)+delta(v))          (partial degrees)
+//	g(u,p)     = 1 + (1 - theta(u))  if p holds u, else 0
+//	C_rep(p)   = g(u,p) + g(v,p)
+//	C_bal(p)   = BalanceWeight * (maxsize - |p|) / (eps + maxsize - minsize)
+//
+// Like Greedy it keeps the full P(v) table and scans all k partitions per
+// edge, which is exactly the O(k) cost the runtime experiments (Figure 7)
+// show blowing up at large k.
+type HDRF struct {
+	// BalanceWeight is the lambda of the HDRF paper (its default 1.1 keeps
+	// near-perfect balance; larger trades quality for balance). Zero means
+	// 1.1.
+	BalanceWeight float64
+}
+
+// Name implements Partitioner.
+func (h *HDRF) Name() string { return "HDRF" }
+
+// PreferredOrder implements Partitioner.
+func (h *HDRF) PreferredOrder() stream.Order { return stream.Random }
+
+// Partition implements Partitioner.
+func (h *HDRF) Partition(edges []graph.Edge, numVertices, k int) ([]int32, error) {
+	lam := h.BalanceWeight
+	if lam == 0 {
+		lam = 1.1
+	}
+	const eps = 1.0
+	assign := make([]int32, len(edges))
+	rs := metrics.NewReplicaSets(numVertices, k)
+	deg := make([]uint32, numVertices)
+	sizes := make([]int64, k)
+	var maxSize, minSize int64
+
+	for i, e := range edges {
+		u, v := e.Src, e.Dst
+		deg[u]++
+		deg[v]++
+		du, dv := float64(deg[u]), float64(deg[v])
+		thetaU := du / (du + dv)
+		thetaV := 1 - thetaU
+
+		spread := float64(maxSize - minSize)
+		best := 0
+		bestScore := -1.0
+		for p := 0; p < k; p++ {
+			var crep float64
+			if rs.Has(u, p) {
+				crep += 1 + (1 - thetaU)
+			}
+			if rs.Has(v, p) {
+				crep += 1 + (1 - thetaV)
+			}
+			cbal := lam * float64(maxSize-sizes[p]) / (eps + spread)
+			if s := crep + cbal; s > bestScore {
+				bestScore = s
+				best = p
+			}
+		}
+		assign[i] = int32(best)
+		sizes[best]++
+		rs.Add(u, best)
+		rs.Add(v, best)
+		if sizes[best] > maxSize {
+			maxSize = sizes[best]
+		}
+		// minSize only changes when the previous minimum partition grew;
+		// rescan lazily in that case.
+		if sizes[best]-1 == minSize {
+			minSize = sizes[0]
+			for p := 1; p < k; p++ {
+				if sizes[p] < minSize {
+					minSize = sizes[p]
+				}
+			}
+		}
+	}
+	return assign, nil
+}
+
+// StateBytes implements StateSizer: replica bitsets + degree table + sizes.
+func (h *HDRF) StateBytes(numVertices, numEdges, k int) int64 {
+	words := (k + 63) / 64
+	return int64(numVertices)*int64(words)*8 + int64(numVertices)*4 + int64(k)*8
+}

@@ -1,0 +1,92 @@
+package partition
+
+import (
+	"repro/internal/graph"
+	"repro/internal/stream"
+	"repro/internal/xrand"
+)
+
+// HybridCut is PowerLyra's differentiated partitioning (Chen et al.,
+// TOPC 2019; cited in the paper's introduction as one of the systems
+// motivating vertex-cut): low-degree vertices keep all their in-edges
+// together (hashed by target, edge-cut style), while high-degree vertices'
+// in-edges are spread by source (vertex-cut style), since hubs must be
+// replicated anyway. The degree threshold separates the two regimes; the
+// streaming variant uses partial in-degrees.
+type HybridCut struct {
+	// Threshold is the in-degree above which a target counts as
+	// high-degree (default 100, PowerLyra's typical setting).
+	Threshold uint32
+	Seed      uint64
+}
+
+// Name implements Partitioner.
+func (h *HybridCut) Name() string { return "Hybrid" }
+
+// PreferredOrder implements Partitioner.
+func (h *HybridCut) PreferredOrder() stream.Order { return stream.Random }
+
+// Partition implements Partitioner.
+func (h *HybridCut) Partition(edges []graph.Edge, numVertices, k int) ([]int32, error) {
+	threshold := h.Threshold
+	if threshold == 0 {
+		threshold = 100
+	}
+	indeg := make([]uint32, numVertices)
+	assign := make([]int32, len(edges))
+	kk := uint64(k)
+	for i, e := range edges {
+		indeg[e.Dst]++
+		if indeg[e.Dst] > threshold {
+			// High-degree target: spread by source (vertex-cut the hub).
+			assign[i] = int32(xrand.Hash64(uint64(e.Src)^h.Seed) % kk)
+		} else {
+			// Low-degree target: keep its in-edges together.
+			assign[i] = int32(xrand.Hash64(uint64(e.Dst)^h.Seed) % kk)
+		}
+	}
+	return assign, nil
+}
+
+// StateBytes implements StateSizer: one in-degree counter per vertex.
+func (h *HybridCut) StateBytes(numVertices, numEdges, k int) int64 {
+	return int64(numVertices) * 4
+}
+
+// Grid is the 2D constrained hashing partitioner (GraphBuilder / the
+// "grid" heuristic PowerGraph ships): partitions form a sqrt(k) x sqrt(k)
+// grid; each vertex hashes to a row and a column, and an edge goes to a
+// partition in the intersection of its endpoints' constraint sets. Every
+// vertex's replicas are confined to one row plus one column, bounding
+// |P(v)| <= 2*sqrt(k)-1 by construction.
+type Grid struct {
+	Seed uint64
+}
+
+// Name implements Partitioner.
+func (g *Grid) Name() string { return "Grid" }
+
+// PreferredOrder implements Partitioner.
+func (g *Grid) PreferredOrder() stream.Order { return stream.Random }
+
+// Partition implements Partitioner. Grid semantics need a square layout,
+// so the algorithm uses the largest perfect square side*side <= k and
+// leaves any leftover partitions empty - the standard implementation
+// choice; pick square k for meaningful balance numbers.
+func (g *Grid) Partition(edges []graph.Edge, numVertices, k int) ([]int32, error) {
+	side := 1
+	for (side+1)*(side+1) <= k {
+		side++
+	}
+	assign := make([]int32, len(edges))
+	ss := uint64(side)
+	for i, e := range edges {
+		ru := xrand.Hash64(uint64(e.Src)^g.Seed) % ss        // u's row
+		cv := xrand.Hash64(uint64(e.Dst)^g.Seed^0xbeef) % ss // v's column
+		assign[i] = int32(ru*ss + cv)                        // intersection cell
+	}
+	return assign, nil
+}
+
+// StateBytes implements StateSizer: stateless like Hashing.
+func (g *Grid) StateBytes(numVertices, numEdges, k int) int64 { return 0 }

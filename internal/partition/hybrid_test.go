@@ -1,0 +1,121 @@
+package partition
+
+import (
+	"testing"
+
+	"repro/internal/gen"
+	"repro/internal/graph"
+	"repro/internal/metrics"
+)
+
+func TestHybridValidAndBetterThanHashing(t *testing.T) {
+	g := gen.Web(gen.WebConfig{N: 8000, OutDegree: 8, IntraSite: 0.85, Seed: 41})
+	k := 16
+	hy, err := Run(&HybridCut{Seed: 1}, g, k, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hash, err := Run(&Hashing{Seed: 1}, g, k, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hy.Quality.ReplicationFactor >= hash.Quality.ReplicationFactor {
+		t.Fatalf("hybrid RF %.3f >= hashing RF %.3f", hy.Quality.ReplicationFactor, hash.Quality.ReplicationFactor)
+	}
+}
+
+func TestHybridLowDegreeVerticesStayWhole(t *testing.T) {
+	// A graph of only low-degree targets: every vertex's in-edges hash to
+	// one partition, so replicas come only from out-edges.
+	edges := []graph.Edge{
+		{Src: 0, Dst: 1}, {Src: 2, Dst: 1}, {Src: 3, Dst: 1},
+		{Src: 0, Dst: 4}, {Src: 2, Dst: 4},
+	}
+	h := &HybridCut{Threshold: 100, Seed: 1}
+	assign, err := h.Partition(edges, 5, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// All in-edges of vertex 1 in one partition; same for 4.
+	if assign[0] != assign[1] || assign[1] != assign[2] {
+		t.Fatalf("in-edges of low-degree vertex 1 split: %v", assign[:3])
+	}
+	if assign[3] != assign[4] {
+		t.Fatalf("in-edges of low-degree vertex 4 split: %v", assign[3:])
+	}
+}
+
+func TestHybridThresholdSwitchesRegime(t *testing.T) {
+	// A star into one hub: with a low threshold the hub's in-edges spread;
+	// with a high threshold they concentrate.
+	var edges []graph.Edge
+	for i := 1; i <= 200; i++ {
+		edges = append(edges, graph.Edge{Src: graph.VertexID(i), Dst: 0})
+	}
+	k := 16
+	spread := &HybridCut{Threshold: 10, Seed: 1}
+	sa, err := spread.Partition(edges, 201, k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	concentrated := &HybridCut{Threshold: 10000, Seed: 1}
+	ca, err := concentrated.Partition(edges, 201, k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	distinct := func(a []int32) int {
+		seen := map[int32]bool{}
+		for _, p := range a {
+			seen[p] = true
+		}
+		return len(seen)
+	}
+	if distinct(sa) < k/2 {
+		t.Fatalf("low threshold left the hub on %d partitions", distinct(sa))
+	}
+	if distinct(ca) != 1 {
+		t.Fatalf("high threshold spread the hub over %d partitions", distinct(ca))
+	}
+}
+
+func TestGridReplicaBound(t *testing.T) {
+	g := gen.Web(gen.WebConfig{N: 5000, OutDegree: 8, IntraSite: 0.8, Seed: 42})
+	k := 16 // 4x4 grid
+	res, err := Run(&Grid{Seed: 1}, g, k, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Structural guarantee: |P(v)| <= 2*sqrt(k)-1 = 7.
+	rs := metrics.NewReplicaSets(g.NumVertices, k)
+	for i, e := range res.Edges {
+		rs.Add(e.Src, int(res.Assign[i]))
+		rs.Add(e.Dst, int(res.Assign[i]))
+	}
+	for v := 0; v < g.NumVertices; v++ {
+		if c := rs.Count(graph.VertexID(v)); c > 7 {
+			t.Fatalf("vertex %d on %d partitions, grid bound is 7", v, c)
+		}
+	}
+	// And the bound must bite: the max-degree vertex under plain hashing
+	// would exceed it.
+	hash, err := Run(&Hashing{Seed: 1}, g, k, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hash.Quality.ReplicationFactor <= res.Quality.ReplicationFactor {
+		t.Fatalf("grid RF %.3f not below hashing %.3f", res.Quality.ReplicationFactor, hash.Quality.ReplicationFactor)
+	}
+}
+
+func TestGridNonSquareK(t *testing.T) {
+	g := gen.Web(gen.WebConfig{N: 500, OutDegree: 4, Seed: 43})
+	res, err := Run(&Grid{Seed: 1}, g, 10, 1) // uses a 3x3 grid
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, a := range res.Assign {
+		if a < 0 || a >= 9 {
+			t.Fatalf("grid used partition %d outside its 3x3 square", a)
+		}
+	}
+}

@@ -1,0 +1,115 @@
+// Package partition implements the vertex-cut streaming partitioners
+// evaluated in the paper (Table I): Hashing, DBH, Greedy, HDRF, Mint and
+// CLUGP, plus the CLUGP-S / CLUGP-G ablation variants of Figure 9, all
+// behind one interface.
+//
+// A vertex-cut partitioner assigns every streamed edge to exactly one of k
+// partitions; quality is measured by the replication factor and relative
+// load balance of Section II-B (package metrics).
+package partition
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/graph"
+	"repro/internal/metrics"
+	"repro/internal/stream"
+)
+
+// Partitioner assigns streamed edges to k partitions.
+type Partitioner interface {
+	// Name identifies the algorithm in experiment output.
+	Name() string
+	// PreferredOrder is the stream order the algorithm performs best under;
+	// the paper grants each competitor its best order (random for the
+	// one-pass heuristics and hashes, BFS for Mint and CLUGP).
+	PreferredOrder() stream.Order
+	// Partition consumes the edge stream (possibly in multiple passes) and
+	// returns one partition id per edge, aligned with the input slice.
+	Partition(edges []graph.Edge, numVertices, k int) ([]int32, error)
+}
+
+// StateSizer is implemented by partitioners that can report the peak size
+// in bytes of their internal state for the memory-cost comparison
+// (Figure 6). The estimate covers algorithm state only, not the input
+// stream or the output assignment, mirroring how the paper attributes
+// memory.
+type StateSizer interface {
+	StateBytes(numVertices, numEdges, k int) int64
+}
+
+// Result bundles a finished run: the ordered stream that was partitioned,
+// its assignment, quality metrics and bookkeeping.
+type Result struct {
+	Algorithm   string
+	Order       stream.Order
+	K           int
+	NumVertices int
+	Edges       []graph.Edge
+	Assign      []int32
+	Quality     *metrics.Quality
+	Runtime     time.Duration
+	StateBytes  int64
+}
+
+// Run orders the graph's edges per the partitioner's preference, times the
+// partitioning pass(es) and evaluates quality. seed feeds the random stream
+// order only; partitioner-internal seeds are part of their construction.
+func Run(p Partitioner, g *graph.Graph, k int, seed uint64) (*Result, error) {
+	if k < 1 {
+		return nil, fmt.Errorf("partition: k must be >= 1, got %d", k)
+	}
+	order := p.PreferredOrder()
+	edges := stream.Edges(g, order, seed)
+	start := time.Now()
+	assign, err := p.Partition(edges, g.NumVertices, k)
+	elapsed := time.Since(start)
+	if err != nil {
+		return nil, fmt.Errorf("partition: %s: %w", p.Name(), err)
+	}
+	if len(assign) != len(edges) {
+		return nil, fmt.Errorf("partition: %s returned %d assignments for %d edges", p.Name(), len(assign), len(edges))
+	}
+	q, err := metrics.Evaluate(edges, assign, g.NumVertices, k)
+	if err != nil {
+		return nil, fmt.Errorf("partition: %s: %w", p.Name(), err)
+	}
+	res := &Result{
+		Algorithm:   p.Name(),
+		Order:       order,
+		K:           k,
+		NumVertices: g.NumVertices,
+		Edges:       edges,
+		Assign:      assign,
+		Quality:     q,
+		Runtime:     elapsed,
+	}
+	if s, ok := p.(StateSizer); ok {
+		res.StateBytes = s.StateBytes(g.NumVertices, len(edges), k)
+	}
+	return res, nil
+}
+
+// leastLoaded returns the partition with the smallest size among candidates
+// (ties to the earliest candidate). candidates must be non-empty.
+func leastLoaded(sizes []int64, candidates []int) int {
+	best := candidates[0]
+	for _, p := range candidates[1:] {
+		if sizes[p] < sizes[best] {
+			best = p
+		}
+	}
+	return best
+}
+
+// leastLoadedAll returns the globally least-loaded partition.
+func leastLoadedAll(sizes []int64) int {
+	best := 0
+	for p := 1; p < len(sizes); p++ {
+		if sizes[p] < sizes[best] {
+			best = p
+		}
+	}
+	return best
+}

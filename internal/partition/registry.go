@@ -1,0 +1,49 @@
+package partition
+
+import "fmt"
+
+// Suite returns the six algorithms of the paper's evaluation in its
+// plotting order, constructed with their default (paper Section VI)
+// parameters and the given seed.
+func Suite(seed uint64) []Partitioner {
+	return []Partitioner{
+		&HDRF{},
+		&Greedy{},
+		&Hashing{Seed: seed},
+		&DBH{Seed: seed},
+		&Mint{Seed: seed},
+		&CLUGP{Seed: seed},
+	}
+}
+
+// New constructs a partitioner by its evaluation name (case-sensitive,
+// matching Name()), with default parameters.
+func New(name string, seed uint64) (Partitioner, error) {
+	switch name {
+	case "Hashing":
+		return &Hashing{Seed: seed}, nil
+	case "DBH":
+		return &DBH{Seed: seed}, nil
+	case "Greedy":
+		return &Greedy{}, nil
+	case "HDRF":
+		return &HDRF{}, nil
+	case "Mint":
+		return &Mint{Seed: seed}, nil
+	case "CLUGP":
+		return &CLUGP{Seed: seed}, nil
+	case "CLUGP-S":
+		// The Figure 9 clustering ablation: pass 1 is the literal Hollocou
+		// allocation-migration algorithm (no splitting, no migration
+		// discipline), with passes 2-3 unchanged.
+		return &CLUGP{Seed: seed, DisableSplitting: true, MigrateMaxDegree: -1}, nil
+	case "CLUGP-G":
+		return &CLUGP{Seed: seed, GreedyAssign: true}, nil
+	}
+	return nil, fmt.Errorf("partition: unknown algorithm %q", name)
+}
+
+// Names lists every algorithm New accepts.
+func Names() []string {
+	return []string{"Hashing", "DBH", "Greedy", "HDRF", "Mint", "CLUGP", "CLUGP-S", "CLUGP-G"}
+}

@@ -1,0 +1,34 @@
+package store
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/graph"
+)
+
+// FuzzRead checks the binary decoder never panics on arbitrary input and
+// that any graph it accepts is structurally valid.
+func FuzzRead(f *testing.F) {
+	// Seed with a valid file, a truncation and junk.
+	g := graph.New(4, []graph.Edge{{Src: 0, Dst: 1}, {Src: 1, Dst: 2}, {Src: 3, Dst: 0}})
+	var buf bytes.Buffer
+	if err := Write(&buf, g); err != nil {
+		f.Fatal(err)
+	}
+	valid := buf.Bytes()
+	f.Add(valid)
+	f.Add(valid[:len(valid)/2])
+	f.Add([]byte("CGR1"))
+	f.Add([]byte("junk data here"))
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		got, err := Read(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		if err := got.Validate(); err != nil {
+			t.Fatalf("decoder accepted invalid graph: %v", err)
+		}
+	})
+}

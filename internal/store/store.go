@@ -1,0 +1,160 @@
+// Package store implements a compact binary graph format playing the role
+// WebGraph's BV format plays for the paper's datasets: crawl-ordered edge
+// streams compress extremely well under gap encoding because consecutive
+// edges share sources and target nearby vertices.
+//
+// Format (little-endian varints):
+//
+//	magic "CGR1" | uvarint numVertices | uvarint numEdges |
+//	per edge: svarint(src - prevSrc) | svarint(dst - src)
+//
+// On BFS-ordered web graphs this lands around 2 bytes/edge versus ~13 for
+// the text edge list. The format preserves edge order exactly - order is
+// semantic for streaming partitioners - and decodes via a streaming reader
+// so graphs need not be materialized to be re-streamed.
+package store
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+
+	"repro/internal/graph"
+)
+
+var magic = [4]byte{'C', 'G', 'R', '1'}
+
+// ErrBadMagic reports that the input is not in this package's format.
+var ErrBadMagic = errors.New("store: bad magic (not a CGR1 file)")
+
+// Write encodes the graph to w.
+func Write(w io.Writer, g *graph.Graph) error {
+	bw := bufio.NewWriterSize(w, 1<<16)
+	if _, err := bw.Write(magic[:]); err != nil {
+		return err
+	}
+	var buf [binary.MaxVarintLen64]byte
+	putUvarint := func(x uint64) error {
+		n := binary.PutUvarint(buf[:], x)
+		_, err := bw.Write(buf[:n])
+		return err
+	}
+	putVarint := func(x int64) error {
+		n := binary.PutVarint(buf[:], x)
+		_, err := bw.Write(buf[:n])
+		return err
+	}
+	if err := putUvarint(uint64(g.NumVertices)); err != nil {
+		return err
+	}
+	if err := putUvarint(uint64(g.NumEdges())); err != nil {
+		return err
+	}
+	prevSrc := int64(0)
+	for _, e := range g.Edges {
+		src := int64(e.Src)
+		if err := putVarint(src - prevSrc); err != nil {
+			return err
+		}
+		if err := putVarint(int64(e.Dst) - src); err != nil {
+			return err
+		}
+		prevSrc = src
+	}
+	return bw.Flush()
+}
+
+// Reader streams edges from an encoded graph without materializing them.
+type Reader struct {
+	br          *bufio.Reader
+	numVertices int
+	numEdges    int
+	read        int
+	prevSrc     int64
+}
+
+// NewReader validates the header and prepares streaming decode.
+func NewReader(r io.Reader) (*Reader, error) {
+	br := bufio.NewReaderSize(r, 1<<16)
+	var m [4]byte
+	if _, err := io.ReadFull(br, m[:]); err != nil {
+		return nil, fmt.Errorf("store: reading magic: %w", err)
+	}
+	if m != magic {
+		return nil, ErrBadMagic
+	}
+	nv, err := binary.ReadUvarint(br)
+	if err != nil {
+		return nil, fmt.Errorf("store: reading vertex count: %w", err)
+	}
+	ne, err := binary.ReadUvarint(br)
+	if err != nil {
+		return nil, fmt.Errorf("store: reading edge count: %w", err)
+	}
+	if nv > 1<<32 {
+		return nil, fmt.Errorf("store: vertex count %d exceeds uint32 space", nv)
+	}
+	return &Reader{br: br, numVertices: int(nv), numEdges: int(ne)}, nil
+}
+
+// NumVertices returns the declared vertex count.
+func (r *Reader) NumVertices() int { return r.numVertices }
+
+// NumEdges returns the declared edge count.
+func (r *Reader) NumEdges() int { return r.numEdges }
+
+// Next decodes the next edge. It returns io.EOF after the declared edge
+// count has been delivered.
+func (r *Reader) Next() (graph.Edge, error) {
+	if r.read >= r.numEdges {
+		return graph.Edge{}, io.EOF
+	}
+	dSrc, err := binary.ReadVarint(r.br)
+	if err != nil {
+		return graph.Edge{}, fmt.Errorf("store: edge %d src: %w", r.read, err)
+	}
+	src := r.prevSrc + dSrc
+	dDst, err := binary.ReadVarint(r.br)
+	if err != nil {
+		return graph.Edge{}, fmt.Errorf("store: edge %d dst: %w", r.read, err)
+	}
+	dst := src + dDst
+	if src < 0 || dst < 0 || src >= int64(r.numVertices) || dst >= int64(r.numVertices) {
+		return graph.Edge{}, fmt.Errorf("store: edge %d (%d->%d) out of range (n=%d)", r.read, src, dst, r.numVertices)
+	}
+	r.prevSrc = src
+	r.read++
+	return graph.Edge{Src: graph.VertexID(src), Dst: graph.VertexID(dst)}, nil
+}
+
+// Read decodes a whole graph.
+func Read(r io.Reader) (*graph.Graph, error) {
+	sr, err := NewReader(r)
+	if err != nil {
+		return nil, err
+	}
+	edges := make([]graph.Edge, 0, sr.NumEdges())
+	for {
+		e, err := sr.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, err
+		}
+		edges = append(edges, e)
+	}
+	return graph.New(sr.NumVertices(), edges), nil
+}
+
+// Sniff reports whether the reader's next bytes look like this format,
+// without consuming them. The reader must support Peek (bufio.Reader).
+func Sniff(br *bufio.Reader) bool {
+	head, err := br.Peek(4)
+	if err != nil {
+		return false
+	}
+	return [4]byte(head) == magic
+}

@@ -1,0 +1,191 @@
+package store
+
+import (
+	"bufio"
+	"bytes"
+	"io"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/gen"
+	"repro/internal/graph"
+)
+
+func TestRoundTrip(t *testing.T) {
+	g := gen.Web(gen.WebConfig{N: 5000, OutDegree: 6, IntraSite: 0.85, Seed: 1})
+	var buf bytes.Buffer
+	if err := Write(&buf, g); err != nil {
+		t.Fatal(err)
+	}
+	back, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.NumVertices != g.NumVertices || back.NumEdges() != g.NumEdges() {
+		t.Fatalf("shape changed: %d/%d vs %d/%d", back.NumVertices, back.NumEdges(), g.NumVertices, g.NumEdges())
+	}
+	for i := range g.Edges {
+		if g.Edges[i] != back.Edges[i] {
+			t.Fatalf("edge %d changed: %v vs %v (order must be preserved)", i, g.Edges[i], back.Edges[i])
+		}
+	}
+}
+
+func TestCompressionBeatsText(t *testing.T) {
+	g := gen.Web(gen.WebConfig{N: 20000, OutDegree: 8, IntraSite: 0.88, Seed: 2})
+	var bin, txt bytes.Buffer
+	if err := Write(&bin, g); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.WriteEdgeList(&txt); err != nil {
+		t.Fatal(err)
+	}
+	ratio := float64(bin.Len()) / float64(txt.Len())
+	if ratio > 0.35 {
+		t.Fatalf("binary/text ratio %.2f, want < 0.35 (%d vs %d bytes)", ratio, bin.Len(), txt.Len())
+	}
+	perEdge := float64(bin.Len()) / float64(g.NumEdges())
+	if perEdge > 4 {
+		t.Fatalf("%.2f bytes/edge, want < 4 on a crawl-ordered web graph", perEdge)
+	}
+}
+
+func TestStreamingReader(t *testing.T) {
+	g := gen.Web(gen.WebConfig{N: 1000, OutDegree: 4, Seed: 3})
+	var buf bytes.Buffer
+	if err := Write(&buf, g); err != nil {
+		t.Fatal(err)
+	}
+	sr, err := NewReader(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sr.NumVertices() != g.NumVertices || sr.NumEdges() != g.NumEdges() {
+		t.Fatal("header mismatch")
+	}
+	for i := 0; ; i++ {
+		e, err := sr.Next()
+		if err == io.EOF {
+			if i != g.NumEdges() {
+				t.Fatalf("EOF after %d edges, want %d", i, g.NumEdges())
+			}
+			break
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		if e != g.Edges[i] {
+			t.Fatalf("edge %d mismatch", i)
+		}
+	}
+	// Next after EOF keeps returning EOF.
+	if _, err := sr.Next(); err != io.EOF {
+		t.Fatalf("post-EOF Next: %v", err)
+	}
+}
+
+func TestBadInputs(t *testing.T) {
+	if _, err := Read(strings.NewReader("not a graph")); err != ErrBadMagic {
+		t.Fatalf("bad magic: %v", err)
+	}
+	if _, err := Read(strings.NewReader("")); err == nil {
+		t.Fatal("empty input accepted")
+	}
+	// Truncated body.
+	g := gen.Web(gen.WebConfig{N: 100, OutDegree: 4, Seed: 4})
+	var buf bytes.Buffer
+	if err := Write(&buf, g); err != nil {
+		t.Fatal(err)
+	}
+	trunc := buf.Bytes()[:buf.Len()/2]
+	if _, err := Read(bytes.NewReader(trunc)); err == nil {
+		t.Fatal("truncated input accepted")
+	}
+}
+
+func TestCorruptRangeRejected(t *testing.T) {
+	// Hand-craft a file whose edge points past the vertex count.
+	small := graph.New(2, []graph.Edge{{Src: 0, Dst: 1}})
+	var buf bytes.Buffer
+	if err := Write(&buf, small); err != nil {
+		t.Fatal(err)
+	}
+	big := graph.New(1000, []graph.Edge{{Src: 999, Dst: 999}})
+	var buf2 bytes.Buffer
+	if err := Write(&buf2, big); err != nil {
+		t.Fatal(err)
+	}
+	// Splice: header of the small graph with the body of the big one.
+	spliced := append([]byte{}, buf.Bytes()[:6]...) // magic + nv=2 + ne=1
+	spliced = append(spliced, buf2.Bytes()[8:]...)  // big graph's edge data
+	if _, err := Read(bytes.NewReader(spliced)); err == nil {
+		t.Fatal("out-of-range edge accepted")
+	}
+}
+
+func TestSniff(t *testing.T) {
+	g := graph.New(2, []graph.Edge{{Src: 0, Dst: 1}})
+	var buf bytes.Buffer
+	if err := Write(&buf, g); err != nil {
+		t.Fatal(err)
+	}
+	if !Sniff(bufio.NewReader(&buf)) {
+		t.Fatal("Sniff missed own format")
+	}
+	if Sniff(bufio.NewReader(strings.NewReader("0 1\n"))) {
+		t.Fatal("Sniff false positive on text")
+	}
+	if Sniff(bufio.NewReader(strings.NewReader(""))) {
+		t.Fatal("Sniff true on empty input")
+	}
+}
+
+func TestEmptyGraph(t *testing.T) {
+	g := graph.New(5, nil)
+	var buf bytes.Buffer
+	if err := Write(&buf, g); err != nil {
+		t.Fatal(err)
+	}
+	back, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.NumVertices != 5 || back.NumEdges() != 0 {
+		t.Fatalf("empty graph mangled: %d/%d", back.NumVertices, back.NumEdges())
+	}
+}
+
+func TestQuickRoundTrip(t *testing.T) {
+	check := func(raw []uint16, nRaw uint8) bool {
+		nv := int(nRaw)%100 + 2
+		edges := make([]graph.Edge, 0, len(raw))
+		for _, r := range raw {
+			edges = append(edges, graph.Edge{
+				Src: graph.VertexID(int(r>>8) % nv),
+				Dst: graph.VertexID(int(r) % nv),
+			})
+		}
+		g := graph.New(nv, edges)
+		var buf bytes.Buffer
+		if err := Write(&buf, g); err != nil {
+			return false
+		}
+		back, err := Read(&buf)
+		if err != nil {
+			return false
+		}
+		if back.NumVertices != nv || back.NumEdges() != len(edges) {
+			return false
+		}
+		for i := range edges {
+			if edges[i] != back.Edges[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,153 @@
+// Package stream implements the edge-streaming graph model of the paper
+// (Definition 1): edges of a graph arrive sequentially in a chosen order and
+// may be replayed for multi-pass ("restreaming") algorithms.
+//
+// The paper evaluates each partitioner under its best-performing order:
+// random for Hashing/DBH/Greedy/HDRF and BFS (the natural crawl order of web
+// graphs) for Mint and CLUGP.
+package stream
+
+import (
+	"fmt"
+
+	"repro/internal/graph"
+	"repro/internal/xrand"
+)
+
+// Order selects the arrival order of the edge stream.
+type Order int
+
+const (
+	// Natural preserves the order edges were generated or loaded in.
+	Natural Order = iota
+	// BFS reorders edges as a breadth-first crawl would discover them:
+	// vertices are visited in BFS order over the underlying undirected
+	// graph, and each vertex emits its incident not-yet-emitted edges when
+	// visited. This is the order real web crawls approximate (Section II).
+	BFS
+	// DFS is the depth-first analogue of BFS, for order-sensitivity studies.
+	DFS
+	// Random applies a seeded Fisher-Yates shuffle.
+	Random
+)
+
+func (o Order) String() string {
+	switch o {
+	case Natural:
+		return "natural"
+	case BFS:
+		return "bfs"
+	case DFS:
+		return "dfs"
+	case Random:
+		return "random"
+	default:
+		return fmt.Sprintf("order(%d)", int(o))
+	}
+}
+
+// ParseOrder converts a name produced by Order.String back to an Order.
+func ParseOrder(s string) (Order, error) {
+	switch s {
+	case "natural":
+		return Natural, nil
+	case "bfs":
+		return BFS, nil
+	case "dfs":
+		return DFS, nil
+	case "random":
+		return Random, nil
+	}
+	return Natural, fmt.Errorf("stream: unknown order %q", s)
+}
+
+// Edges returns the graph's edges arranged in the requested order. The
+// returned slice is freshly allocated except for Natural, which aliases the
+// graph's own storage. seed only affects Random.
+func Edges(g *graph.Graph, order Order, seed uint64) []graph.Edge {
+	switch order {
+	case Natural:
+		return g.Edges
+	case Random:
+		out := make([]graph.Edge, len(g.Edges))
+		copy(out, g.Edges)
+		rng := xrand.New(seed)
+		for i := len(out) - 1; i > 0; i-- {
+			j := int(rng.Uint64n(uint64(i + 1)))
+			out[i], out[j] = out[j], out[i]
+		}
+		return out
+	case BFS:
+		return traversalOrder(g, false)
+	case DFS:
+		return traversalOrder(g, true)
+	default:
+		panic(fmt.Sprintf("stream: unknown order %d", int(order)))
+	}
+}
+
+// traversalOrder emits edges in the order a BFS (or DFS) crawl over the
+// undirected graph would first touch them. Each directed edge is emitted
+// exactly once, when the traversal visits either endpoint. Disconnected
+// components are started from the smallest unvisited vertex, matching how a
+// crawler restarts from a new seed page.
+func traversalOrder(g *graph.Graph, depthFirst bool) []graph.Edge {
+	n := g.NumVertices
+	// Build an undirected CSR carrying original edge indices so each edge is
+	// emitted once regardless of which endpoint is visited first.
+	type half struct {
+		to  graph.VertexID
+		eid int32
+	}
+	off := make([]int64, n+1)
+	for _, e := range g.Edges {
+		off[e.Src+1]++
+		off[e.Dst+1]++
+	}
+	for i := 0; i < n; i++ {
+		off[i+1] += off[i]
+	}
+	adj := make([]half, 2*len(g.Edges))
+	cursor := make([]int64, n)
+	copy(cursor, off[:n])
+	for i, e := range g.Edges {
+		adj[cursor[e.Src]] = half{to: e.Dst, eid: int32(i)}
+		cursor[e.Src]++
+		adj[cursor[e.Dst]] = half{to: e.Src, eid: int32(i)}
+		cursor[e.Dst]++
+	}
+
+	out := make([]graph.Edge, 0, len(g.Edges))
+	emitted := make([]bool, len(g.Edges))
+	visited := make([]bool, n)
+	// frontier doubles as queue (BFS) or stack (DFS).
+	frontier := make([]graph.VertexID, 0, 1024)
+	for start := 0; start < n; start++ {
+		if visited[start] {
+			continue
+		}
+		visited[start] = true
+		frontier = append(frontier[:0], graph.VertexID(start))
+		for len(frontier) > 0 {
+			var v graph.VertexID
+			if depthFirst {
+				v = frontier[len(frontier)-1]
+				frontier = frontier[:len(frontier)-1]
+			} else {
+				v = frontier[0]
+				frontier = frontier[1:]
+			}
+			for _, h := range adj[off[v]:off[v+1]] {
+				if !emitted[h.eid] {
+					emitted[h.eid] = true
+					out = append(out, g.Edges[h.eid])
+				}
+				if !visited[h.to] {
+					visited[h.to] = true
+					frontier = append(frontier, h.to)
+				}
+			}
+		}
+	}
+	return out
+}
