@@ -1,18 +1,30 @@
 // Command experiments regenerates the paper's tables and figures on the
-// synthetic stand-in datasets. Each artefact prints as an aligned text
-// table whose rows/series correspond to the paper's plot.
+// synthetic stand-in datasets, and runs the machine-readable benchmark
+// suite that tracks this repo's performance over time.
 //
-// Usage:
+// Figure mode prints each artefact as an aligned text table whose
+// rows/series correspond to the paper's plot:
 //
 //	experiments -fig 3              # Figure 3 (a-d)
 //	experiments -fig table1
 //	experiments -all -scale 0.5     # everything, at half dataset size
+//
+// Suite mode runs the full algorithm x dataset x k x seed grid on a worker
+// pool and writes a BENCH_<name>.json report for regression tracking:
+//
+//	experiments -json                          # parallel suite -> BENCH_suite.json
+//	experiments -json -workers 4 -seeds 3      # 4 workers, 3 seed replicates
+//	experiments -json -baseline BENCH_suite.json   # diff against a prior report
+//
+// With -baseline the exit status is 2 when any cell regressed beyond
+// tolerance, so CI can gate on it.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"strconv"
 	"strings"
 	"time"
 
@@ -21,13 +33,40 @@ import (
 
 func main() {
 	var (
-		fig   = flag.String("fig", "", "experiment to run: "+strings.Join(repro.ExperimentNames(), ", "))
-		all   = flag.Bool("all", false, "run every experiment")
-		scale = flag.Float64("scale", 1.0, "dataset scale factor")
-		seed  = flag.Uint64("seed", 42, "seed for stochastic components")
-		quiet = flag.Bool("q", false, "suppress per-run progress lines")
+		fig      = flag.String("fig", "", "experiment to run: "+strings.Join(repro.ExperimentNames(), ", "))
+		all      = flag.Bool("all", false, "run every experiment")
+		scale    = flag.Float64("scale", 1.0, "dataset scale factor")
+		seed     = flag.Uint64("seed", 42, "seed for stochastic components")
+		quiet    = flag.Bool("q", false, "suppress per-run progress lines")
+		workers  = flag.Int("workers", 0, "suite worker-pool size (0 = GOMAXPROCS)")
+		jsonOut  = flag.Bool("json", false, "run the benchmark suite and write BENCH_<name>.json")
+		baseline = flag.String("baseline", "", "diff the suite against a prior BENCH_*.json report")
+		name     = flag.String("name", "suite", "experiment name for the JSON report filename")
+		seeds    = flag.Int("seeds", 1, "number of seed replicates per suite cell (seed, seed+1, ...)")
+		algoList = flag.String("algos", "", "comma-separated algorithms for the suite (default: the paper's six)")
+		dsList   = flag.String("datasets", "", "comma-separated datasets for the suite (default: all five)")
+		ksList   = flag.String("ks", "", "comma-separated partition counts for the suite (default: 4..256)")
 	)
 	flag.Parse()
+
+	// The suite (-json/-baseline) and figure (-fig/-all) modes are
+	// mutually exclusive; several flags only apply to the suite. Surface
+	// conflicts instead of silently ignoring flags.
+	set := map[string]bool{}
+	flag.Visit(func(f *flag.Flag) { set[f.Name] = true })
+	if *jsonOut || *baseline != "" {
+		if *fig != "" || *all {
+			fmt.Fprintln(os.Stderr, "experiments: -json/-baseline run the benchmark suite and cannot be combined with -fig or -all")
+			os.Exit(2)
+		}
+		runSuite(*name, *scale, *seed, *seeds, *workers, *algoList, *dsList, *ksList, *jsonOut, *baseline, *quiet)
+		return
+	}
+	for _, suiteOnly := range []string{"workers", "seeds", "name", "algos", "datasets", "ks"} {
+		if set[suiteOnly] {
+			fmt.Fprintf(os.Stderr, "experiments: warning: -%s only applies to suite mode (-json/-baseline) and is ignored here\n", suiteOnly)
+		}
+	}
 
 	cfg := repro.ExperimentConfig{Scale: *scale, Seed: *seed}
 	if !*quiet {
@@ -37,7 +76,7 @@ func main() {
 	names := repro.ExperimentNames()
 	if !*all {
 		if *fig == "" {
-			fmt.Fprintln(os.Stderr, "experiments: need -fig NAME or -all; valid names:", strings.Join(names, ", "))
+			fmt.Fprintln(os.Stderr, "experiments: need -fig NAME, -all or -json; valid names:", strings.Join(names, ", "))
 			os.Exit(2)
 		}
 		names = []string{*fig}
@@ -60,4 +99,84 @@ func main() {
 	if !*quiet {
 		fmt.Fprintf(os.Stderr, "done in %v\n", time.Since(start).Round(time.Millisecond))
 	}
+}
+
+// runSuite executes the benchmark grid, optionally writes the JSON report,
+// and optionally diffs it against a baseline (exit 2 on regression).
+func runSuite(name string, scale float64, seed uint64, seeds, workers int, algoList, dsList, ksList string, writeJSON bool, baseline string, quiet bool) {
+	cfg := repro.SuiteConfig{
+		Scale:      scale,
+		Workers:    workers,
+		Algorithms: splitList(algoList),
+		Datasets:   splitList(dsList),
+	}
+	if !quiet {
+		cfg.Progress = os.Stderr
+	}
+	for i := 0; i < seeds; i++ {
+		cfg.Seeds = append(cfg.Seeds, seed+uint64(i))
+	}
+	for _, s := range splitList(ksList) {
+		k, err := strconv.Atoi(s)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "experiments: bad -ks entry %q: %v\n", s, err)
+			os.Exit(2)
+		}
+		cfg.Ks = append(cfg.Ks, k)
+	}
+
+	report, err := repro.RunSuiteParallel(cfg)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "experiments:", err)
+		os.Exit(1)
+	}
+	report.Experiment = name
+	for _, t := range report.Table() {
+		if err := t.Render(os.Stdout); err != nil {
+			fmt.Fprintln(os.Stderr, "experiments:", err)
+			os.Exit(1)
+		}
+	}
+	if writeJSON {
+		path := report.Filename()
+		if err := report.WriteFile(path); err != nil {
+			fmt.Fprintln(os.Stderr, "experiments:", err)
+			os.Exit(1)
+		}
+		if !quiet {
+			fmt.Fprintf(os.Stderr, "wrote %s (%d cells in %v)\n",
+				path, len(report.Cells), time.Duration(report.WallTimeNS).Round(time.Millisecond))
+		}
+	}
+	if baseline != "" {
+		prior, err := repro.LoadReport(baseline)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "experiments:", err)
+			os.Exit(1)
+		}
+		diff := repro.DiffReports(prior, report, repro.DiffOptions{})
+		t := diff.Table()
+		if err := t.Render(os.Stdout); err != nil {
+			fmt.Fprintln(os.Stderr, "experiments:", err)
+			os.Exit(1)
+		}
+		if diff.HasRegressions() {
+			fmt.Fprintf(os.Stderr, "experiments: %d regression(s) against %s\n", len(diff.Regressions), baseline)
+			os.Exit(2)
+		}
+	}
+}
+
+// splitList parses a comma-separated flag value, trimming blanks.
+func splitList(s string) []string {
+	if s == "" {
+		return nil
+	}
+	var out []string
+	for _, part := range strings.Split(s, ",") {
+		if part = strings.TrimSpace(part); part != "" {
+			out = append(out, part)
+		}
+	}
+	return out
 }

@@ -272,6 +272,18 @@ type (
 	ExperimentTable = bench.Table
 	// Dataset is a synthetic stand-in for one of the paper's graphs.
 	Dataset = bench.Dataset
+	// SuiteConfig describes a benchmark grid (algorithm x dataset x k x seed).
+	SuiteConfig = bench.SuiteConfig
+	// Report is a machine-readable suite result (BENCH_<experiment>.json).
+	Report = bench.Report
+	// ReportCell is one grid point of a Report.
+	ReportCell = bench.Cell
+	// DiffOptions set the regression thresholds for DiffReports.
+	DiffOptions = bench.DiffOptions
+	// DiffResult classifies per-cell metric changes between two Reports.
+	DiffResult = bench.DiffResult
+	// StreamCache memoizes ordered edge streams per graph.
+	StreamCache = stream.Cache
 )
 
 // Datasets returns the five evaluation graphs (Table III stand-ins).
@@ -284,3 +296,34 @@ func RunExperiment(name string, cfg ExperimentConfig) ([]ExperimentTable, error)
 
 // ExperimentNames lists the experiments RunExperiment accepts.
 func ExperimentNames() []string { return bench.ExperimentNames() }
+
+// RunSuite executes the benchmark grid serially. It is the reference
+// RunSuiteParallel is measured against: quality metrics are identical
+// for any worker count.
+func RunSuite(cfg SuiteConfig) (*Report, error) { return bench.RunSuite(cfg) }
+
+// RunSuiteParallel executes the algorithm x dataset x k x seed grid on a
+// worker pool, computing each stream order at most once per graph.
+func RunSuiteParallel(cfg SuiteConfig) (*Report, error) { return bench.RunSuiteParallel(cfg) }
+
+// LoadReport reads a BENCH_*.json report written by Report.WriteFile.
+func LoadReport(path string) (*Report, error) { return bench.LoadReport(path) }
+
+// DiffReports compares a current report against a baseline, flagging
+// quality and runtime regressions beyond the configured tolerances.
+func DiffReports(baseline, current *Report, opts DiffOptions) *DiffResult {
+	return bench.Diff(baseline, current, opts)
+}
+
+// NewStreamCache returns an empty stream-order cache for repeated
+// partitioning runs over the same graphs.
+func NewStreamCache() *StreamCache { return stream.NewCache() }
+
+// PartitionCached is Partition with the stream order served from cache.
+func PartitionCached(g *Graph, algorithm string, k int, seed uint64, cache *StreamCache) (*PartitionResult, error) {
+	p, err := partition.New(algorithm, seed)
+	if err != nil {
+		return nil, err
+	}
+	return partition.RunCached(p, g, k, seed, cache)
+}

@@ -9,6 +9,7 @@ import (
 	"repro/internal/gen"
 	"repro/internal/graph"
 	"repro/internal/partition"
+	"repro/internal/stream"
 )
 
 // Config controls experiment scale and scope.
@@ -22,6 +23,10 @@ type Config struct {
 	Seed uint64
 	// Progress, when non-nil, receives one line per completed run.
 	Progress io.Writer
+
+	// cache memoizes stream orders across the many runs an experiment
+	// makes over the same graph; withDefaults installs one per experiment.
+	cache *stream.Cache
 }
 
 func (c Config) withDefaults() Config {
@@ -33,6 +38,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.Seed == 0 {
 		c.Seed = 42
+	}
+	if c.cache == nil {
+		c.cache = stream.NewCache()
 	}
 	return c
 }
@@ -49,7 +57,7 @@ func (c Config) run(name string, g *graph.Graph, k int) (*partition.Result, erro
 	if err != nil {
 		return nil, err
 	}
-	res, err := partition.Run(p, g, k, c.Seed)
+	res, err := partition.RunCached(p, g, k, c.Seed, c.cache)
 	if err != nil {
 		return nil, err
 	}

@@ -150,7 +150,7 @@ func Fig10(cfg Config) ([]Table, error) {
 	}
 	for _, threads := range []int{1, 8, 16, 32} {
 		p := &partition.CLUGP{Seed: cfg.Seed, Threads: threads, BatchSize: 1280}
-		res, err := partition.Run(p, g, k, cfg.Seed)
+		res, err := partition.RunCached(p, g, k, cfg.Seed, cfg.cache)
 		if err != nil {
 			return nil, err
 		}
@@ -171,7 +171,7 @@ func Fig10(cfg Config) ([]Table, error) {
 	}
 	for _, batch := range []int{640, 1280, 2560, 6400, 12800, 25600} {
 		p := &partition.CLUGP{Seed: cfg.Seed, BatchSize: batch}
-		res, err := partition.Run(p, g, k, cfg.Seed)
+		res, err := partition.RunCached(p, g, k, cfg.Seed, cfg.cache)
 		if err != nil {
 			return nil, err
 		}
@@ -197,7 +197,7 @@ func Fig11(cfg Config) ([]Table, error) {
 		graphs[name] = ds.Build(cfg.Scale)
 	}
 	runCLUGP := func(p *partition.CLUGP, name string) (float64, error) {
-		res, err := partition.Run(p, graphs[name], k, cfg.Seed)
+		res, err := partition.RunCached(p, graphs[name], k, cfg.Seed, cfg.cache)
 		if err != nil {
 			return 0, err
 		}

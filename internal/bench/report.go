@@ -1,0 +1,332 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"os"
+	"sort"
+	"strings"
+)
+
+// Cell is one grid point of a suite run: one algorithm on one dataset at
+// one partition count and seed, with the quality and cost numbers the
+// paper's figures are built from.
+type Cell struct {
+	Algorithm string `json:"algorithm"`
+	Dataset   string `json:"dataset"`
+	K         int    `json:"k"`
+	Seed      uint64 `json:"seed"`
+	// Order is the stream order the algorithm ran under (its preference).
+	Order string `json:"order"`
+	// Vertices and Edges describe the built graph (after scaling).
+	Vertices int `json:"vertices"`
+	Edges    int `json:"edges"`
+	// ReplicationFactor and RelativeBalance are the Section II-B quality
+	// metrics; both are deterministic given (algorithm, dataset, k, seed).
+	ReplicationFactor float64 `json:"replication_factor"`
+	RelativeBalance   float64 `json:"relative_balance"`
+	// RuntimeNS is the partitioning wall time. Unlike the quality metrics
+	// it varies run to run and across hardware.
+	RuntimeNS int64 `json:"runtime_ns"`
+	// StateBytes is the algorithm-state memory model (Figure 6).
+	StateBytes int64 `json:"state_bytes"`
+}
+
+// ID names the cell's grid coordinates (stable across runs; runtime and
+// quality excluded), the join key for baseline diffs.
+func (c Cell) ID() string {
+	return fmt.Sprintf("%s/%s k=%d seed=%d", c.Algorithm, c.Dataset, c.K, c.Seed)
+}
+
+// Report is a machine-readable suite result, serialized as
+// BENCH_<experiment>.json so every future change has a perf trajectory to
+// diff against. Quality fields are deterministic; runtime fields carry the
+// run metadata needed to interpret them (go version, GOMAXPROCS, workers).
+type Report struct {
+	// Experiment names the run; the canonical full grid is "suite".
+	Experiment string `json:"experiment"`
+	// GoVersion and GOMAXPROCS identify the toolchain and hardware budget
+	// the runtime numbers were measured under.
+	GoVersion  string `json:"go_version"`
+	GOMAXPROCS int    `json:"gomaxprocs"`
+	// Workers is the suite worker-pool size used (1 = serial).
+	Workers int `json:"workers"`
+	// Scale, Algorithms, Datasets, Ks and Seeds reproduce the grid.
+	Scale      float64  `json:"scale"`
+	Algorithms []string `json:"algorithms"`
+	Datasets   []string `json:"datasets"`
+	Ks         []int    `json:"ks"`
+	Seeds      []uint64 `json:"seeds"`
+	// WallTimeNS is end-to-end suite time (graph building included).
+	WallTimeNS int64 `json:"wall_time_ns"`
+	// StreamOrdersBuilt counts distinct stream orderings materialized by
+	// the shared cache - at most one per (graph, order, seed) key (seed
+	// only distinguishes Random), however many cells consumed them.
+	StreamOrdersBuilt int64 `json:"stream_orders_built"`
+	// Cells holds one entry per grid point, in deterministic
+	// dataset-major, algorithm, k, seed order.
+	Cells []Cell `json:"cells"`
+}
+
+// Filename is the canonical on-disk name for the report.
+func (r *Report) Filename() string {
+	return fmt.Sprintf("BENCH_%s.json", r.Experiment)
+}
+
+// WriteJSON serializes the report (indented, trailing newline).
+func (r *Report) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r)
+}
+
+// WriteFile writes the report to path (conventionally r.Filename()).
+func (r *Report) WriteFile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := r.WriteJSON(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// ReadReport parses a report written by WriteJSON.
+func ReadReport(rd io.Reader) (*Report, error) {
+	var r Report
+	dec := json.NewDecoder(rd)
+	if err := dec.Decode(&r); err != nil {
+		return nil, fmt.Errorf("parsing report: %w", err)
+	}
+	return &r, nil
+}
+
+// LoadReport reads a report file written by WriteFile.
+func LoadReport(path string) (*Report, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	r, err := ReadReport(f)
+	if err != nil {
+		return nil, fmt.Errorf("bench: %s: %w", path, err)
+	}
+	return r, nil
+}
+
+// Table renders the report as one human-readable table per dataset.
+func (r *Report) Table() []Table {
+	byDataset := map[string][]Cell{}
+	for _, c := range r.Cells {
+		byDataset[c.Dataset] = append(byDataset[c.Dataset], c)
+	}
+	var tables []Table
+	for _, ds := range r.Datasets {
+		cells := byDataset[ds]
+		if len(cells) == 0 {
+			continue
+		}
+		t := Table{
+			ID:     fmt.Sprintf("%s-%s", r.Experiment, ds),
+			Title:  fmt.Sprintf("Suite results (%s, scale %.2f)", ds, r.Scale),
+			Header: []string{"algorithm", "k", "seed", "RF", "balance", "runtime(ms)", "state(MB)"},
+			Note: fmt.Sprintf("%s, GOMAXPROCS=%d, %d workers, %d stream orders built",
+				r.GoVersion, r.GOMAXPROCS, r.Workers, r.StreamOrdersBuilt),
+		}
+		for _, c := range cells {
+			t.AddRow(c.Algorithm, fmt.Sprintf("%d", c.K), fmt.Sprintf("%d", c.Seed),
+				f3(c.ReplicationFactor), f3(c.RelativeBalance),
+				fmt.Sprintf("%.1f", float64(c.RuntimeNS)/1e6), mb(c.StateBytes))
+		}
+		tables = append(tables, t)
+	}
+	return tables
+}
+
+// DiffOptions set the regression thresholds for Diff.
+type DiffOptions struct {
+	// QualityTolerance is the relative worsening of replication factor or
+	// balance tolerated before a cell is flagged. Quality is deterministic
+	// for a fixed grid, so the default is essentially exact (1e-9, noise
+	// floor only).
+	QualityTolerance float64
+	// RuntimeTolerance is the relative runtime growth tolerated before a
+	// cell is flagged. Runtime is noisy and hardware-dependent; the
+	// default 0.5 flags only >50% slowdowns.
+	RuntimeTolerance float64
+	// RuntimeFloorNS ignores runtime changes whose absolute difference is
+	// smaller than this, whatever the relative change - sub-floor cells
+	// are scheduler noise. Default 50ms; set negative to disable.
+	RuntimeFloorNS int64
+}
+
+func (o DiffOptions) withDefaults() DiffOptions {
+	if o.QualityTolerance == 0 {
+		o.QualityTolerance = 1e-9
+	}
+	if o.RuntimeTolerance == 0 {
+		o.RuntimeTolerance = 0.5
+	}
+	if o.RuntimeFloorNS == 0 {
+		o.RuntimeFloorNS = 50 * 1e6
+	}
+	return o
+}
+
+// Delta is one metric change on one cell between two reports.
+type Delta struct {
+	Cell     string  `json:"cell"`
+	Metric   string  `json:"metric"`
+	Baseline float64 `json:"baseline"`
+	Current  float64 `json:"current"`
+	// Relative is (current-baseline)/baseline; positive is worse for every
+	// diffed metric (RF, balance and runtime all want to be small).
+	Relative float64 `json:"relative"`
+}
+
+// DiffResult compares a current report against a baseline.
+type DiffResult struct {
+	// Matched counts cells present in both reports (joined by Cell.ID).
+	Matched int `json:"matched"`
+	// Incomparable lists matched cells whose underlying graphs differ
+	// (vertex or edge counts disagree - a scale or generator change).
+	// Their metrics describe different inputs and are not classified.
+	Incomparable []string `json:"incomparable,omitempty"`
+	// RuntimeSkipped is non-empty when runtime comparison was skipped
+	// because the reports were measured under different conditions
+	// (worker count or GOMAXPROCS); quality is still compared.
+	RuntimeSkipped string `json:"runtime_skipped,omitempty"`
+	// OnlyBaseline and OnlyCurrent list cells without a counterpart.
+	OnlyBaseline []string `json:"only_baseline,omitempty"`
+	OnlyCurrent  []string `json:"only_current,omitempty"`
+	// Regressions are metric worsenings beyond tolerance, worst first.
+	Regressions []Delta `json:"regressions,omitempty"`
+	// Improvements are metric gains beyond the same tolerance, best first.
+	Improvements []Delta `json:"improvements,omitempty"`
+}
+
+// HasRegressions reports whether any metric worsened beyond tolerance.
+func (d *DiffResult) HasRegressions() bool { return len(d.Regressions) > 0 }
+
+// Diff joins current against baseline cell-by-cell and classifies every
+// metric change. Quality metrics use QualityTolerance, runtime uses
+// RuntimeTolerance.
+func Diff(baseline, current *Report, opts DiffOptions) *DiffResult {
+	opts = opts.withDefaults()
+	base := make(map[string]Cell, len(baseline.Cells))
+	for _, c := range baseline.Cells {
+		base[c.ID()] = c
+	}
+	d := &DiffResult{}
+	// Runtimes measured under different scheduling conditions are not
+	// comparable: a 4-worker run oversubscribing the cores a serial
+	// baseline had to itself inflates every cell's wall time without any
+	// code being slower. Quality is scheduling-independent and is always
+	// compared.
+	switch {
+	case baseline.Workers != current.Workers:
+		d.RuntimeSkipped = fmt.Sprintf("workers differ (baseline %d, current %d)", baseline.Workers, current.Workers)
+	case baseline.GOMAXPROCS != current.GOMAXPROCS:
+		d.RuntimeSkipped = fmt.Sprintf("GOMAXPROCS differs (baseline %d, current %d)", baseline.GOMAXPROCS, current.GOMAXPROCS)
+	}
+	seen := make(map[string]bool, len(current.Cells))
+	for _, cur := range current.Cells {
+		id := cur.ID()
+		seen[id] = true
+		old, ok := base[id]
+		if !ok {
+			d.OnlyCurrent = append(d.OnlyCurrent, id)
+			continue
+		}
+		d.Matched++
+		// Same grid coordinates on a different graph (the reports were run
+		// at different -scale, or a generator changed): the metrics
+		// describe different inputs, so classifying them as regressions
+		// would be noise. Surface the mismatch instead.
+		if old.Vertices != cur.Vertices || old.Edges != cur.Edges {
+			d.Incomparable = append(d.Incomparable, id)
+			continue
+		}
+		d.classify(id, "replication_factor", old.ReplicationFactor, cur.ReplicationFactor, opts.QualityTolerance)
+		d.classify(id, "relative_balance", old.RelativeBalance, cur.RelativeBalance, opts.QualityTolerance)
+		if d.RuntimeSkipped == "" && math.Abs(float64(cur.RuntimeNS-old.RuntimeNS)) >= float64(opts.RuntimeFloorNS) {
+			d.classify(id, "runtime", float64(old.RuntimeNS), float64(cur.RuntimeNS), opts.RuntimeTolerance)
+		}
+	}
+	for _, c := range baseline.Cells {
+		if !seen[c.ID()] {
+			d.OnlyBaseline = append(d.OnlyBaseline, c.ID())
+		}
+	}
+	sort.Slice(d.Regressions, func(i, j int) bool { return d.Regressions[i].Relative > d.Regressions[j].Relative })
+	sort.Slice(d.Improvements, func(i, j int) bool { return d.Improvements[i].Relative < d.Improvements[j].Relative })
+	return d
+}
+
+func (d *DiffResult) classify(id, metric string, old, cur, tol float64) {
+	if old == cur {
+		return
+	}
+	var rel float64
+	switch {
+	case old != 0:
+		rel = (cur - old) / math.Abs(old)
+	case cur > 0:
+		rel = math.Inf(1)
+	default:
+		rel = math.Inf(-1)
+	}
+	delta := Delta{Cell: id, Metric: metric, Baseline: old, Current: cur, Relative: rel}
+	switch {
+	case rel > tol:
+		d.Regressions = append(d.Regressions, delta)
+	case rel < -tol:
+		d.Improvements = append(d.Improvements, delta)
+	}
+}
+
+// Table renders the diff as a table: regressions first, then improvements.
+func (d *DiffResult) Table() Table {
+	t := Table{
+		ID:     "baseline-diff",
+		Title:  fmt.Sprintf("Baseline comparison (%d cells matched)", d.Matched),
+		Header: []string{"status", "cell", "metric", "baseline", "current", "change"},
+	}
+	row := func(status string, dl Delta) {
+		fmtVal := func(v float64) string {
+			if dl.Metric == "runtime" {
+				return fmt.Sprintf("%.1fms", v/1e6)
+			}
+			return f3(v)
+		}
+		t.AddRow(status, dl.Cell, dl.Metric, fmtVal(dl.Baseline), fmtVal(dl.Current),
+			fmt.Sprintf("%+.1f%%", 100*dl.Relative))
+	}
+	for _, dl := range d.Regressions {
+		row("REGRESSION", dl)
+	}
+	for _, dl := range d.Improvements {
+		row("improved", dl)
+	}
+	if len(d.Regressions)+len(d.Improvements) == 0 {
+		t.AddRow("ok", fmt.Sprintf("all %d matched cells within tolerance", d.Matched), "-", "-", "-", "-")
+	}
+	var notes []string
+	if len(d.Incomparable) > 0 {
+		notes = append(notes, fmt.Sprintf("%d cells ran on different graphs (scale or generator changed) and were not compared", len(d.Incomparable)))
+	}
+	if d.RuntimeSkipped != "" {
+		notes = append(notes, "runtime not compared: "+d.RuntimeSkipped)
+	}
+	if n := len(d.OnlyBaseline) + len(d.OnlyCurrent); n > 0 {
+		notes = append(notes, fmt.Sprintf("%d cells without a counterpart (grid changed): baseline-only %d, current-only %d",
+			n, len(d.OnlyBaseline), len(d.OnlyCurrent)))
+	}
+	t.Note = strings.Join(notes, "; ")
+	return t
+}

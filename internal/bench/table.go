@@ -9,7 +9,7 @@ import (
 // Table is one experiment artefact: a titled grid of rows that mirrors a
 // table or one panel of a figure from the paper.
 type Table struct {
-	// ID is the experiment id from DESIGN.md (e.g. "fig3a").
+	// ID is the experiment artefact id (e.g. "fig3a"; see DESIGN.md).
 	ID string
 	// Title describes the artefact (e.g. "Replication factor vs #partitions (UK)").
 	Title string

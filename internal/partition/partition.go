@@ -61,9 +61,34 @@ func Run(p Partitioner, g *graph.Graph, k int, seed uint64) (*Result, error) {
 		return nil, fmt.Errorf("partition: k must be >= 1, got %d", k)
 	}
 	order := p.PreferredOrder()
-	edges := stream.Edges(g, order, seed)
+	return RunStreamed(p, stream.Edges(g, order, seed), order, g.NumVertices, k)
+}
+
+// RunCached is Run with the stream order served from c, so repeated runs
+// over the same graph (the experiment-suite hot path) reuse one ordered
+// slice instead of re-materializing it per run. A nil cache falls back to
+// Run. The cached slice is shared across runs and must not be mutated;
+// see stream.Cache.
+func RunCached(p Partitioner, g *graph.Graph, k int, seed uint64, c *stream.Cache) (*Result, error) {
+	if k < 1 {
+		return nil, fmt.Errorf("partition: k must be >= 1, got %d", k)
+	}
+	if c == nil {
+		return Run(p, g, k, seed)
+	}
+	order := p.PreferredOrder()
+	return RunStreamed(p, c.Edges(g, order, seed), order, g.NumVertices, k)
+}
+
+// RunStreamed partitions an already-ordered edge stream, timing the
+// partitioning pass(es) and evaluating quality. order records how edges was
+// produced; it is bookkeeping only and does not reorder anything.
+func RunStreamed(p Partitioner, edges []graph.Edge, order stream.Order, numVertices, k int) (*Result, error) {
+	if k < 1 {
+		return nil, fmt.Errorf("partition: k must be >= 1, got %d", k)
+	}
 	start := time.Now()
-	assign, err := p.Partition(edges, g.NumVertices, k)
+	assign, err := p.Partition(edges, numVertices, k)
 	elapsed := time.Since(start)
 	if err != nil {
 		return nil, fmt.Errorf("partition: %s: %w", p.Name(), err)
@@ -71,7 +96,7 @@ func Run(p Partitioner, g *graph.Graph, k int, seed uint64) (*Result, error) {
 	if len(assign) != len(edges) {
 		return nil, fmt.Errorf("partition: %s returned %d assignments for %d edges", p.Name(), len(assign), len(edges))
 	}
-	q, err := metrics.Evaluate(edges, assign, g.NumVertices, k)
+	q, err := metrics.Evaluate(edges, assign, numVertices, k)
 	if err != nil {
 		return nil, fmt.Errorf("partition: %s: %w", p.Name(), err)
 	}
@@ -79,14 +104,14 @@ func Run(p Partitioner, g *graph.Graph, k int, seed uint64) (*Result, error) {
 		Algorithm:   p.Name(),
 		Order:       order,
 		K:           k,
-		NumVertices: g.NumVertices,
+		NumVertices: numVertices,
 		Edges:       edges,
 		Assign:      assign,
 		Quality:     q,
 		Runtime:     elapsed,
 	}
 	if s, ok := p.(StateSizer); ok {
-		res.StateBytes = s.StateBytes(g.NumVertices, len(edges), k)
+		res.StateBytes = s.StateBytes(numVertices, len(edges), k)
 	}
 	return res, nil
 }

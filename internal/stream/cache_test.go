@@ -1,0 +1,96 @@
+package stream
+
+import (
+	"sync"
+	"testing"
+
+	"repro/internal/gen"
+	"repro/internal/graph"
+)
+
+func cacheTestGraph(t *testing.T) *graph.Graph {
+	t.Helper()
+	return gen.Web(gen.WebConfig{N: 2000, OutDegree: 6, SiteMean: 40, IntraSite: 0.8, CopyFactor: 0.5, Seed: 7})
+}
+
+func edgesEqual(a, b []graph.Edge) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// TestCacheMatchesEdges checks the cache returns exactly what a direct
+// Edges call produces, for every order.
+func TestCacheMatchesEdges(t *testing.T) {
+	g := cacheTestGraph(t)
+	c := NewCache()
+	for _, order := range []Order{Natural, BFS, DFS, Random} {
+		want := Edges(g, order, 99)
+		got := c.Edges(g, order, 99)
+		if !edgesEqual(got, want) {
+			t.Errorf("order %v: cached stream differs from direct Edges", order)
+		}
+	}
+}
+
+// TestCacheComputesOnce checks repeated lookups reuse the same slice and
+// the cache materializes each distinct key exactly once.
+func TestCacheComputesOnce(t *testing.T) {
+	g := cacheTestGraph(t)
+	c := NewCache()
+	first := c.Edges(g, BFS, 1)
+	for i := 0; i < 10; i++ {
+		again := c.Edges(g, BFS, uint64(i))
+		if len(again) > 0 && &again[0] != &first[0] {
+			t.Fatalf("lookup %d returned a different slice; want the cached one", i)
+		}
+	}
+	if got := c.Builds(); got != 1 {
+		t.Errorf("Builds() = %d after repeated BFS lookups, want 1 (seed must not fragment non-random orders)", got)
+	}
+
+	// Random keys on seed; distinct seeds are distinct streams.
+	r1 := c.Edges(g, Random, 1)
+	r2 := c.Edges(g, Random, 2)
+	if edgesEqual(r1, r2) {
+		t.Error("Random streams for different seeds are identical")
+	}
+	if again := c.Edges(g, Random, 1); &again[0] != &r1[0] {
+		t.Error("Random lookup with same seed did not reuse the cached slice")
+	}
+	if got := c.Builds(); got != 3 {
+		t.Errorf("Builds() = %d, want 3 (bfs + two random seeds)", got)
+	}
+}
+
+// TestCacheConcurrent hammers one key from many goroutines: every caller
+// must observe the same slice and the computation must run exactly once.
+func TestCacheConcurrent(t *testing.T) {
+	g := cacheTestGraph(t)
+	c := NewCache()
+	const goroutines = 16
+	results := make([][]graph.Edge, goroutines)
+	var wg sync.WaitGroup
+	for i := 0; i < goroutines; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			results[i] = c.Edges(g, BFS, 0)
+		}(i)
+	}
+	wg.Wait()
+	for i := 1; i < goroutines; i++ {
+		if &results[i][0] != &results[0][0] {
+			t.Fatalf("goroutine %d got a different slice", i)
+		}
+	}
+	if got := c.Builds(); got != 1 {
+		t.Errorf("Builds() = %d under concurrency, want 1", got)
+	}
+}
