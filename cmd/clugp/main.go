@@ -118,7 +118,8 @@ func writeAssign(path string, res *repro.PartitionResult) error {
 	defer f.Close()
 	w := bufio.NewWriterSize(f, 1<<16)
 	var buf []byte
-	for i, e := range res.Edges {
+	for i, n := 0, res.Stream.Len(); i < n; i++ {
+		e := res.Stream.At(i)
 		buf = buf[:0]
 		buf = strconv.AppendUint(buf, uint64(e.Src), 10)
 		buf = append(buf, ' ')

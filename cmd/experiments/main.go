@@ -43,6 +43,7 @@ func main() {
 		baseline = flag.String("baseline", "", "diff the suite against a prior BENCH_*.json report")
 		name     = flag.String("name", "suite", "experiment name for the JSON report filename")
 		seeds    = flag.Int("seeds", 1, "number of seed replicates per suite cell (seed, seed+1, ...)")
+		rtol     = flag.Float64("rtol", 0, "runtime regression tolerance for -baseline (0 = default 0.5; CI on unmatched hardware should raise it)")
 		algoList = flag.String("algos", "", "comma-separated algorithms for the suite (default: the paper's six)")
 		dsList   = flag.String("datasets", "", "comma-separated datasets for the suite (default: all five)")
 		ksList   = flag.String("ks", "", "comma-separated partition counts for the suite (default: 4..256)")
@@ -59,10 +60,10 @@ func main() {
 			fmt.Fprintln(os.Stderr, "experiments: -json/-baseline run the benchmark suite and cannot be combined with -fig or -all")
 			os.Exit(2)
 		}
-		runSuite(*name, *scale, *seed, *seeds, *workers, *algoList, *dsList, *ksList, *jsonOut, *baseline, *quiet)
+		runSuite(*name, *scale, *seed, *seeds, *workers, *algoList, *dsList, *ksList, *jsonOut, *baseline, *quiet, *rtol)
 		return
 	}
-	for _, suiteOnly := range []string{"workers", "seeds", "name", "algos", "datasets", "ks"} {
+	for _, suiteOnly := range []string{"workers", "seeds", "name", "algos", "datasets", "ks", "rtol"} {
 		if set[suiteOnly] {
 			fmt.Fprintf(os.Stderr, "experiments: warning: -%s only applies to suite mode (-json/-baseline) and is ignored here\n", suiteOnly)
 		}
@@ -103,7 +104,7 @@ func main() {
 
 // runSuite executes the benchmark grid, optionally writes the JSON report,
 // and optionally diffs it against a baseline (exit 2 on regression).
-func runSuite(name string, scale float64, seed uint64, seeds, workers int, algoList, dsList, ksList string, writeJSON bool, baseline string, quiet bool) {
+func runSuite(name string, scale float64, seed uint64, seeds, workers int, algoList, dsList, ksList string, writeJSON bool, baseline string, quiet bool, rtol float64) {
 	cfg := repro.SuiteConfig{
 		Scale:      scale,
 		Workers:    workers,
@@ -154,7 +155,7 @@ func runSuite(name string, scale float64, seed uint64, seeds, workers int, algoL
 			fmt.Fprintln(os.Stderr, "experiments:", err)
 			os.Exit(1)
 		}
-		diff := repro.DiffReports(prior, report, repro.DiffOptions{})
+		diff := repro.DiffReports(prior, report, repro.DiffOptions{RuntimeTolerance: rtol})
 		t := diff.Table()
 		if err := t.Render(os.Stdout); err != nil {
 			fmt.Fprintln(os.Stderr, "experiments:", err)

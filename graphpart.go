@@ -92,6 +92,12 @@ func SampleVertices(g *Graph, frac float64, seed uint64) *Graph {
 // Stream orders (Definition 1; each partitioner declares its preference).
 type Order = stream.Order
 
+// StreamView is a zero-copy, read-only view of an ordered edge stream: the
+// base edge slice plus an optional permutation. All partitioners consume
+// streams through views, so replaying or caching an order never copies
+// edges.
+type StreamView = stream.View
+
 const (
 	// OrderNatural preserves generation order.
 	OrderNatural = stream.Natural
@@ -103,8 +109,19 @@ const (
 	OrderRandom = stream.Random
 )
 
-// StreamEdges returns the graph's edges in the requested order.
+// StreamEdges returns the graph's edges in the requested order as a slice
+// (a copy for every order but Natural). Prefer NewStreamView, which never
+// copies.
 func StreamEdges(g *Graph, order Order, seed uint64) []Edge { return stream.Edges(g, order, seed) }
+
+// NewStreamView returns the graph's edges in the requested order as a
+// zero-copy permutation view.
+func NewStreamView(g *Graph, order Order, seed uint64) StreamView {
+	return stream.NewView(g, order, seed)
+}
+
+// StreamOf wraps an edge slice in its natural-order view.
+func StreamOf(edges []Edge) StreamView { return stream.Of(edges) }
 
 // Partitioners.
 type (
@@ -187,7 +204,13 @@ func RunPartitioner(p Partitioner, g *Graph, k int, seed uint64) (*PartitionResu
 
 // EvaluatePartition recomputes quality metrics from an edge assignment.
 func EvaluatePartition(edges []Edge, assign []int32, numVertices, k int) (*Quality, error) {
-	return metrics.Evaluate(edges, assign, numVertices, k)
+	return metrics.Evaluate(stream.Of(edges), assign, numVertices, k)
+}
+
+// EvaluateStream recomputes quality metrics for an assignment over an
+// ordered stream view (e.g. PartitionResult.Stream).
+func EvaluateStream(s StreamView, assign []int32, numVertices, k int) (*Quality, error) {
+	return metrics.Evaluate(s, assign, numVertices, k)
 }
 
 // Pipeline access (the paper's contribution, stage by stage).

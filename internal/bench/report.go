@@ -32,6 +32,15 @@ type Cell struct {
 	RuntimeNS int64 `json:"runtime_ns"`
 	// StateBytes is the algorithm-state memory model (Figure 6).
 	StateBytes int64 `json:"state_bytes"`
+	// Allocs and AllocBytes are the heap allocations (count and bytes)
+	// performed while running the cell, measured as runtime.MemStats deltas
+	// around the run. With a serial suite (workers=1) they are deterministic
+	// functions of the code - unlike wall time - so Diff gates on them
+	// strictly: any growth is a regression. Zero means "not recorded"
+	// (reports from before the field existed, or parallel runs, whose
+	// deltas interleave other workers' allocations).
+	Allocs     int64 `json:"allocs,omitempty"`
+	AllocBytes int64 `json:"alloc_bytes,omitempty"`
 }
 
 // ID names the cell's grid coordinates (stable across runs; runtime and
@@ -73,6 +82,17 @@ type Report struct {
 // Filename is the canonical on-disk name for the report.
 func (r *Report) Filename() string {
 	return fmt.Sprintf("BENCH_%s.json", r.Experiment)
+}
+
+// hasAllocs reports whether the report carries allocation data (any cell
+// with a non-zero count; reports predating the field decode to all-zero).
+func (r *Report) hasAllocs() bool {
+	for i := range r.Cells {
+		if r.Cells[i].Allocs != 0 {
+			return true
+		}
+	}
+	return len(r.Cells) == 0
 }
 
 // WriteJSON serializes the report (indented, trailing newline).
@@ -134,14 +154,18 @@ func (r *Report) Table() []Table {
 		t := Table{
 			ID:     fmt.Sprintf("%s-%s", r.Experiment, ds),
 			Title:  fmt.Sprintf("Suite results (%s, scale %.2f)", ds, r.Scale),
-			Header: []string{"algorithm", "k", "seed", "RF", "balance", "runtime(ms)", "state(MB)"},
+			Header: []string{"algorithm", "k", "seed", "RF", "balance", "runtime(ms)", "state(MB)", "allocs"},
 			Note: fmt.Sprintf("%s, GOMAXPROCS=%d, %d workers, %d stream orders built",
 				r.GoVersion, r.GOMAXPROCS, r.Workers, r.StreamOrdersBuilt),
 		}
 		for _, c := range cells {
+			allocs := "-"
+			if c.Allocs != 0 {
+				allocs = fmt.Sprintf("%d", c.Allocs)
+			}
 			t.AddRow(c.Algorithm, fmt.Sprintf("%d", c.K), fmt.Sprintf("%d", c.Seed),
 				f3(c.ReplicationFactor), f3(c.RelativeBalance),
-				fmt.Sprintf("%.1f", float64(c.RuntimeNS)/1e6), mb(c.StateBytes))
+				fmt.Sprintf("%.1f", float64(c.RuntimeNS)/1e6), mb(c.StateBytes), allocs)
 		}
 		tables = append(tables, t)
 	}
@@ -163,6 +187,19 @@ type DiffOptions struct {
 	// smaller than this, whatever the relative change - sub-floor cells
 	// are scheduler noise. Default 50ms; set negative to disable.
 	RuntimeFloorNS int64
+	// AllocTolerance is the relative growth of a cell's allocation count or
+	// bytes tolerated before it is flagged. Allocations measured by a
+	// serial suite are deterministic, so the default is essentially exact
+	// (1e-9, float noise floor only): any growth is a regression.
+	AllocTolerance float64
+	// AllocFloor and AllocBytesFloor ignore allocation changes whose
+	// absolute difference is below them. The measured code is deterministic
+	// but the Go runtime occasionally contributes a stray allocation or two
+	// (goroutine bookkeeping) to a cell's delta; a real per-edge or
+	// per-batch regression shows up as hundreds. Defaults 8 allocations and
+	// 4096 bytes; set negative to disable.
+	AllocFloor      int64
+	AllocBytesFloor int64
 }
 
 func (o DiffOptions) withDefaults() DiffOptions {
@@ -174,6 +211,15 @@ func (o DiffOptions) withDefaults() DiffOptions {
 	}
 	if o.RuntimeFloorNS == 0 {
 		o.RuntimeFloorNS = 50 * 1e6
+	}
+	if o.AllocTolerance == 0 {
+		o.AllocTolerance = 1e-9
+	}
+	if o.AllocFloor == 0 {
+		o.AllocFloor = 8
+	}
+	if o.AllocBytesFloor == 0 {
+		o.AllocBytesFloor = 4096
 	}
 	return o
 }
@@ -201,6 +247,11 @@ type DiffResult struct {
 	// because the reports were measured under different conditions
 	// (worker count or GOMAXPROCS); quality is still compared.
 	RuntimeSkipped string `json:"runtime_skipped,omitempty"`
+	// AllocSkipped is non-empty when allocation comparison was skipped:
+	// either report ran with parallel workers (concurrent cells interleave
+	// their MemStats deltas, so counts are not attributable) or the
+	// baseline predates allocation recording.
+	AllocSkipped string `json:"alloc_skipped,omitempty"`
 	// OnlyBaseline and OnlyCurrent list cells without a counterpart.
 	OnlyBaseline []string `json:"only_baseline,omitempty"`
 	OnlyCurrent  []string `json:"only_current,omitempty"`
@@ -234,6 +285,22 @@ func Diff(baseline, current *Report, opts DiffOptions) *DiffResult {
 	case baseline.GOMAXPROCS != current.GOMAXPROCS:
 		d.RuntimeSkipped = fmt.Sprintf("GOMAXPROCS differs (baseline %d, current %d)", baseline.GOMAXPROCS, current.GOMAXPROCS)
 	}
+	// Allocation counts are only attributable to a cell when cells ran one
+	// at a time; a parallel run interleaves every worker's allocations into
+	// each delta. They are also only deterministic at GOMAXPROCS=1: above
+	// it, the partitioner-internal worker pools (the cluster game) allocate
+	// per-worker scratch lazily on whichever workers the scheduler happens
+	// to hand batches, so even two identical runs disagree.
+	switch {
+	case baseline.Workers != 1 || current.Workers != 1:
+		d.AllocSkipped = fmt.Sprintf("allocation deltas need a serial suite (workers: baseline %d, current %d)", baseline.Workers, current.Workers)
+	case baseline.GOMAXPROCS != 1 || current.GOMAXPROCS != 1:
+		d.AllocSkipped = fmt.Sprintf("allocation deltas need GOMAXPROCS=1 (baseline %d, current %d): scheduler-dependent per-worker scratch otherwise", baseline.GOMAXPROCS, current.GOMAXPROCS)
+	case !baseline.hasAllocs():
+		d.AllocSkipped = "baseline has no allocation data"
+	case !current.hasAllocs():
+		d.AllocSkipped = "current report has no allocation data"
+	}
 	seen := make(map[string]bool, len(current.Cells))
 	for _, cur := range current.Cells {
 		id := cur.ID()
@@ -257,6 +324,14 @@ func Diff(baseline, current *Report, opts DiffOptions) *DiffResult {
 		if d.RuntimeSkipped == "" && math.Abs(float64(cur.RuntimeNS-old.RuntimeNS)) >= float64(opts.RuntimeFloorNS) {
 			d.classify(id, "runtime", float64(old.RuntimeNS), float64(cur.RuntimeNS), opts.RuntimeTolerance)
 		}
+		if d.AllocSkipped == "" {
+			if abs64(cur.Allocs-old.Allocs) >= opts.AllocFloor {
+				d.classify(id, "allocs", float64(old.Allocs), float64(cur.Allocs), opts.AllocTolerance)
+			}
+			if abs64(cur.AllocBytes-old.AllocBytes) >= opts.AllocBytesFloor {
+				d.classify(id, "alloc_bytes", float64(old.AllocBytes), float64(cur.AllocBytes), opts.AllocTolerance)
+			}
+		}
 	}
 	for _, c := range baseline.Cells {
 		if !seen[c.ID()] {
@@ -266,6 +341,13 @@ func Diff(baseline, current *Report, opts DiffOptions) *DiffResult {
 	sort.Slice(d.Regressions, func(i, j int) bool { return d.Regressions[i].Relative > d.Regressions[j].Relative })
 	sort.Slice(d.Improvements, func(i, j int) bool { return d.Improvements[i].Relative < d.Improvements[j].Relative })
 	return d
+}
+
+func abs64(x int64) int64 {
+	if x < 0 {
+		return -x
+	}
+	return x
 }
 
 func (d *DiffResult) classify(id, metric string, old, cur, tol float64) {
@@ -299,8 +381,11 @@ func (d *DiffResult) Table() Table {
 	}
 	row := func(status string, dl Delta) {
 		fmtVal := func(v float64) string {
-			if dl.Metric == "runtime" {
+			switch dl.Metric {
+			case "runtime":
 				return fmt.Sprintf("%.1fms", v/1e6)
+			case "allocs", "alloc_bytes":
+				return fmt.Sprintf("%.0f", v)
 			}
 			return f3(v)
 		}
@@ -322,6 +407,9 @@ func (d *DiffResult) Table() Table {
 	}
 	if d.RuntimeSkipped != "" {
 		notes = append(notes, "runtime not compared: "+d.RuntimeSkipped)
+	}
+	if d.AllocSkipped != "" {
+		notes = append(notes, "allocations not compared: "+d.AllocSkipped)
 	}
 	if n := len(d.OnlyBaseline) + len(d.OnlyCurrent); n > 0 {
 		notes = append(notes, fmt.Sprintf("%d cells without a counterpart (grid changed): baseline-only %d, current-only %d",

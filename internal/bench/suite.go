@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"io"
 	"runtime"
+	"runtime/debug"
 	"sync"
 	"time"
 
@@ -132,6 +133,7 @@ func RunSuiteParallel(cfg SuiteConfig) (*Report, error) {
 	cache := stream.NewCache()
 	cells := make([]Cell, len(jobs))
 	errs := make([]error, len(jobs))
+	trackAllocs := cfg.Workers == 1
 	jobCh := make(chan cellJob)
 	var wg sync.WaitGroup
 	for w := 0; w < cfg.Workers; w++ {
@@ -139,7 +141,7 @@ func RunSuiteParallel(cfg SuiteConfig) (*Report, error) {
 		go func() {
 			defer wg.Done()
 			for job := range jobCh {
-				cell, err := runCell(job, cache)
+				cell, err := runCell(job, cache, trackAllocs)
 				cells[job.index], errs[job.index] = cell, err
 				if err == nil {
 					suiteLogf(cfg, "  %-8s %-8s k=%-4d seed=%-4d RF=%.3f bal=%.3f t=%v",
@@ -180,16 +182,32 @@ func RunSuiteParallel(cfg SuiteConfig) (*Report, error) {
 // runCell executes one grid point. Each cell constructs its own partitioner
 // (they carry per-run state like CLUGP.LastTrace), so cells share nothing
 // but the read-only graph and the stream cache.
-func runCell(job cellJob, cache *stream.Cache) (Cell, error) {
+//
+// trackAllocs captures runtime.MemStats deltas around the run. The deltas
+// are only attributable to the cell when no other cell runs concurrently,
+// so the suite enables them for serial runs (Workers == 1). To make them
+// deterministic - the point of gating on them - the automatic GC is
+// disabled for the duration of the cell and the heap is settled with one
+// forced collection first: GC pacing varies run to run and perturbs the
+// counts by a handful of allocations (incremental map growth, goroutine
+// reuse) when a cycle lands mid-cell.
+func runCell(job cellJob, cache *stream.Cache, trackAllocs bool) (Cell, error) {
 	p, err := partition.New(job.algorithm, job.seed)
 	if err != nil {
 		return Cell{}, err
+	}
+	var before runtime.MemStats
+	if trackAllocs {
+		gcPercent := debug.SetGCPercent(-1)
+		defer debug.SetGCPercent(gcPercent)
+		runtime.GC()
+		runtime.ReadMemStats(&before)
 	}
 	res, err := partition.RunCached(p, job.g, job.k, job.seed, cache)
 	if err != nil {
 		return Cell{}, err
 	}
-	return Cell{
+	cell := Cell{
 		Algorithm:         job.algorithm,
 		Dataset:           job.dataset,
 		K:                 job.k,
@@ -201,7 +219,14 @@ func runCell(job cellJob, cache *stream.Cache) (Cell, error) {
 		RelativeBalance:   res.Quality.RelativeBalance,
 		RuntimeNS:         res.Runtime.Nanoseconds(),
 		StateBytes:        res.StateBytes,
-	}, nil
+	}
+	if trackAllocs {
+		var after runtime.MemStats
+		runtime.ReadMemStats(&after)
+		cell.Allocs = int64(after.Mallocs - before.Mallocs)
+		cell.AllocBytes = int64(after.TotalAlloc - before.TotalAlloc)
+	}
+	return cell, nil
 }
 
 // suiteMu serializes progress lines from concurrent workers.

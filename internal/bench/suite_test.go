@@ -19,8 +19,9 @@ func smallSuite() SuiteConfig {
 	}
 }
 
-// stripRuntimes zeroes the fields that legitimately vary run to run, so
-// the rest of the report can be compared exactly.
+// stripRuntimes zeroes the fields that legitimately vary with run
+// conditions - wall times always, allocation deltas because only serial
+// runs record them - so the rest of the report can be compared exactly.
 func stripRuntimes(r *Report) *Report {
 	c := *r
 	c.Workers = 0
@@ -28,6 +29,8 @@ func stripRuntimes(r *Report) *Report {
 	c.Cells = append([]Cell(nil), r.Cells...)
 	for i := range c.Cells {
 		c.Cells[i].RuntimeNS = 0
+		c.Cells[i].Allocs = 0
+		c.Cells[i].AllocBytes = 0
 	}
 	return &c
 }
@@ -236,5 +239,102 @@ func TestSuiteValidatesGrid(t *testing.T) {
 	cfg.Datasets = []string{"NoSuchDataset"}
 	if _, err := RunSuiteParallel(cfg); err == nil {
 		t.Error("unknown dataset: want error")
+	}
+}
+
+// TestDiffAllocGating pins the strict allocation gate: any growth in a
+// cell's alloc count is a regression when both reports are serial at the
+// same GOMAXPROCS, and the comparison is skipped (never false-flagged)
+// for parallel runs, mismatched GOMAXPROCS, or alloc-less baselines.
+func TestDiffAllocGating(t *testing.T) {
+	cell := Cell{Algorithm: "HDRF", Dataset: "UK", K: 4, Seed: 42,
+		Vertices: 100, Edges: 1000, ReplicationFactor: 2, RelativeBalance: 1,
+		Allocs: 100, AllocBytes: 4096}
+	base := &Report{Workers: 1, GOMAXPROCS: 1, Cells: []Cell{cell}}
+
+	// Growth beyond the absolute floor is a regression, however small in
+	// relative terms.
+	grew := cell
+	grew.Allocs = 108
+	d := Diff(base, &Report{Workers: 1, GOMAXPROCS: 1, Cells: []Cell{grew}}, DiffOptions{})
+	if len(d.Regressions) != 1 || d.Regressions[0].Metric != "allocs" {
+		t.Errorf("alloc growth: got %+v, want one allocs regression", d.Regressions)
+	}
+	// One or two stray allocations sit under the floor: runtime background
+	// noise, not a regression.
+	noise := cell
+	noise.Allocs = 102
+	d = Diff(base, &Report{Workers: 1, GOMAXPROCS: 1, Cells: []Cell{noise}}, DiffOptions{})
+	if d.HasRegressions() {
+		t.Errorf("sub-floor alloc jitter flagged: %+v", d.Regressions)
+	}
+	// Fewer bytes (beyond the floor) is an improvement, not a regression.
+	shrunk := cell
+	shrunk.AllocBytes = 0
+	shrunk.Allocs = 50
+	d = Diff(base, &Report{Workers: 1, GOMAXPROCS: 1, Cells: []Cell{shrunk}}, DiffOptions{})
+	if d.HasRegressions() || len(d.Improvements) != 2 {
+		t.Errorf("shrink: regressions %+v improvements %+v", d.Regressions, d.Improvements)
+	}
+
+	// Parallel run: skipped with a reason, growth not flagged.
+	d = Diff(base, &Report{Workers: 4, GOMAXPROCS: 1, Cells: []Cell{grew}}, DiffOptions{})
+	if d.AllocSkipped == "" || len(d.Regressions) != 0 {
+		t.Errorf("parallel: AllocSkipped=%q regressions=%+v", d.AllocSkipped, d.Regressions)
+	}
+	// GOMAXPROCS above 1 on either side: skipped (worker pools allocate
+	// scratch on scheduler-chosen workers, so counts are nondeterministic).
+	d = Diff(base, &Report{Workers: 1, GOMAXPROCS: 8, Cells: []Cell{grew}}, DiffOptions{})
+	if d.AllocSkipped == "" {
+		t.Error("GOMAXPROCS>1 current must skip alloc comparison")
+	}
+	multiBase := &Report{Workers: 1, GOMAXPROCS: 8, Cells: []Cell{cell}}
+	d = Diff(multiBase, &Report{Workers: 1, GOMAXPROCS: 8, Cells: []Cell{grew}}, DiffOptions{})
+	if d.AllocSkipped == "" || len(d.Regressions) != 0 {
+		t.Errorf("matching GOMAXPROCS=8 must still skip alloc comparison: %q %+v", d.AllocSkipped, d.Regressions)
+	}
+	// Baseline predating the field (all-zero allocs): skipped.
+	old := cell
+	old.Allocs, old.AllocBytes = 0, 0
+	d = Diff(&Report{Workers: 1, GOMAXPROCS: 1, Cells: []Cell{old}},
+		&Report{Workers: 1, GOMAXPROCS: 1, Cells: []Cell{grew}}, DiffOptions{})
+	if d.AllocSkipped == "" || len(d.Regressions) != 0 {
+		t.Errorf("alloc-less baseline: AllocSkipped=%q regressions=%+v", d.AllocSkipped, d.Regressions)
+	}
+}
+
+// TestSuiteSerialRecordsAllocs: a 1-worker suite records repeatable
+// allocation counts (up to the runtime's stray-allocation jitter, the same
+// sub-floor band the Diff gate ignores); a parallel suite leaves them zero.
+func TestSuiteSerialRecordsAllocs(t *testing.T) {
+	cfg := smallSuite()
+	cfg.Workers = 1
+	a, err := RunSuiteParallel(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := RunSuiteParallel(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	jitter := DiffOptions{}.withDefaults().AllocFloor
+	for i := range a.Cells {
+		if a.Cells[i].Allocs == 0 || a.Cells[i].AllocBytes == 0 {
+			t.Fatalf("serial cell %s recorded no allocations", a.Cells[i].ID())
+		}
+		if d := abs64(a.Cells[i].Allocs - b.Cells[i].Allocs); d >= jitter {
+			t.Fatalf("cell %s allocs not repeatable beyond runtime jitter: %d vs %d",
+				a.Cells[i].ID(), a.Cells[i].Allocs, b.Cells[i].Allocs)
+		}
+	}
+	cfg.Workers = 4
+	p, err := RunSuiteParallel(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range p.Cells {
+		if p.Cells[i].Allocs != 0 {
+			t.Fatal("parallel suite must not record per-cell allocations")
+		}
 	}
 }

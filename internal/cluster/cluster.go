@@ -14,6 +14,7 @@ import (
 	"fmt"
 
 	"repro/internal/graph"
+	"repro/internal/stream"
 )
 
 // ID identifies a cluster. None marks a vertex not yet allocated.
@@ -83,7 +84,7 @@ type Result struct {
 
 // Run performs one pass of streaming clustering over the edge stream.
 // numVertices must exceed every edge endpoint.
-func Run(edges []graph.Edge, numVertices int, cfg Config) (*Result, error) {
+func Run(s stream.View, numVertices int, cfg Config) (*Result, error) {
 	if cfg.Vmax <= 0 {
 		return nil, fmt.Errorf("cluster: Vmax must be positive, got %d", cfg.Vmax)
 	}
@@ -108,7 +109,8 @@ func Run(edges []graph.Edge, numVertices int, cfg Config) (*Result, error) {
 		st.assign[i] = None
 		st.splitFrom[i] = None
 	}
-	for _, e := range edges {
+	for i, n := 0, s.Len(); i < n; i++ {
+		e := s.At(i)
 		if int(e.Src) >= numVertices || int(e.Dst) >= numVertices {
 			return nil, fmt.Errorf("cluster: edge %d->%d out of range (n=%d)", e.Src, e.Dst, numVertices)
 		}

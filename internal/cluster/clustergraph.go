@@ -2,9 +2,10 @@ package cluster
 
 import (
 	"fmt"
+	"math"
 	"sort"
 
-	"repro/internal/graph"
+	"repro/internal/stream"
 )
 
 // Arc is one weighted inter-cluster adjacency entry. W counts directed
@@ -23,7 +24,8 @@ type Graph struct {
 	NumClusters int
 	// Intra[c] is |c|: the number of edges with both endpoints in c.
 	Intra []int64
-	// Adj[c] lists c's inter-cluster arcs, sorted by To.
+	// Adj[c] lists c's inter-cluster arcs, sorted by To. All rows share one
+	// flat backing array (a CSR layout); treat them as read-only.
 	Adj [][]Arc
 	// AdjTotal[c] is the summed arc weight of c: |e(c,V\c)| + |e(V\c,c)|.
 	AdjTotal []int64
@@ -44,17 +46,29 @@ type Graph struct {
 // BuildGraph aggregates the edge stream into the cluster graph using the
 // final assignments in res. res must be compacted first (every edge
 // endpoint assigned, ids dense).
-func BuildGraph(edges []graph.Edge, res *Result) (*Graph, error) {
+//
+// The build is a two-pass counting-sort CSR construction: crossing edges
+// are packed into (lo,hi) cluster-pair keys, radix-sorted by counting sort
+// (stable, two O(|E|+m) passes), and aggregated runs are scattered into one
+// flat arc array that every Adj row slices. No maps, no comparison sort,
+// and a bounded number of allocations regardless of edge count - the former
+// map+sort.Slice build allocated per pair bucket and per comparison
+// closure, which dominated CLUGP's allocation profile.
+func BuildGraph(s stream.View, res *Result) (*Graph, error) {
 	m := res.NumClusters
 	cg := &Graph{
 		NumClusters: m,
 		Intra:       make([]int64, m),
 		Adj:         make([][]Arc, m),
+		AdjTotal:    make([]int64, m),
+		Weight:      make([]int64, m),
 	}
-	// Aggregate pair weights in a map keyed by the (lo,hi) cluster pair.
-	// The number of distinct pairs is bounded by the edge count.
-	pair := make(map[uint64]int64, 1024)
-	for _, e := range edges {
+	numEdges := s.Len()
+
+	// Pass 1: intra counts and the number of crossing edges.
+	var crossing int
+	for i := 0; i < numEdges; i++ {
+		e := s.At(i)
 		cu := res.Assign[e.Src]
 		cv := res.Assign[e.Dst]
 		if cu == None || cv == None {
@@ -63,48 +77,136 @@ func BuildGraph(edges []graph.Edge, res *Result) (*Graph, error) {
 		if cu == cv {
 			cg.Intra[cu]++
 			cg.TotalIntra++
+		} else {
+			crossing++
+		}
+	}
+	cg.TotalInter = int64(crossing)
+	if crossing == 0 {
+		for c := 0; c < m; c++ {
+			cg.Weight[c] = 2 * cg.Intra[c]
+		}
+		return cg, nil
+	}
+
+	// Pass 2: pack each crossing edge as a (lo,hi) cluster-pair key.
+	pairs := make([]uint64, 0, crossing)
+	for i := 0; i < numEdges; i++ {
+		e := s.At(i)
+		cu := res.Assign[e.Src]
+		cv := res.Assign[e.Dst]
+		if cu == cv {
 			continue
 		}
-		cg.TotalInter++
 		lo, hi := cu, cv
 		if lo > hi {
 			lo, hi = hi, lo
 		}
-		pair[uint64(uint32(lo))<<32|uint64(uint32(hi))]++
+		pairs = append(pairs, uint64(uint32(lo))<<32|uint64(uint32(hi)))
 	}
-	counts := make([]int32, m)
-	for key := range pair {
-		lo := ID(key >> 32)
-		hi := ID(key & 0xffffffff)
-		counts[lo]++
-		counts[hi]++
+
+	// Stable LSD radix sort on the two cluster-id digits: counting-sort by
+	// hi, then by lo, leaves pairs sorted lexicographically by (lo,hi).
+	tmp := make([]uint64, len(pairs))
+	cnt := make([]int32, m+1)
+	countingSortByDigit(pairs, tmp, cnt, 0)  // by hi
+	countingSortByDigit(tmp, pairs, cnt, 32) // by lo
+
+	// Scan the sorted runs once to size each cluster's arc row (one arc per
+	// side per distinct pair), then prefix-sum into CSR offsets.
+	for i := range cnt {
+		cnt[i] = 0
 	}
-	for c := 0; c < m; c++ {
-		if counts[c] > 0 {
-			cg.Adj[c] = make([]Arc, 0, counts[c])
+	arcs := 0
+	for i := 0; i < len(pairs); {
+		j := i + 1
+		for j < len(pairs) && pairs[j] == pairs[i] {
+			j++
 		}
+		lo := ID(pairs[i] >> 32)
+		hi := ID(pairs[i] & 0xffffffff)
+		cnt[lo]++
+		cnt[hi]++
+		arcs += 2
+		i = j
 	}
-	for key, w := range pair {
-		lo := ID(key >> 32)
-		hi := ID(key & 0xffffffff)
-		cg.Adj[lo] = append(cg.Adj[lo], Arc{To: hi, W: w})
-		cg.Adj[hi] = append(cg.Adj[hi], Arc{To: lo, W: w})
+	// Offsets and cursors are int32 like the per-cluster counts; the total
+	// arc count must fit or the prefix sums wrap. Unreachable below ~1B
+	// distinct crossing pairs (a 34 GB arc array), but fail loudly rather
+	// than scatter to wrong rows.
+	if arcs > math.MaxInt32 {
+		return nil, fmt.Errorf("cluster: %d arcs exceed the CSR index limit of %d", arcs, math.MaxInt32)
 	}
-	for c := range cg.Adj {
-		a := cg.Adj[c]
-		sort.Slice(a, func(i, j int) bool { return a[i].To < a[j].To })
-	}
-	cg.AdjTotal = make([]int64, m)
-	cg.Weight = make([]int64, m)
+	off := make([]int32, m+1)
 	for c := 0; c < m; c++ {
+		off[c+1] = off[c] + cnt[c]
+	}
+	flat := make([]Arc, arcs)
+	cursor := cnt // reuse as the scatter cursor
+	copy(cursor, off[:m])
+
+	// Scatter in two ordered sweeps so every row ends up sorted by To: the
+	// first places each pair's To-below-self arc (hi's row gets lo, and los
+	// arrive ascending for a fixed hi because the iteration is lo-major),
+	// the second places the To-above-self arcs (lo's row gets hi, ascending
+	// for a fixed lo). All below-self arcs precede all above-self arcs in a
+	// row, which is exactly ascending To order.
+	for i := 0; i < len(pairs); {
+		j := i + 1
+		for j < len(pairs) && pairs[j] == pairs[i] {
+			j++
+		}
+		lo := ID(pairs[i] >> 32)
+		hi := ID(pairs[i] & 0xffffffff)
+		flat[cursor[hi]] = Arc{To: lo, W: int64(j - i)}
+		cursor[hi]++
+		i = j
+	}
+	for i := 0; i < len(pairs); {
+		j := i + 1
+		for j < len(pairs) && pairs[j] == pairs[i] {
+			j++
+		}
+		lo := ID(pairs[i] >> 32)
+		hi := ID(pairs[i] & 0xffffffff)
+		flat[cursor[lo]] = Arc{To: hi, W: int64(j - i)}
+		cursor[lo]++
+		i = j
+	}
+
+	for c := 0; c < m; c++ {
+		row := flat[off[c]:off[c+1]]
+		if len(row) > 0 {
+			cg.Adj[c] = row
+		}
 		var t int64
-		for _, a := range cg.Adj[c] {
+		for _, a := range row {
 			t += a.W
 		}
 		cg.AdjTotal[c] = t
 		cg.Weight[c] = 2*cg.Intra[c] + t
 	}
 	return cg, nil
+}
+
+// countingSortByDigit stable-sorts src into dst by the 32-bit digit at the
+// given shift (cluster ids, so values are < len(cnt)-1). cnt is caller
+// scratch of length m+1; it is cleared before use.
+func countingSortByDigit(src, dst []uint64, cnt []int32, shift uint) {
+	for i := range cnt {
+		cnt[i] = 0
+	}
+	for _, p := range src {
+		cnt[uint32(p>>shift)+1]++
+	}
+	for i := 1; i < len(cnt); i++ {
+		cnt[i] += cnt[i-1]
+	}
+	for _, p := range src {
+		d := uint32(p >> shift)
+		dst[cnt[d]] = p
+		cnt[d]++
+	}
 }
 
 // ArcWeight returns the symmetric inter-cluster weight between a and b

@@ -4,6 +4,7 @@ import (
 	"testing"
 
 	"repro/internal/graph"
+	"repro/internal/stream"
 )
 
 // fixedResult builds a Result with a hand-chosen assignment for cluster
@@ -25,7 +26,7 @@ func TestBuildGraphCounts(t *testing.T) {
 		{Src: 3, Dst: 1}, // 1 -> 0
 		{Src: 4, Dst: 0}, // 2 -> 0
 	}
-	cg, err := BuildGraph(edges, fixedResult())
+	cg, err := BuildGraph(stream.Of(edges), fixedResult())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -54,7 +55,7 @@ func TestBuildGraphTotalAdjacency(t *testing.T) {
 	edges := []graph.Edge{
 		{Src: 0, Dst: 2}, {Src: 2, Dst: 0}, {Src: 4, Dst: 2},
 	}
-	cg, err := BuildGraph(edges, fixedResult())
+	cg, err := BuildGraph(stream.Of(edges), fixedResult())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -74,7 +75,7 @@ func TestBuildGraphTotalAdjacency(t *testing.T) {
 func TestBuildGraphRejectsUnclustered(t *testing.T) {
 	res := fixedResult()
 	res.Assign[4] = None
-	if _, err := BuildGraph([]graph.Edge{{Src: 4, Dst: 0}}, res); err == nil {
+	if _, err := BuildGraph(stream.Of([]graph.Edge{{Src: 4, Dst: 0}}), res); err == nil {
 		t.Fatal("unclustered endpoint accepted")
 	}
 }
@@ -83,7 +84,7 @@ func TestBuildGraphArcsSorted(t *testing.T) {
 	edges := []graph.Edge{
 		{Src: 0, Dst: 4}, {Src: 0, Dst: 2}, {Src: 2, Dst: 4},
 	}
-	cg, err := BuildGraph(edges, fixedResult())
+	cg, err := BuildGraph(stream.Of(edges), fixedResult())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -102,7 +103,7 @@ func TestBuildGraphConservesEdges(t *testing.T) {
 		{Src: 0, Dst: 4}, {Src: 4, Dst: 4},
 	}
 	res := fixedResult()
-	cg, err := BuildGraph(edges, res)
+	cg, err := BuildGraph(stream.Of(edges), res)
 	if err != nil {
 		t.Fatal(err)
 	}

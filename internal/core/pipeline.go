@@ -38,8 +38,8 @@ type Options struct {
 // Pipeline is the result of a full CLUGP run with every intermediate stage
 // retained.
 type Pipeline struct {
-	// Edges is the ordered stream that was partitioned.
-	Edges []graph.Edge
+	// Stream is the ordered edge stream that was partitioned.
+	Stream stream.View
 	// Clustering is the pass-1 output.
 	Clustering *cluster.Result
 	// ClusterGraph is the aggregated cluster-level view feeding pass 2.
@@ -67,7 +67,10 @@ func Run(g *graph.Graph, opts Options) (*Pipeline, error) {
 	if order == stream.Natural {
 		order = stream.BFS
 	}
-	edges := stream.Edges(g, order, opts.OrderSeed)
+	if err := stream.CheckLen(len(g.Edges)); err != nil {
+		return nil, fmt.Errorf("core: %w", err)
+	}
+	s := stream.NewView(g, order, opts.OrderSeed)
 
 	p := &partition.CLUGP{
 		Tau:              opts.Tau,
@@ -87,11 +90,11 @@ func Run(g *graph.Graph, opts Options) (*Pipeline, error) {
 	if vf == 0 {
 		vf = 0.2
 	}
-	vmax := int64(vf * float64(len(edges)) / float64(opts.K))
+	vmax := int64(vf * float64(s.Len()) / float64(opts.K))
 	if vmax < 2 {
 		vmax = 2
 	}
-	cres, err := cluster.Run(edges, g.NumVertices, cluster.Config{
+	cres, err := cluster.Run(s, g.NumVertices, cluster.Config{
 		Vmax:             vmax,
 		DisableSplitting: opts.DisableSplitting,
 		MigrateMaxDegree: opts.MigrateMaxDegree,
@@ -100,7 +103,7 @@ func Run(g *graph.Graph, opts Options) (*Pipeline, error) {
 		return nil, err
 	}
 	cres.Compact()
-	cg, err := cluster.BuildGraph(edges, cres)
+	cg, err := cluster.BuildGraph(s, cres)
 	if err != nil {
 		return nil, err
 	}
@@ -129,16 +132,16 @@ func Run(g *graph.Graph, opts Options) (*Pipeline, error) {
 
 	// Pass 3 runs through the partitioner so the quality metrics and trace
 	// come from the same code path as every experiment.
-	assign, err := p.Partition(edges, g.NumVertices, opts.K)
+	assign, err := p.Partition(s, g.NumVertices, opts.K)
 	if err != nil {
 		return nil, err
 	}
-	q, err := metrics.Evaluate(edges, assign, g.NumVertices, opts.K)
+	q, err := metrics.Evaluate(s, assign, g.NumVertices, opts.K)
 	if err != nil {
 		return nil, err
 	}
 	return &Pipeline{
-		Edges:            edges,
+		Stream:           s,
 		Clustering:       cres,
 		ClusterGraph:     cg,
 		Game:             asg,
@@ -148,10 +151,10 @@ func Run(g *graph.Graph, opts Options) (*Pipeline, error) {
 			Order:       order,
 			K:           opts.K,
 			NumVertices: g.NumVertices,
-			Edges:       edges,
+			Stream:      s,
 			Assign:      assign,
 			Quality:     q,
-			StateBytes:  p.StateBytes(g.NumVertices, len(edges), opts.K),
+			StateBytes:  p.StateBytes(g.NumVertices, s.Len(), opts.K),
 		},
 		Trace: p.LastTrace,
 	}, nil

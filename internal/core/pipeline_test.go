@@ -17,8 +17,8 @@ func TestRunRetainsStages(t *testing.T) {
 	if pl.Clustering == nil || pl.ClusterGraph == nil || pl.Game == nil || pl.Result == nil || pl.Trace == nil {
 		t.Fatal("missing pipeline stage")
 	}
-	if len(pl.Edges) != g.NumEdges() {
-		t.Fatalf("pipeline stream has %d edges, want %d", len(pl.Edges), g.NumEdges())
+	if pl.Stream.Len() != g.NumEdges() {
+		t.Fatalf("pipeline stream has %d edges, want %d", pl.Stream.Len(), g.NumEdges())
 	}
 	if pl.Clustering.NumClusters != pl.ClusterGraph.NumClusters {
 		t.Fatalf("cluster count mismatch: %d vs %d", pl.Clustering.NumClusters, pl.ClusterGraph.NumClusters)
@@ -67,7 +67,8 @@ func TestRunStagesConsistent(t *testing.T) {
 		}
 	}
 	// Every edge endpoint must be clustered.
-	for _, e := range pl.Edges {
+	for i, n := 0, pl.Stream.Len(); i < n; i++ {
+		e := pl.Stream.At(i)
 		if pl.Clustering.Assign[e.Src] < 0 || pl.Clustering.Assign[e.Dst] < 0 {
 			t.Fatalf("unclustered endpoint on edge %v", e)
 		}

@@ -14,6 +14,7 @@ import (
 	"fmt"
 
 	"repro/internal/graph"
+	"repro/internal/stream"
 )
 
 // Partitioner assigns vertices to k partitions.
@@ -44,8 +45,17 @@ type Quality struct {
 
 // Evaluate computes edge-cut quality for a vertex assignment.
 func Evaluate(g *graph.Graph, assign []int32, k int) (*Quality, error) {
-	if len(assign) != g.NumVertices {
-		return nil, fmt.Errorf("edgecut: %d assignments for %d vertices", len(assign), g.NumVertices)
+	return EvaluateStream(stream.Of(g.Edges), assign, g.NumVertices, k)
+}
+
+// EvaluateStream is Evaluate over an ordered edge stream view: the same
+// quality numbers (cut size is order-independent) without requiring a
+// *graph.Graph or a materialized edge slice. The argument order matches
+// metrics.Evaluate (stream, assignment, numVertices, k); here assign is
+// per-vertex rather than stream-aligned.
+func EvaluateStream(s stream.View, assign []int32, numVertices, k int) (*Quality, error) {
+	if len(assign) != numVertices {
+		return nil, fmt.Errorf("edgecut: %d assignments for %d vertices", len(assign), numVertices)
 	}
 	q := &Quality{K: k, VertexSizes: make([]int64, k)}
 	for v, p := range assign {
@@ -55,13 +65,14 @@ func Evaluate(g *graph.Graph, assign []int32, k int) (*Quality, error) {
 		q.VertexSizes[p]++
 	}
 	localEdges := make([]int64, k)
-	for _, e := range g.Edges {
+	for i, n := 0, s.Len(); i < n; i++ {
+		e := s.At(i)
 		if assign[e.Src] != assign[e.Dst] {
 			q.CutEdges++
 		}
 		localEdges[assign[e.Src]]++
 	}
-	if m := g.NumEdges(); m > 0 {
+	if m := s.Len(); m > 0 {
 		q.CutFraction = float64(q.CutEdges) / float64(m)
 		var maxE int64
 		for _, s := range localEdges {
@@ -71,14 +82,14 @@ func Evaluate(g *graph.Graph, assign []int32, k int) (*Quality, error) {
 		}
 		q.EdgeBalance = float64(k) * float64(maxE) / float64(m)
 	}
-	if g.NumVertices > 0 {
+	if numVertices > 0 {
 		var maxV int64
-		for _, s := range q.VertexSizes {
-			if s > maxV {
-				maxV = s
+		for _, sz := range q.VertexSizes {
+			if sz > maxV {
+				maxV = sz
 			}
 		}
-		q.VertexBalance = float64(k) * float64(maxV) / float64(g.NumVertices)
+		q.VertexBalance = float64(k) * float64(maxV) / float64(numVertices)
 	}
 	return q, nil
 }

@@ -89,8 +89,9 @@ func (r *Restream) Partition(g *graph.Graph, k int) ([]int32, error) {
 	// this pass count at their new partition, the rest at their previous
 	// one (Nishimura-Ugander's most-recent-label rule). The dynamics can
 	// oscillate, so the best pass by cut wins.
+	sizes := make([]int64, k)
 	for pass := 1; pass < passes; pass++ {
-		sizes := make([]int64, k)
+		clear(sizes)
 		changed := false
 		for v := 0; v < g.NumVertices; v++ {
 			for p := range neighCount {

@@ -30,7 +30,7 @@ func TestPlacementRFMatchesMetrics(t *testing.T) {
 		t.Fatalf("engine RF %v != metrics RF %v", pl.ReplicationFactor(), res.Quality.ReplicationFactor)
 	}
 	// And both must match a recomputation from scratch.
-	q, err := metrics.Evaluate(res.Edges, res.Assign, g.NumVertices, 16)
+	q, err := metrics.Evaluate(res.Stream, res.Assign, g.NumVertices, 16)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -89,7 +89,8 @@ func TestSyncPairCountFormula(t *testing.T) {
 		t.Fatal(err)
 	}
 	rs := metrics.NewReplicaSets(g.NumVertices, 8)
-	for i, e := range res.Edges {
+	for i, n := 0, res.Stream.Len(); i < n; i++ {
+		e := res.Stream.At(i)
 		rs.Add(e.Src, int(res.Assign[i]))
 		rs.Add(e.Dst, int(res.Assign[i]))
 	}

@@ -7,6 +7,7 @@ import (
 	"repro/internal/gen"
 	"repro/internal/graph"
 	"repro/internal/partition"
+	"repro/internal/stream"
 )
 
 func testGraph(seed uint64) *graph.Graph {
@@ -79,9 +80,9 @@ func TestMasterHoldsMostEdges(t *testing.T) {
 		Algorithm:   "hand",
 		K:           2,
 		NumVertices: 5,
-		Edges: []graph.Edge{
+		Stream: stream.Of([]graph.Edge{
 			{Src: 0, Dst: 1}, {Src: 0, Dst: 2}, {Src: 0, Dst: 3}, {Src: 0, Dst: 4},
-		},
+		}),
 		Assign: []int32{0, 1, 1, 1},
 	}
 	pl, err := NewPlacement(res)
@@ -302,7 +303,7 @@ func TestLabelPropagationFindsCommunities(t *testing.T) {
 }
 
 func TestPageRankEmptyPlacement(t *testing.T) {
-	res := &partition.Result{Algorithm: "hand", K: 2, NumVertices: 0, Edges: nil, Assign: []int32{}}
+	res := &partition.Result{Algorithm: "hand", K: 2, NumVertices: 0, Assign: []int32{}}
 	pl, err := NewPlacement(res)
 	if err != nil {
 		t.Fatal(err)

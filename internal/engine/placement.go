@@ -73,15 +73,18 @@ type SyncPair struct {
 func NewPlacement(res *partition.Result) (*Placement, error) {
 	k := res.K
 	nv := res.NumVertices
-	if len(res.Assign) != len(res.Edges) {
-		return nil, fmt.Errorf("engine: %d assignments for %d edges", len(res.Assign), len(res.Edges))
+	st := res.Stream
+	numEdges := st.Len()
+	if len(res.Assign) != numEdges {
+		return nil, fmt.Errorf("engine: %d assignments for %d edges", len(res.Assign), numEdges)
 	}
 
 	rs := metrics.NewReplicaSets(nv, k)
 	// edgeCount[v*k+p] would be k*nv; count incident edges per (vertex,
 	// partition) via a two-pass: first replica sets, then per-vertex counts
 	// over its partitions only.
-	for i, e := range res.Edges {
+	for i := 0; i < numEdges; i++ {
+		e := st.At(i)
 		p := int(res.Assign[i])
 		rs.Add(e.Src, p)
 		rs.Add(e.Dst, p)
@@ -91,14 +94,15 @@ func NewPlacement(res *partition.Result) (*Placement, error) {
 	// hashmap; the number of entries is sum_v |P(v)|.
 	counts := make(map[uint64]int32, nv)
 	ckey := func(v graph.VertexID, p int32) uint64 { return uint64(v)<<16 | uint64(uint16(p)) }
-	for i, e := range res.Edges {
+	for i := 0; i < numEdges; i++ {
+		e := st.At(i)
 		p := res.Assign[i]
 		counts[ckey(e.Src, p)]++
 		counts[ckey(e.Dst, p)]++
 	}
 
 	pl := &Placement{K: k, NumVertices: nv, Master: make([]int32, nv)}
-	scratch := make([]int, 0, k)
+	scratch := make([]int32, 0, k)
 	for v := 0; v < nv; v++ {
 		parts := rs.Partitions(graph.VertexID(v), scratch[:0])
 		if len(parts) == 0 {
@@ -106,13 +110,13 @@ func NewPlacement(res *partition.Result) (*Placement, error) {
 			continue
 		}
 		best := parts[0]
-		bestCnt := counts[ckey(graph.VertexID(v), int32(best))]
+		bestCnt := counts[ckey(graph.VertexID(v), best)]
 		for _, p := range parts[1:] {
-			if c := counts[ckey(graph.VertexID(v), int32(p))]; c > bestCnt {
+			if c := counts[ckey(graph.VertexID(v), p)]; c > bestCnt {
 				best, bestCnt = p, c
 			}
 		}
-		pl.Master[v] = int32(best)
+		pl.Master[v] = best
 	}
 
 	// Build per-node local vertex tables: masters and mirrors both get
@@ -138,14 +142,14 @@ func NewPlacement(res *partition.Result) (*Placement, error) {
 	// Group edges by partition first so each node is built contiguously.
 	perNode := make([][]graph.Edge, k)
 	sizes := make([]int64, k)
-	for i := range res.Edges {
+	for i := 0; i < numEdges; i++ {
 		sizes[res.Assign[i]]++
 	}
 	for p := 0; p < k; p++ {
 		perNode[p] = make([]graph.Edge, 0, sizes[p])
 	}
-	for i, e := range res.Edges {
-		perNode[res.Assign[i]] = append(perNode[res.Assign[i]], e)
+	for i := 0; i < numEdges; i++ {
+		perNode[res.Assign[i]] = append(perNode[res.Assign[i]], st.At(i))
 	}
 
 	for p := 0; p < k; p++ {
@@ -160,7 +164,8 @@ func NewPlacement(res *partition.Result) (*Placement, error) {
 	}
 	// Unseen vertices: master slot on their round-robin node.
 	seen := make([]bool, nv)
-	for _, e := range res.Edges {
+	for i := 0; i < numEdges; i++ {
+		e := st.At(i)
 		seen[e.Src] = true
 		seen[e.Dst] = true
 	}

@@ -22,6 +22,7 @@ import (
 	"fmt"
 	"runtime"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/cluster"
 	"repro/internal/xrand"
@@ -118,22 +119,37 @@ func Solve(cg *cluster.Graph, cfg Config) (*Assignment, error) {
 	}
 	stats := make([]batchStats, nBatches)
 
+	// Bounded worker pool: cfg.Threads workers claim batch indices from an
+	// atomic counter, each owning one scratch set reused across every batch
+	// (and restart) it plays. The former goroutine-per-batch launch spawned
+	// thousands of goroutines at production batch counts and allocated
+	// fresh load/size/weight arrays per batch; batches are independent, so
+	// which worker plays a batch cannot affect the equilibrium.
+	workers := cfg.Threads
+	if workers > nBatches {
+		workers = nBatches
+	}
+	var next atomic.Int64
 	var wg sync.WaitGroup
-	sem := make(chan struct{}, cfg.Threads)
-	for b := 0; b < nBatches; b++ {
-		lo := b * batch
-		hi := lo + batch
-		if hi > m {
-			hi = m
-		}
+	for w := 0; w < workers; w++ {
 		wg.Add(1)
-		sem <- struct{}{}
-		go func(b, lo, hi int) {
+		go func() {
 			defer wg.Done()
-			defer func() { <-sem }()
-			rounds, moves := playBatchBest(cg, cfg, lo, hi, out.Partition)
-			stats[b] = batchStats{rounds: rounds, moves: moves}
-		}(b, lo, hi)
+			var sc scratch
+			for {
+				b := int(next.Add(1)) - 1
+				if b >= nBatches {
+					return
+				}
+				lo := b * batch
+				hi := lo + batch
+				if hi > m {
+					hi = m
+				}
+				rounds, moves := playBatchBest(cg, cfg, lo, hi, out.Partition, &sc)
+				stats[b] = batchStats{rounds: rounds, moves: moves}
+			}
+		}()
 	}
 	wg.Wait()
 	for _, s := range stats {
@@ -145,35 +161,73 @@ func Solve(cg *cluster.Graph, cfg Config) (*Assignment, error) {
 	return out, nil
 }
 
+// scratch is one worker's reusable batch-game state. Buffers are sized to
+// the largest batch the worker has seen and reused for every later batch
+// and restart, so the steady-state game plays allocation-free.
+type scratch struct {
+	out     []int32   // working assignment, batch-local indices [0,hi-lo)
+	best    []int32   // best equilibrium across restarts
+	size    []int64   // cluster weights
+	load    []int64   // per-partition load
+	wTo     []float64 // arc weight toward each partition
+	touched []int32   // partitions with non-zero wTo
+}
+
+func (sc *scratch) reset(n, k int) {
+	if cap(sc.out) < n {
+		sc.out = make([]int32, n)
+		sc.best = make([]int32, n)
+		sc.size = make([]int64, n)
+	}
+	sc.out = sc.out[:n]
+	sc.best = sc.best[:n]
+	sc.size = sc.size[:n]
+	if cap(sc.load) < k {
+		sc.load = make([]int64, k)
+		sc.wTo = make([]float64, k)
+		sc.touched = make([]int32, 0, k)
+	}
+	sc.load = sc.load[:k]
+	sc.wTo = sc.wTo[:k]
+	for i := range sc.wTo {
+		sc.wTo[i] = 0
+	}
+	sc.touched = sc.touched[:0]
+}
+
 // playBatchBest plays the batch game cfg.Restarts times from independent
 // random initializations and keeps the equilibrium with the lowest
-// batch-local potential, writing it into assign[lo:hi].
-func playBatchBest(cg *cluster.Graph, cfg Config, lo, hi int, assign []int32) (rounds int, moves int64) {
+// batch-local potential, writing it into assign[lo:hi]. All working state
+// lives in the worker's scratch.
+func playBatchBest(cg *cluster.Graph, cfg Config, lo, hi int, assign []int32, sc *scratch) (rounds int, moves int64) {
+	sc.reset(hi-lo, cfg.K)
 	if cfg.Restarts <= 1 {
-		return playBatch(cg, cfg, lo, hi, assign)
+		rounds, moves = playBatch(cg, cfg, lo, hi, sc.out, sc)
+		copy(assign[lo:hi], sc.out)
+		return rounds, moves
 	}
-	best := make([]int32, hi-lo)
 	bestPot := 0.0
-	scratch := make([]int32, len(assign)) // playBatch indexes globally
 	for r := 0; r < cfg.Restarts; r++ {
 		attempt := cfg
 		attempt.Seed = cfg.Seed + uint64(r)*0x9e3779b97f4a7c15
-		rr, mm := playBatch(cg, attempt, lo, hi, scratch)
+		rr, mm := playBatch(cg, attempt, lo, hi, sc.out, sc)
 		rounds += rr
 		moves += mm
-		pot := batchPotential(cg, scratch, cfg, lo, hi)
+		pot := batchPotential(cg, sc.out, cfg, lo, hi, sc.load)
 		if r == 0 || pot < bestPot {
 			bestPot = pot
-			copy(best, scratch[lo:hi])
+			copy(sc.best, sc.out)
 		}
 	}
-	copy(assign[lo:hi], best)
+	copy(assign[lo:hi], sc.best)
 	return rounds, moves
 }
 
 // batchPotential evaluates the batch-local potential (Definition 4
-// restricted to in-batch clusters and arcs) of assign[lo:hi].
-func batchPotential(cg *cluster.Graph, assign []int32, cfg Config, lo, hi int) float64 {
+// restricted to in-batch clusters and arcs) of the batch-local assignment
+// out (out[c-lo] is cluster c's partition). loads is caller scratch of
+// length k.
+func batchPotential(cg *cluster.Graph, out []int32, cfg Config, lo, hi int, loads []int64) float64 {
 	k := cfg.K
 	lambda := cfg.Lambda
 	if lambda == 0 {
@@ -189,22 +243,25 @@ func batchPotential(cg *cluster.Graph, assign []int32, cfg Config, lo, hi int) f
 			lambda = 1
 		}
 	}
-	load := make([]int64, k)
+	loads = loads[:k]
+	for i := range loads {
+		loads[i] = 0
+	}
 	for c := lo; c < hi; c++ {
-		load[assign[c]] += cg.WeightOf(cluster.ID(c))
+		loads[out[c-lo]] += cg.WeightOf(cluster.ID(c))
 	}
 	var loadSq float64
-	for _, l := range load {
+	for _, l := range loads {
 		loadSq += float64(l) * float64(l)
 	}
 	var cut float64
 	for c := lo; c < hi; c++ {
-		ac := assign[c]
+		ac := out[c-lo]
 		for _, a := range cg.Adj[c] {
 			if int(a.To) < lo || int(a.To) >= hi {
 				continue
 			}
-			if assign[a.To] != ac {
+			if out[int(a.To)-lo] != ac {
 				cut += float64(a.W)
 			}
 		}
@@ -214,9 +271,10 @@ func batchPotential(cg *cluster.Graph, assign []int32, cfg Config, lo, hi int) f
 }
 
 // playBatch runs sequential best-response dynamics over clusters [lo,hi),
-// writing final choices into assign[lo:hi]. It only reads cg and the
-// assign entries of its own range, so batches are data-race free.
-func playBatch(cg *cluster.Graph, cfg Config, lo, hi int, assign []int32) (rounds int, moves int64) {
+// writing final choices into out (batch-local: out[c-lo] is cluster c's
+// partition). It only reads cg and its own range, so batches are data-race
+// free; all buffers come from the worker's scratch.
+func playBatch(cg *cluster.Graph, cfg Config, lo, hi int, out []int32, sc *scratch) (rounds int, moves int64) {
 	k := cfg.K
 	rng := xrand.New(cfg.Seed ^ (0x9e3779b97f4a7c15 * uint64(lo+1)))
 
@@ -224,16 +282,19 @@ func playBatch(cg *cluster.Graph, cfg Config, lo, hi int, assign []int32) (round
 	// predicts the partition's eventual edge load after transformation
 	// (every intra edge lands with its cluster; a cut edge lands with one of
 	// its two sides).
-	size := make([]int64, hi-lo)
+	size := sc.size[:hi-lo]
 	for c := lo; c < hi; c++ {
 		size[c-lo] = cg.WeightOf(cluster.ID(c))
 	}
 
 	// Random initial strategies (Algorithm 3 line 2).
-	load := make([]int64, k)
+	load := sc.load[:k]
+	for i := range load {
+		load[i] = 0
+	}
 	for c := lo; c < hi; c++ {
 		p := int32(rng.Intn(k))
-		assign[c] = p
+		out[c-lo] = p
 		load[p] += size[c-lo]
 	}
 
@@ -260,16 +321,18 @@ func playBatch(cg *cluster.Graph, cfg Config, lo, hi int, assign []int32) (round
 	wLoad := 2 * cfg.RelWeight * lambda / float64(k)
 	wCut := 2 * (1 - cfg.RelWeight) * 0.5
 
-	// Scratch: weight from the current cluster to each partition.
-	wTo := make([]float64, k)
-	touched := make([]int32, 0, k)
+	// Scratch: weight from the current cluster to each partition. wTo is
+	// kept all-zero between uses (the touched list undoes every write), so
+	// reuse across batches and restarts is free.
+	wTo := sc.wTo[:k]
+	touched := sc.touched[:0]
 
 	for rounds = 1; rounds <= cfg.MaxRounds; rounds++ {
 		changed := false
 		for c := lo; c < hi; c++ {
 			ci := cluster.ID(c)
 			sz := float64(size[c-lo])
-			cur := assign[c]
+			cur := out[c-lo]
 
 			// Accumulate arc weight toward each partition currently chosen
 			// by in-batch neighbours. Out-of-batch arcs are a constant cost
@@ -279,7 +342,7 @@ func playBatch(cg *cluster.Graph, cfg Config, lo, hi int, assign []int32) (round
 				if int(a.To) < lo || int(a.To) >= hi {
 					continue
 				}
-				p := assign[a.To]
+				p := out[int(a.To)-lo]
 				if wTo[p] == 0 {
 					touched = append(touched, p)
 				}
@@ -302,7 +365,7 @@ func playBatch(cg *cluster.Graph, cfg Config, lo, hi int, assign []int32) (round
 			if best != cur {
 				load[cur] -= size[c-lo]
 				load[best] += size[c-lo]
-				assign[c] = best
+				out[c-lo] = best
 				moves++
 				changed = true
 			}

@@ -2,8 +2,10 @@ package game
 
 import (
 	"math"
+	"runtime"
 	"testing"
 	"testing/quick"
+	"time"
 
 	"repro/internal/cluster"
 	"repro/internal/gen"
@@ -15,13 +17,13 @@ import (
 func testClusterGraph(t testing.TB, n int, vmaxDiv int, seed uint64) *cluster.Graph {
 	t.Helper()
 	g := gen.Web(gen.WebConfig{N: n, OutDegree: 6, CopyFactor: 0.6, Seed: seed})
-	edges := stream.Edges(g, stream.BFS, 0)
-	res, err := cluster.Run(edges, g.NumVertices, cluster.Config{Vmax: int64(len(edges)/vmaxDiv + 1)})
+	s := stream.NewView(g, stream.BFS, 0)
+	res, err := cluster.Run(s, g.NumVertices, cluster.Config{Vmax: int64(s.Len()/vmaxDiv + 1)})
 	if err != nil {
 		t.Fatal(err)
 	}
 	res.Compact()
-	cg, err := cluster.BuildGraph(edges, res)
+	cg, err := cluster.BuildGraph(s, res)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -356,5 +358,47 @@ func TestSortBySizeDesc(t *testing.T) {
 	}
 	if err := quick.Check(check, nil); err != nil {
 		t.Fatal(err)
+	}
+}
+
+// TestWorkerPoolInvariantToThreads pins the bounded-worker-pool rewrite:
+// with BatchSize=1 the game degenerates to one batch per cluster (thousands
+// of batches), and the assignment must be identical for any worker count -
+// including Threads far above and far below the batch count - with no
+// goroutine left behind after Solve returns.
+func TestWorkerPoolInvariantToThreads(t *testing.T) {
+	cg := testClusterGraph(t, 4000, 64, 3)
+	if cg.NumClusters < 100 {
+		t.Fatalf("want a many-batch scenario, got %d clusters", cg.NumClusters)
+	}
+	before := runtime.NumGoroutine()
+	var first *Assignment
+	for _, threads := range []int{1, 3, 64, 10000} {
+		asg, err := Solve(cg, Config{K: 8, Seed: 5, BatchSize: 1, Threads: threads, Restarts: 2})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if asg.Batches != cg.NumClusters {
+			t.Fatalf("threads=%d: %d batches, want %d", threads, asg.Batches, cg.NumClusters)
+		}
+		if first == nil {
+			first = asg
+			continue
+		}
+		for c := range first.Partition {
+			if asg.Partition[c] != first.Partition[c] {
+				t.Fatalf("threads=%d: assignment differs at cluster %d", threads, c)
+			}
+		}
+		if asg.Rounds != first.Rounds || asg.Moves != first.Moves {
+			t.Fatalf("threads=%d: stats differ (%d/%d vs %d/%d)", threads, asg.Rounds, asg.Moves, first.Rounds, first.Moves)
+		}
+	}
+	// Give exited workers a beat, then check the pool cleaned up.
+	for i := 0; i < 50 && runtime.NumGoroutine() > before; i++ {
+		time.Sleep(time.Millisecond)
+	}
+	if after := runtime.NumGoroutine(); after > before {
+		t.Fatalf("Solve leaked goroutines: %d before, %d after", before, after)
 	}
 }

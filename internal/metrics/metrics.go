@@ -9,6 +9,7 @@ import (
 	"math/bits"
 
 	"repro/internal/graph"
+	"repro/internal/stream"
 )
 
 // ReplicaSets tracks P(v), the set of partitions holding each vertex, as a
@@ -24,8 +25,26 @@ type ReplicaSets struct {
 
 // NewReplicaSets returns an empty table for n vertices and k partitions.
 func NewReplicaSets(n, k int) *ReplicaSets {
+	r := &ReplicaSets{}
+	r.Reset(n, k)
+	return r
+}
+
+// Reset clears the table and resizes it for n vertices and k partitions,
+// reusing the existing bit storage when it is large enough. It is the
+// scratch-reuse entry point: a partitioner that keeps one ReplicaSets
+// across runs allocates its bitset once instead of once per run.
+func (r *ReplicaSets) Reset(n, k int) {
 	words := (k + 63) / 64
-	return &ReplicaSets{k: k, words: words, bits: make([]uint64, n*words)}
+	need := n * words
+	if cap(r.bits) < need {
+		r.bits = make([]uint64, need)
+	} else {
+		r.bits = r.bits[:need]
+		clear(r.bits)
+	}
+	r.k = k
+	r.words = words
 }
 
 // K returns the number of partitions.
@@ -41,6 +60,16 @@ func (r *ReplicaSets) Has(v graph.VertexID, p int) bool {
 	return r.bits[int(v)*r.words+p/64]&(1<<uint(p%64)) != 0
 }
 
+// Word returns the w-th 64-bit word of v's partition set (partitions
+// 64w..64w+63). Scoring loops that scan all k partitions per edge (HDRF)
+// load each word once instead of calling Has k times.
+func (r *ReplicaSets) Word(v graph.VertexID, w int) uint64 {
+	return r.bits[int(v)*r.words+w]
+}
+
+// Words returns the number of 64-bit words per vertex, (k+63)/64.
+func (r *ReplicaSets) Words() int { return r.words }
+
 // Count returns |P(v)|.
 func (r *ReplicaSets) Count(v graph.VertexID) int {
 	n := 0
@@ -50,14 +79,16 @@ func (r *ReplicaSets) Count(v graph.VertexID) int {
 	return n
 }
 
-// Partitions appends the partitions holding v to dst and returns it.
-func (r *ReplicaSets) Partitions(v graph.VertexID, dst []int) []int {
+// Partitions appends the partitions holding v to dst and returns it. With
+// dst capacity >= k the call is allocation-free; partitioners pass the same
+// scratch slice every edge.
+func (r *ReplicaSets) Partitions(v graph.VertexID, dst []int32) []int32 {
 	base := int(v) * r.words
 	for w := 0; w < r.words; w++ {
 		word := r.bits[base+w]
 		for word != 0 {
 			b := bits.TrailingZeros64(word)
-			dst = append(dst, w*64+b)
+			dst = append(dst, int32(w*64+b))
 			word &= word - 1
 		}
 	}
@@ -65,14 +96,14 @@ func (r *ReplicaSets) Partitions(v graph.VertexID, dst []int) []int {
 }
 
 // Intersect appends the partitions holding both u and v to dst.
-func (r *ReplicaSets) Intersect(u, v graph.VertexID, dst []int) []int {
+func (r *ReplicaSets) Intersect(u, v graph.VertexID, dst []int32) []int32 {
 	bu := int(u) * r.words
 	bv := int(v) * r.words
 	for w := 0; w < r.words; w++ {
 		word := r.bits[bu+w] & r.bits[bv+w]
 		for word != 0 {
 			b := bits.TrailingZeros64(word)
-			dst = append(dst, w*64+b)
+			dst = append(dst, int32(w*64+b))
 			word &= word - 1
 		}
 	}
@@ -80,14 +111,14 @@ func (r *ReplicaSets) Intersect(u, v graph.VertexID, dst []int) []int {
 }
 
 // Union appends the partitions holding u or v to dst.
-func (r *ReplicaSets) Union(u, v graph.VertexID, dst []int) []int {
+func (r *ReplicaSets) Union(u, v graph.VertexID, dst []int32) []int32 {
 	bu := int(u) * r.words
 	bv := int(v) * r.words
 	for w := 0; w < r.words; w++ {
 		word := r.bits[bu+w] | r.bits[bv+w]
 		for word != 0 {
 			b := bits.TrailingZeros64(word)
-			dst = append(dst, w*64+b)
+			dst = append(dst, int32(w*64+b))
 			word &= word - 1
 		}
 	}
@@ -116,17 +147,35 @@ type Quality struct {
 	Replicas int64
 }
 
+// Evaluator recomputes partition quality with reusable scratch: the replica
+// bitset and seen table persist across Evaluate calls, so a caller scoring
+// many assignments over same-sized graphs (benchmark loops, parameter
+// sweeps) allocates only each run's Sizes slice instead of a fresh
+// O(|V|·k/64) bitset per evaluation. The zero value is ready to use. Not
+// safe for concurrent use; give each worker its own.
+type Evaluator struct {
+	rs   ReplicaSets
+	seen []bool
+}
+
 // Evaluate recomputes partition quality from scratch given the edge stream
 // and the per-edge partition assignment (ground truth, independent of any
 // partitioner-internal bookkeeping). numVertices must exceed all endpoints.
-func Evaluate(edges []graph.Edge, assign []int32, numVertices, k int) (*Quality, error) {
-	if len(edges) != len(assign) {
-		return nil, fmt.Errorf("metrics: %d edges but %d assignments", len(edges), len(assign))
+func (ev *Evaluator) Evaluate(s stream.View, assign []int32, numVertices, k int) (*Quality, error) {
+	if s.Len() != len(assign) {
+		return nil, fmt.Errorf("metrics: %d edges but %d assignments", s.Len(), len(assign))
 	}
-	rs := NewReplicaSets(numVertices, k)
+	ev.rs.Reset(numVertices, k)
+	if cap(ev.seen) < numVertices {
+		ev.seen = make([]bool, numVertices)
+	} else {
+		ev.seen = ev.seen[:numVertices]
+		clear(ev.seen)
+	}
+	rs, seen := &ev.rs, ev.seen
 	sizes := make([]int64, k)
-	seen := make([]bool, numVertices)
-	for i, e := range edges {
+	for i, n := 0, s.Len(); i < n; i++ {
+		e := s.At(i)
 		p := assign[i]
 		if p < 0 || int(p) >= k {
 			return nil, fmt.Errorf("metrics: edge %d assigned to invalid partition %d (k=%d)", i, p, k)
@@ -138,12 +187,12 @@ func Evaluate(edges []graph.Edge, assign []int32, numVertices, k int) (*Quality,
 		seen[e.Dst] = true
 	}
 	q := &Quality{K: k, Sizes: sizes, MinSize: int64(^uint64(0) >> 1)}
-	for _, s := range sizes {
-		if s > q.MaxSize {
-			q.MaxSize = s
+	for _, sz := range sizes {
+		if sz > q.MaxSize {
+			q.MaxSize = sz
 		}
-		if s < q.MinSize {
-			q.MinSize = s
+		if sz < q.MinSize {
+			q.MinSize = sz
 		}
 	}
 	for v := 0; v < numVertices; v++ {
@@ -156,8 +205,14 @@ func Evaluate(edges []graph.Edge, assign []int32, numVertices, k int) (*Quality,
 	if q.Vertices > 0 {
 		q.ReplicationFactor = float64(q.Replicas) / float64(q.Vertices)
 	}
-	if len(edges) > 0 {
-		q.RelativeBalance = float64(k) * float64(q.MaxSize) / float64(len(edges))
+	if s.Len() > 0 {
+		q.RelativeBalance = float64(k) * float64(q.MaxSize) / float64(s.Len())
 	}
 	return q, nil
+}
+
+// Evaluate is the one-shot form of Evaluator.Evaluate.
+func Evaluate(s stream.View, assign []int32, numVertices, k int) (*Quality, error) {
+	var ev Evaluator
+	return ev.Evaluate(s, assign, numVertices, k)
 }

@@ -6,6 +6,7 @@ import (
 	"testing/quick"
 
 	"repro/internal/graph"
+	"repro/internal/stream"
 )
 
 func TestReplicaSetsBasics(t *testing.T) {
@@ -46,7 +47,7 @@ func TestReplicaSetsSetOps(t *testing.T) {
 		t.Fatalf("Intersect = %v, want [65]", inter)
 	}
 	union := rs.Union(0, 1, nil)
-	want := []int{1, 2, 65, 129}
+	want := []int32{1, 2, 65, 129}
 	if len(union) != len(want) {
 		t.Fatalf("Union = %v, want %v", union, want)
 	}
@@ -96,7 +97,7 @@ func TestEvaluateHandExample(t *testing.T) {
 	// Partition 0: (0,1),(1,2); partition 1: (0,3),(3,4),(0,4).
 	edges := []graph.Edge{{Src: 0, Dst: 1}, {Src: 1, Dst: 2}, {Src: 0, Dst: 3}, {Src: 3, Dst: 4}, {Src: 0, Dst: 4}}
 	assign := []int32{0, 0, 1, 1, 1}
-	q, err := Evaluate(edges, assign, 5, 2)
+	q, err := Evaluate(stream.Of(edges), assign, 5, 2)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -118,7 +119,7 @@ func TestEvaluateHandExample(t *testing.T) {
 
 func TestEvaluateExcludesUnseenVertices(t *testing.T) {
 	edges := []graph.Edge{{Src: 0, Dst: 1}}
-	q, err := Evaluate(edges, []int32{0}, 10, 2)
+	q, err := Evaluate(stream.Of(edges), []int32{0}, 10, 2)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -132,13 +133,13 @@ func TestEvaluateExcludesUnseenVertices(t *testing.T) {
 
 func TestEvaluateErrors(t *testing.T) {
 	edges := []graph.Edge{{Src: 0, Dst: 1}}
-	if _, err := Evaluate(edges, []int32{}, 2, 2); err == nil {
+	if _, err := Evaluate(stream.Of(edges), []int32{}, 2, 2); err == nil {
 		t.Fatal("length mismatch accepted")
 	}
-	if _, err := Evaluate(edges, []int32{5}, 2, 2); err == nil {
+	if _, err := Evaluate(stream.Of(edges), []int32{5}, 2, 2); err == nil {
 		t.Fatal("invalid partition accepted")
 	}
-	if _, err := Evaluate(edges, []int32{-1}, 2, 2); err == nil {
+	if _, err := Evaluate(stream.Of(edges), []int32{-1}, 2, 2); err == nil {
 		t.Fatal("negative partition accepted")
 	}
 }
@@ -157,7 +158,7 @@ func TestEvaluateRFLowerBound(t *testing.T) {
 			edges[i] = graph.Edge{Src: graph.VertexID(int(r>>8) % nv), Dst: graph.VertexID(int(r) % nv)}
 			assign[i] = int32(i % k)
 		}
-		q, err := Evaluate(edges, assign, nv, k)
+		q, err := Evaluate(stream.Of(edges), assign, nv, k)
 		if err != nil {
 			return false
 		}
@@ -172,5 +173,137 @@ func TestBytes(t *testing.T) {
 	rs := NewReplicaSets(1000, 128)
 	if rs.Bytes() != 1000*2*8 {
 		t.Fatalf("Bytes = %d, want %d", rs.Bytes(), 1000*2*8)
+	}
+}
+
+// TestReplicaSetsMultiWordLarge exercises k > 64 (multi-word bitsets) across
+// every word boundary: Count, Partitions and Intersect must see bits in
+// words 0, 1 and 2 alike.
+func TestReplicaSetsMultiWordLarge(t *testing.T) {
+	const k = 130 // 3 words: 64 + 64 + 2
+	rs := NewReplicaSets(6, k)
+	if rs.Words() != 3 {
+		t.Fatalf("Words() = %d, want 3", rs.Words())
+	}
+	adds := []int{0, 5, 63, 64, 100, 127, 128, 129}
+	for _, p := range adds {
+		rs.Add(2, p)
+	}
+	if got := rs.Count(2); got != len(adds) {
+		t.Fatalf("Count = %d, want %d", got, len(adds))
+	}
+	parts := rs.Partitions(2, nil)
+	if len(parts) != len(adds) {
+		t.Fatalf("Partitions = %v", parts)
+	}
+	for i, p := range adds {
+		if parts[i] != int32(p) {
+			t.Fatalf("Partitions[%d] = %d, want %d (ascending across words)", i, parts[i], p)
+		}
+		if !rs.Has(2, p) {
+			t.Fatalf("Has(2, %d) = false", p)
+		}
+	}
+	// Word accessor: partition 129 lives in word 2, bit 1.
+	if w := rs.Word(2, 2); w&(1<<1) == 0 {
+		t.Fatalf("Word(2,2) = %#x missing bit for partition 129", w)
+	}
+	// Intersect across words.
+	for _, p := range []int{63, 64, 129} {
+		rs.Add(3, p)
+	}
+	inter := rs.Intersect(2, 3, nil)
+	want := []int32{63, 64, 129}
+	if len(inter) != len(want) {
+		t.Fatalf("Intersect = %v, want %v", inter, want)
+	}
+	for i := range want {
+		if inter[i] != want[i] {
+			t.Fatalf("Intersect = %v, want %v", inter, want)
+		}
+	}
+	// Count stays per-vertex: vertex 4 untouched.
+	if rs.Count(4) != 0 {
+		t.Fatal("membership leaked across vertices")
+	}
+}
+
+// TestReplicaSetsReset pins the scratch-reuse contract: Reset must clear
+// every bit and support shrinking and growing the (n, k) shape, reusing
+// storage when it can.
+func TestReplicaSetsReset(t *testing.T) {
+	rs := NewReplicaSets(8, 130)
+	rs.Add(7, 129)
+	rs.Add(0, 0)
+	rs.Reset(8, 130)
+	for v := 0; v < 8; v++ {
+		if rs.Count(graph.VertexID(v)) != 0 {
+			t.Fatalf("Reset left bits for vertex %d", v)
+		}
+	}
+	// Shrink: smaller k must not see stale high-word bits.
+	rs.Add(3, 100)
+	rs.Reset(8, 32)
+	if rs.K() != 32 || rs.Words() != 1 {
+		t.Fatalf("shape after shrink: k=%d words=%d", rs.K(), rs.Words())
+	}
+	if rs.Count(3) != 0 {
+		t.Fatal("stale bits visible after shrinking Reset")
+	}
+	// Grow beyond original capacity.
+	rs.Reset(100, 256)
+	rs.Add(99, 255)
+	if !rs.Has(99, 255) || rs.Count(99) != 1 {
+		t.Fatal("grow Reset broken")
+	}
+}
+
+// TestEvaluatorReuseMatchesOneShot: an Evaluator reused across runs of
+// different shapes must produce exactly what the one-shot Evaluate does.
+func TestEvaluatorReuseMatchesOneShot(t *testing.T) {
+	var ev Evaluator
+	cases := []struct {
+		edges  []graph.Edge
+		assign []int32
+		nv, k  int
+	}{
+		{[]graph.Edge{{Src: 0, Dst: 1}, {Src: 1, Dst: 2}, {Src: 0, Dst: 3}, {Src: 3, Dst: 4}, {Src: 0, Dst: 4}}, []int32{0, 0, 1, 1, 1}, 5, 2},
+		{[]graph.Edge{{Src: 0, Dst: 1}}, []int32{66}, 2, 130}, // multi-word k
+		{[]graph.Edge{{Src: 2, Dst: 2}}, []int32{0}, 9, 3},    // shrink: stale seen[] must not leak
+	}
+	for i, tc := range cases {
+		got, err := ev.Evaluate(stream.Of(tc.edges), tc.assign, tc.nv, tc.k)
+		if err != nil {
+			t.Fatalf("case %d: %v", i, err)
+		}
+		want, err := Evaluate(stream.Of(tc.edges), tc.assign, tc.nv, tc.k)
+		if err != nil {
+			t.Fatalf("case %d: %v", i, err)
+		}
+		if got.ReplicationFactor != want.ReplicationFactor || got.Vertices != want.Vertices ||
+			got.Replicas != want.Replicas || got.RelativeBalance != want.RelativeBalance {
+			t.Fatalf("case %d: reused evaluator %+v != one-shot %+v", i, got, want)
+		}
+	}
+}
+
+// TestEvaluateViewMatchesMaterialized: evaluating through a permuted view
+// must equal evaluating the materialized slice (assignment aligned to the
+// view order).
+func TestEvaluateViewMatchesMaterialized(t *testing.T) {
+	base := []graph.Edge{{Src: 0, Dst: 1}, {Src: 1, Dst: 2}, {Src: 2, Dst: 3}, {Src: 3, Dst: 0}}
+	perm := []int32{2, 0, 3, 1}
+	v := stream.Permuted(base, perm)
+	assign := []int32{1, 0, 1, 0}
+	got, err := Evaluate(v, assign, 4, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := Evaluate(stream.Of(v.Materialize()), assign, 4, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.ReplicationFactor != want.ReplicationFactor || got.Sizes[0] != want.Sizes[0] {
+		t.Fatalf("view eval %+v != materialized eval %+v", got, want)
 	}
 }

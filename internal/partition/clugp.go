@@ -105,7 +105,7 @@ func (c *CLUGP) Name() string {
 func (c *CLUGP) PreferredOrder() stream.Order { return stream.BFS }
 
 // Partition implements Partitioner, running the three passes.
-func (c *CLUGP) Partition(edges []graph.Edge, numVertices, k int) ([]int32, error) {
+func (c *CLUGP) Partition(s stream.View, numVertices, k int) ([]int32, error) {
 	tau := c.Tau
 	if tau == 0 {
 		tau = 1.0
@@ -117,18 +117,19 @@ func (c *CLUGP) Partition(edges []graph.Edge, numVertices, k int) ([]int32, erro
 	if vf == 0 {
 		vf = 0.2
 	}
-	if len(edges) == 0 {
+	numEdges := s.Len()
+	if numEdges == 0 {
 		return []int32{}, nil
 	}
 
 	// Pass 1: streaming clustering. Vmax = vf*|E|/k, at least 2 so that
 	// tiny graphs still form multi-vertex clusters.
-	vmax := int64(vf * float64(len(edges)) / float64(k))
+	vmax := int64(vf * float64(numEdges) / float64(k))
 	if vmax < 2 {
 		vmax = 2
 	}
 	t0 := time.Now()
-	cres, err := cluster.Run(edges, numVertices, cluster.Config{
+	cres, err := cluster.Run(s, numVertices, cluster.Config{
 		Vmax:             vmax,
 		DisableSplitting: c.DisableSplitting,
 		MigrateMaxDegree: c.MigrateMaxDegree,
@@ -140,7 +141,7 @@ func (c *CLUGP) Partition(edges []graph.Edge, numVertices, k int) ([]int32, erro
 	t1 := time.Now()
 
 	// Pass 2: build the cluster graph and play the partitioning game.
-	cg, err := cluster.BuildGraph(edges, cres)
+	cg, err := cluster.BuildGraph(s, cres)
 	if err != nil {
 		return nil, fmt.Errorf("clugp pass 2: %w", err)
 	}
@@ -169,7 +170,7 @@ func (c *CLUGP) Partition(edges []graph.Edge, numVertices, k int) ([]int32, erro
 	t3 := time.Now()
 
 	// Pass 3: transformation (Algorithm 1).
-	assign, overflowed := transform(edges, cres, asg.Partition, k, tau)
+	assign, overflowed := transform(s, cres, asg.Partition, k, tau)
 	t4 := time.Now()
 
 	tr := &Trace{
@@ -219,12 +220,13 @@ func (c *CLUGP) Partition(edges []graph.Edge, numVertices, k int) ([]int32, erro
 // exactly those O(1) tables - master partition and mirror partition - so
 // pass 3 keeps its O(1)-per-edge budget. Ties fall back to the paper's
 // cut-the-higher-degree rule (lines 21-22), then to the lighter partition.
-func transform(edges []graph.Edge, cres *cluster.Result, cpart []int32, k int, tau float64) (assign []int32, overflowed int64) {
-	assign = make([]int32, len(edges))
+func transform(s stream.View, cres *cluster.Result, cpart []int32, k int, tau float64) (assign []int32, overflowed int64) {
+	numEdges := s.Len()
+	assign = make([]int32, numEdges)
 	sizes := make([]int64, k)
 	// Lmax = ceil(tau*|E|/k): the ceiling guarantees k*Lmax >= |E| so an
 	// underflow partition always exists when the guard trips.
-	lmax := int64((tau*float64(len(edges)) + float64(k) - 1) / float64(k))
+	lmax := int64((tau*float64(numEdges) + float64(k) - 1) / float64(k))
 	if lmax < 1 {
 		lmax = 1
 	}
@@ -238,7 +240,8 @@ func transform(edges []graph.Edge, cres *cluster.Result, cpart []int32, k int, t
 		return -1
 	}
 
-	for i, e := range edges {
+	for i := 0; i < numEdges; i++ {
+		e := s.At(i)
 		u, v := e.Src, e.Dst
 		pu := cpart[cres.Assign[u]]
 		pv := cpart[cres.Assign[v]]
@@ -254,7 +257,7 @@ func transform(edges []graph.Edge, cres *cluster.Result, cpart []int32, k int, t
 			case sizes[pv] < lmax:
 				p = pv
 			default:
-				p = int32(leastLoadedAll(sizes))
+				p = leastLoadedAll(sizes)
 			}
 		} else if pu == pv {
 			// Same partition: no cut (lines 15-16).

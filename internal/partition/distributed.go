@@ -4,7 +4,6 @@ import (
 	"fmt"
 	"sync"
 
-	"repro/internal/graph"
 	"repro/internal/stream"
 )
 
@@ -40,33 +39,34 @@ func (d *DistributedCLUGP) Name() string { return "CLUGP-D" }
 func (d *DistributedCLUGP) PreferredOrder() stream.Order { return stream.BFS }
 
 // Partition implements Partitioner.
-func (d *DistributedCLUGP) Partition(edges []graph.Edge, numVertices, k int) ([]int32, error) {
+func (d *DistributedCLUGP) Partition(s stream.View, numVertices, k int) ([]int32, error) {
 	nodes := d.Nodes
 	if nodes <= 0 {
 		nodes = 4
 	}
-	if nodes > len(edges) {
+	numEdges := s.Len()
+	if nodes > numEdges {
 		nodes = 1
 	}
-	assign := make([]int32, len(edges))
+	assign := make([]int32, numEdges)
 	errs := make([]error, nodes)
 	var wg sync.WaitGroup
-	per := (len(edges) + nodes - 1) / nodes
+	per := (numEdges + nodes - 1) / nodes
 	for nd := 0; nd < nodes; nd++ {
 		lo := nd * per
 		hi := lo + per
-		if lo >= len(edges) {
+		if lo >= numEdges {
 			break
 		}
-		if hi > len(edges) {
-			hi = len(edges)
+		if hi > numEdges {
+			hi = numEdges
 		}
 		wg.Add(1)
 		go func(nd, lo, hi int) {
 			defer wg.Done()
 			local := d.Options // copy: each node owns its pipeline state
 			local.Seed = d.Seed ^ (0x9e3779b97f4a7c15 * uint64(nd+1))
-			out, err := local.Partition(edges[lo:hi], numVertices, k)
+			out, err := local.Partition(s.Slice(lo, hi), numVertices, k)
 			if err != nil {
 				errs[nd] = fmt.Errorf("clugp-d node %d: %w", nd, err)
 				return

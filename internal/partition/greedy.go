@@ -1,7 +1,6 @@
 package partition
 
 import (
-	"repro/internal/graph"
 	"repro/internal/metrics"
 	"repro/internal/stream"
 )
@@ -20,7 +19,15 @@ import (
 // The P(v) table is the "global status table" whose locking the paper blames
 // for the poor scaling of heuristic methods; here it also dominates their
 // memory cost (Figure 6).
-type Greedy struct{}
+//
+// A Greedy value keeps its replica table and counters as scratch reused
+// across runs, so the per-edge path performs zero allocations and repeated
+// runs reuse the O(|V|·k/64) bitset.
+type Greedy struct {
+	rs      metrics.ReplicaSets
+	sizes   []int64
+	scratch []int32
+}
 
 // Name implements Partitioner.
 func (gr *Greedy) Name() string { return "Greedy" }
@@ -29,14 +36,25 @@ func (gr *Greedy) Name() string { return "Greedy" }
 func (gr *Greedy) PreferredOrder() stream.Order { return stream.Random }
 
 // Partition implements Partitioner.
-func (gr *Greedy) Partition(edges []graph.Edge, numVertices, k int) ([]int32, error) {
-	assign := make([]int32, len(edges))
-	rs := metrics.NewReplicaSets(numVertices, k)
-	sizes := make([]int64, k)
-	scratch := make([]int, 0, k)
-	for i, e := range edges {
+func (gr *Greedy) Partition(s stream.View, numVertices, k int) ([]int32, error) {
+	return partitionVia(gr, s, numVertices, k)
+}
+
+// PartitionInto implements IntoPartitioner.
+func (gr *Greedy) PartitionInto(s stream.View, numVertices, k int, assign []int32) error {
+	if err := checkInto(s, k, assign); err != nil {
+		return err
+	}
+	gr.rs.Reset(numVertices, k)
+	gr.sizes = resetInt64(gr.sizes, k)
+	if cap(gr.scratch) < k {
+		gr.scratch = make([]int32, 0, k)
+	}
+	rs, sizes, scratch := &gr.rs, gr.sizes, gr.scratch
+	for i, n := 0, s.Len(); i < n; i++ {
+		e := s.At(i)
 		u, v := e.Src, e.Dst
-		var p int
+		var p int32
 		common := rs.Intersect(u, v, scratch[:0])
 		if len(common) > 0 {
 			p = leastLoaded(sizes, common)
@@ -54,16 +72,38 @@ func (gr *Greedy) Partition(edges []graph.Edge, numVertices, k int) ([]int32, er
 				p = leastLoadedAll(sizes)
 			}
 		}
-		assign[i] = int32(p)
+		assign[i] = p
 		sizes[p]++
-		rs.Add(u, p)
-		rs.Add(v, p)
+		rs.Add(u, int(p))
+		rs.Add(v, int(p))
 	}
-	return assign, nil
+	return nil
 }
 
 // StateBytes implements StateSizer: the replica bitset plus partition sizes.
 func (gr *Greedy) StateBytes(numVertices, numEdges, k int) int64 {
 	words := (k + 63) / 64
 	return int64(numVertices)*int64(words)*8 + int64(k)*8
+}
+
+// resetInt64 returns a zeroed int64 slice of length n, reusing buf's
+// storage when possible.
+func resetInt64(buf []int64, n int) []int64 {
+	if cap(buf) < n {
+		return make([]int64, n)
+	}
+	buf = buf[:n]
+	clear(buf)
+	return buf
+}
+
+// resetUint32 returns a zeroed uint32 slice of length n, reusing buf's
+// storage when possible.
+func resetUint32(buf []uint32, n int) []uint32 {
+	if cap(buf) < n {
+		return make([]uint32, n)
+	}
+	buf = buf[:n]
+	clear(buf)
+	return buf
 }

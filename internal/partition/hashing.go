@@ -1,7 +1,6 @@
 package partition
 
 import (
-	"repro/internal/graph"
 	"repro/internal/stream"
 	"repro/internal/xrand"
 )
@@ -22,14 +21,22 @@ func (h *Hashing) Name() string { return "Hashing" }
 func (h *Hashing) PreferredOrder() stream.Order { return stream.Random }
 
 // Partition implements Partitioner.
-func (h *Hashing) Partition(edges []graph.Edge, numVertices, k int) ([]int32, error) {
-	assign := make([]int32, len(edges))
+func (h *Hashing) Partition(s stream.View, numVertices, k int) ([]int32, error) {
+	return partitionVia(h, s, numVertices, k)
+}
+
+// PartitionInto implements IntoPartitioner.
+func (h *Hashing) PartitionInto(s stream.View, numVertices, k int, assign []int32) error {
+	if err := checkInto(s, k, assign); err != nil {
+		return err
+	}
 	kk := uint64(k)
-	for i, e := range edges {
+	for i, n := 0, s.Len(); i < n; i++ {
+		e := s.At(i)
 		key := uint64(e.Src)<<32 | uint64(e.Dst)
 		assign[i] = int32(xrand.Hash64(key^h.Seed) % kk)
 	}
-	return assign, nil
+	return nil
 }
 
 // StateBytes implements StateSizer: a hash function needs no state beyond
@@ -40,9 +47,12 @@ func (h *Hashing) StateBytes(numVertices, numEdges, k int) int64 { return 0 }
 // placed by hashing its lower-degree endpoint, so low-degree vertices keep
 // their edges together while high-degree vertices are cut - the right
 // trade for power-law graphs. Degrees are the partial (streamed-so-far)
-// counts, keeping the algorithm single-pass.
+// counts, keeping the algorithm single-pass. The degree table is scratch
+// reused across runs.
 type DBH struct {
 	Seed uint64
+
+	deg []uint32
 }
 
 // Name implements Partitioner.
@@ -52,11 +62,20 @@ func (d *DBH) Name() string { return "DBH" }
 func (d *DBH) PreferredOrder() stream.Order { return stream.Random }
 
 // Partition implements Partitioner.
-func (d *DBH) Partition(edges []graph.Edge, numVertices, k int) ([]int32, error) {
-	assign := make([]int32, len(edges))
-	deg := make([]uint32, numVertices)
+func (d *DBH) Partition(s stream.View, numVertices, k int) ([]int32, error) {
+	return partitionVia(d, s, numVertices, k)
+}
+
+// PartitionInto implements IntoPartitioner.
+func (d *DBH) PartitionInto(s stream.View, numVertices, k int, assign []int32) error {
+	if err := checkInto(s, k, assign); err != nil {
+		return err
+	}
+	d.deg = resetUint32(d.deg, numVertices)
+	deg := d.deg
 	kk := uint64(k)
-	for i, e := range edges {
+	for i, n := 0, s.Len(); i < n; i++ {
+		e := s.At(i)
 		deg[e.Src]++
 		deg[e.Dst]++
 		low := e.Src
@@ -65,7 +84,7 @@ func (d *DBH) Partition(edges []graph.Edge, numVertices, k int) ([]int32, error)
 		}
 		assign[i] = int32(xrand.Hash64(uint64(low)^d.Seed) % kk)
 	}
-	return assign, nil
+	return nil
 }
 
 // StateBytes implements StateSizer: one degree counter per vertex.

@@ -1,7 +1,6 @@
 package partition
 
 import (
-	"repro/internal/graph"
 	"repro/internal/metrics"
 	"repro/internal/stream"
 )
@@ -21,11 +20,20 @@ import (
 // Like Greedy it keeps the full P(v) table and scans all k partitions per
 // edge, which is exactly the O(k) cost the runtime experiments (Figure 7)
 // show blowing up at large k.
+//
+// An HDRF value keeps its replica table, degree table and counters as
+// scratch reused across runs; the per-edge scoring loop is allocation-free
+// and loads each endpoint's replica bitset word once per 64 partitions
+// instead of once per partition.
 type HDRF struct {
 	// BalanceWeight is the lambda of the HDRF paper (its default 1.1 keeps
 	// near-perfect balance; larger trades quality for balance). Zero means
 	// 1.1.
 	BalanceWeight float64
+
+	rs    metrics.ReplicaSets
+	deg   []uint32
+	sizes []int64
 }
 
 // Name implements Partitioner.
@@ -35,40 +43,59 @@ func (h *HDRF) Name() string { return "HDRF" }
 func (h *HDRF) PreferredOrder() stream.Order { return stream.Random }
 
 // Partition implements Partitioner.
-func (h *HDRF) Partition(edges []graph.Edge, numVertices, k int) ([]int32, error) {
+func (h *HDRF) Partition(s stream.View, numVertices, k int) ([]int32, error) {
+	return partitionVia(h, s, numVertices, k)
+}
+
+// PartitionInto implements IntoPartitioner.
+func (h *HDRF) PartitionInto(s stream.View, numVertices, k int, assign []int32) error {
+	if err := checkInto(s, k, assign); err != nil {
+		return err
+	}
 	lam := h.BalanceWeight
 	if lam == 0 {
 		lam = 1.1
 	}
 	const eps = 1.0
-	assign := make([]int32, len(edges))
-	rs := metrics.NewReplicaSets(numVertices, k)
-	deg := make([]uint32, numVertices)
-	sizes := make([]int64, k)
+	h.rs.Reset(numVertices, k)
+	h.deg = resetUint32(h.deg, numVertices)
+	h.sizes = resetInt64(h.sizes, k)
+	rs, deg, sizes := &h.rs, h.deg, h.sizes
 	var maxSize, minSize int64
 
-	for i, e := range edges {
+	for i, n := 0, s.Len(); i < n; i++ {
+		e := s.At(i)
 		u, v := e.Src, e.Dst
 		deg[u]++
 		deg[v]++
 		du, dv := float64(deg[u]), float64(deg[v])
 		thetaU := du / (du + dv)
 		thetaV := 1 - thetaU
+		gU := 1 + (1 - thetaU)
+		gV := 1 + (1 - thetaV)
 
 		spread := float64(maxSize - minSize)
 		best := 0
 		bestScore := -1.0
+		// One replica-bitset word covers 64 partitions; load each word of
+		// u's and v's sets once instead of testing bit-by-bit through Has.
+		var wu, wv uint64
 		for p := 0; p < k; p++ {
-			var crep float64
-			if rs.Has(u, p) {
-				crep += 1 + (1 - thetaU)
+			if p&63 == 0 {
+				wu = rs.Word(u, p>>6)
+				wv = rs.Word(v, p>>6)
 			}
-			if rs.Has(v, p) {
-				crep += 1 + (1 - thetaV)
+			bit := uint64(1) << uint(p&63)
+			var crep float64
+			if wu&bit != 0 {
+				crep += gU
+			}
+			if wv&bit != 0 {
+				crep += gV
 			}
 			cbal := lam * float64(maxSize-sizes[p]) / (eps + spread)
-			if s := crep + cbal; s > bestScore {
-				bestScore = s
+			if score := crep + cbal; score > bestScore {
+				bestScore = score
 				best = p
 			}
 		}
@@ -90,7 +117,7 @@ func (h *HDRF) Partition(edges []graph.Edge, numVertices, k int) ([]int32, error
 			}
 		}
 	}
-	return assign, nil
+	return nil
 }
 
 // StateBytes implements StateSizer: replica bitsets + degree table + sizes.

@@ -1,7 +1,6 @@
 package partition
 
 import (
-	"repro/internal/graph"
 	"repro/internal/stream"
 	"repro/internal/xrand"
 )
@@ -12,12 +11,15 @@ import (
 // together (hashed by target, edge-cut style), while high-degree vertices'
 // in-edges are spread by source (vertex-cut style), since hubs must be
 // replicated anyway. The degree threshold separates the two regimes; the
-// streaming variant uses partial in-degrees.
+// streaming variant uses partial in-degrees. The in-degree table is scratch
+// reused across runs.
 type HybridCut struct {
 	// Threshold is the in-degree above which a target counts as
 	// high-degree (default 100, PowerLyra's typical setting).
 	Threshold uint32
 	Seed      uint64
+
+	indeg []uint32
 }
 
 // Name implements Partitioner.
@@ -27,15 +29,24 @@ func (h *HybridCut) Name() string { return "Hybrid" }
 func (h *HybridCut) PreferredOrder() stream.Order { return stream.Random }
 
 // Partition implements Partitioner.
-func (h *HybridCut) Partition(edges []graph.Edge, numVertices, k int) ([]int32, error) {
+func (h *HybridCut) Partition(s stream.View, numVertices, k int) ([]int32, error) {
+	return partitionVia(h, s, numVertices, k)
+}
+
+// PartitionInto implements IntoPartitioner.
+func (h *HybridCut) PartitionInto(s stream.View, numVertices, k int, assign []int32) error {
+	if err := checkInto(s, k, assign); err != nil {
+		return err
+	}
 	threshold := h.Threshold
 	if threshold == 0 {
 		threshold = 100
 	}
-	indeg := make([]uint32, numVertices)
-	assign := make([]int32, len(edges))
+	h.indeg = resetUint32(h.indeg, numVertices)
+	indeg := h.indeg
 	kk := uint64(k)
-	for i, e := range edges {
+	for i, n := 0, s.Len(); i < n; i++ {
+		e := s.At(i)
 		indeg[e.Dst]++
 		if indeg[e.Dst] > threshold {
 			// High-degree target: spread by source (vertex-cut the hub).
@@ -45,7 +56,7 @@ func (h *HybridCut) Partition(edges []graph.Edge, numVertices, k int) ([]int32, 
 			assign[i] = int32(xrand.Hash64(uint64(e.Dst)^h.Seed) % kk)
 		}
 	}
-	return assign, nil
+	return nil
 }
 
 // StateBytes implements StateSizer: one in-degree counter per vertex.
@@ -73,19 +84,27 @@ func (g *Grid) PreferredOrder() stream.Order { return stream.Random }
 // so the algorithm uses the largest perfect square side*side <= k and
 // leaves any leftover partitions empty - the standard implementation
 // choice; pick square k for meaningful balance numbers.
-func (g *Grid) Partition(edges []graph.Edge, numVertices, k int) ([]int32, error) {
+func (g *Grid) Partition(s stream.View, numVertices, k int) ([]int32, error) {
+	return partitionVia(g, s, numVertices, k)
+}
+
+// PartitionInto implements IntoPartitioner.
+func (g *Grid) PartitionInto(s stream.View, numVertices, k int, assign []int32) error {
+	if err := checkInto(s, k, assign); err != nil {
+		return err
+	}
 	side := 1
 	for (side+1)*(side+1) <= k {
 		side++
 	}
-	assign := make([]int32, len(edges))
 	ss := uint64(side)
-	for i, e := range edges {
+	for i, n := 0, s.Len(); i < n; i++ {
+		e := s.At(i)
 		ru := xrand.Hash64(uint64(e.Src)^g.Seed) % ss        // u's row
 		cv := xrand.Hash64(uint64(e.Dst)^g.Seed^0xbeef) % ss // v's column
 		assign[i] = int32(ru*ss + cv)                        // intersection cell
 	}
-	return assign, nil
+	return nil
 }
 
 // StateBytes implements StateSizer: stateless like Hashing.

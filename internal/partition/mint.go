@@ -20,7 +20,8 @@ import (
 // hash-anchored initial strategy (the lower-id endpoint's hash), which
 // lands a vertex's edges on the same starting partition in every batch.
 // Quality is therefore between the hash methods and the heuristics
-// (Table I: Medium/Medium).
+// (Table I: Medium/Medium). The batch tables are scratch reused across
+// batches and across runs.
 type Mint struct {
 	// BatchSize is the number of edges per game (default 6400).
 	BatchSize int
@@ -29,6 +30,136 @@ type Mint struct {
 	// BalanceWeight scales the load term of the edge cost (default 1.0).
 	BalanceWeight float64
 	Seed          uint64
+
+	sizes    []int64
+	local    []int64
+	totals   []int64
+	presence u64Table
+	primary  u64Table
+}
+
+// u64Table is an open-addressed uint64 -> int32 counter table with a fixed
+// hash (xrand.Hash64), power-of-two capacity, linear probing and
+// generation-stamped slots so clearing is O(1). It replaces Go maps in
+// Mint's batch loops for two reasons: the fixed hash makes the number of
+// allocations a cross-process deterministic function of the input (Go maps
+// seed their hash per process, so their overflow-bucket allocations vary
+// run to run, which would defeat the suite's strict allocation gate), and
+// probing a flat array is faster than map access in the per-edge path.
+// Entries are never removed within a generation (Mint decrements counters
+// to zero but keeps the slot), so linear probing needs no tombstones.
+type u64Table struct {
+	keys []uint64
+	vals []int32
+	gen  []uint32
+	cur  uint32
+	mask int
+	used int
+}
+
+// reset clears the table in O(1) and guarantees capacity for at least hint
+// live keys without growing.
+func (t *u64Table) reset(hint int) {
+	want := 16
+	for want*3 < hint*4 { // invert the 3/4 load-factor bound
+		want *= 2
+	}
+	if len(t.keys) < want {
+		t.keys = make([]uint64, want)
+		t.vals = make([]int32, want)
+		t.gen = make([]uint32, want)
+		t.cur = 1
+		t.mask = want - 1
+		t.used = 0
+		return
+	}
+	t.cur++
+	if t.cur == 0 { // generation wrap: re-stamp everything empty
+		clear(t.gen)
+		t.cur = 1
+	}
+	t.used = 0
+}
+
+// slot returns the index of key's slot, claiming an empty one if absent
+// (claimed slots start at value 0).
+func (t *u64Table) slot(key uint64) int {
+	i := int(xrand.Hash64(key)) & t.mask
+	for {
+		if t.gen[i] != t.cur {
+			if t.used*4 >= len(t.keys)*3 {
+				t.growRehash()
+				i = int(xrand.Hash64(key)) & t.mask
+				continue
+			}
+			t.gen[i] = t.cur
+			t.keys[i] = key
+			t.vals[i] = 0
+			t.used++
+			return i
+		}
+		if t.keys[i] == key {
+			return i
+		}
+		i = (i + 1) & t.mask
+	}
+}
+
+// add adjusts key's counter by delta, creating it at zero first.
+func (t *u64Table) add(key uint64, delta int32) {
+	t.vals[t.slot(key)] += delta
+}
+
+// get returns key's counter (0 if absent) without inserting.
+func (t *u64Table) get(key uint64) int32 {
+	i := int(xrand.Hash64(key)) & t.mask
+	for {
+		if t.gen[i] != t.cur {
+			return 0
+		}
+		if t.keys[i] == key {
+			return t.vals[i]
+		}
+		i = (i + 1) & t.mask
+	}
+}
+
+// lookup is get with a presence flag, for tables whose values are ids
+// rather than counters (0 is a valid value).
+func (t *u64Table) lookup(key uint64) (int32, bool) {
+	i := int(xrand.Hash64(key)) & t.mask
+	for {
+		if t.gen[i] != t.cur {
+			return 0, false
+		}
+		if t.keys[i] == key {
+			return t.vals[i], true
+		}
+		i = (i + 1) & t.mask
+	}
+}
+
+// put sets key's value.
+func (t *u64Table) put(key uint64, v int32) {
+	t.vals[t.slot(key)] = v
+}
+
+// growRehash doubles the table and reinserts the current generation.
+func (t *u64Table) growRehash() {
+	oldKeys, oldVals, oldGen, oldCur := t.keys, t.vals, t.gen, t.cur
+	n := 2 * len(oldKeys)
+	t.keys = make([]uint64, n)
+	t.vals = make([]int32, n)
+	t.gen = make([]uint32, n)
+	t.cur = 1
+	t.mask = n - 1
+	t.used = 0
+	for i := range oldKeys {
+		if oldGen[i] == oldCur {
+			j := t.slot(oldKeys[i])
+			t.vals[j] = oldVals[i]
+		}
+	}
 }
 
 // Name implements Partitioner.
@@ -39,7 +170,15 @@ func (m *Mint) Name() string { return "Mint" }
 func (m *Mint) PreferredOrder() stream.Order { return stream.BFS }
 
 // Partition implements Partitioner.
-func (m *Mint) Partition(edges []graph.Edge, numVertices, k int) ([]int32, error) {
+func (m *Mint) Partition(s stream.View, numVertices, k int) ([]int32, error) {
+	return partitionVia(m, s, numVertices, k)
+}
+
+// PartitionInto implements IntoPartitioner.
+func (m *Mint) PartitionInto(s stream.View, numVertices, k int, assign []int32) error {
+	if err := checkInto(s, k, assign); err != nil {
+		return err
+	}
 	batchSize := m.BatchSize
 	if batchSize <= 0 {
 		batchSize = 6400
@@ -53,27 +192,32 @@ func (m *Mint) Partition(edges []graph.Edge, numVertices, k int) ([]int32, error
 		mu = 1.0
 	}
 
-	assign := make([]int32, len(edges))
-	sizes := make([]int64, k)  // committed edges per partition
-	local := make([]int64, k)  // current batch's edges per partition
-	totals := make([]int64, k) // sizes + local, the cost basis
+	numEdges := s.Len()
+	m.sizes = resetInt64(m.sizes, k)   // committed edges per partition
+	m.local = resetInt64(m.local, k)   // current batch's edges per partition
+	m.totals = resetInt64(m.totals, k) // sizes + local, the cost basis
+	sizes, local, totals := m.sizes, m.local, m.totals
 	kk := uint64(k)
 
 	// presence[v<<16|p] counts batch edges incident to v currently at p.
-	presence := make(map[uint64]int32, batchSize*2)
+	presence := &m.presence
 	key := func(v graph.VertexID, p int32) uint64 { return uint64(v)<<16 | uint64(uint16(p)) }
 	// primary[v] is the partition v's plurality of batch edges sits on -
 	// approximated by the most recent strategy an incident edge adopted.
 	// Both tables are batch-scoped: Mint keeps no global per-vertex state.
-	primary := make(map[graph.VertexID]int32, batchSize)
+	primary := &m.primary
 
-	for lo := 0; lo < len(edges); lo += batchSize {
+	batchCap := batchSize
+	if batchCap > numEdges {
+		batchCap = numEdges
+	}
+	for lo := 0; lo < numEdges; lo += batchSize {
 		hi := lo + batchSize
-		if hi > len(edges) {
-			hi = len(edges)
+		if hi > numEdges {
+			hi = numEdges
 		}
-		clear(presence)
-		clear(primary)
+		presence.reset(2 * batchCap)
+		primary.reset(2 * batchCap)
 		for p := range local {
 			local[p] = 0
 		}
@@ -81,22 +225,22 @@ func (m *Mint) Partition(edges []graph.Edge, numVertices, k int) ([]int32, error
 		// Initial strategies: hash of the lower-id endpoint anchors each
 		// vertex's edges to a consistent home partition across batches.
 		for i := lo; i < hi; i++ {
-			e := edges[i]
+			e := s.At(i)
 			anchor := e.Src
 			if e.Dst < anchor {
 				anchor = e.Dst
 			}
 			p := int32(xrand.Hash64(uint64(anchor)^m.Seed) % kk)
 			assign[i] = p
-			presence[key(e.Src, p)]++
-			presence[key(e.Dst, p)]++
+			presence.add(key(e.Src, p), 1)
+			presence.add(key(e.Dst, p), 1)
 			local[p]++
 		}
 		for p := range totals {
 			totals[p] = sizes[p] + local[p]
 		}
 
-		avg := float64(len(edges))/float64(k) + 1
+		avg := float64(numEdges)/float64(k) + 1
 		for round := 0; round < maxRounds; round++ {
 			changed := false
 			// The least-loaded partition is the only attractive strategy
@@ -104,13 +248,13 @@ func (m *Mint) Partition(edges []graph.Edge, numVertices, k int) ([]int32, error
 			// edge evaluates a constant-size candidate set instead of all k
 			// (keeping Mint's per-edge cost k-independent, which is the
 			// point of its design).
-			light := int32(leastLoadedAll(totals))
+			light := leastLoadedAll(totals)
 			for i := lo; i < hi; i++ {
-				e := edges[i]
+				e := s.At(i)
 				cur := assign[i]
 				// Remove this edge's own contribution so costs are marginal.
-				presence[key(e.Src, cur)]--
-				presence[key(e.Dst, cur)]--
+				presence.add(key(e.Src, cur), -1)
+				presence.add(key(e.Dst, cur), -1)
 				totals[cur]--
 
 				best := cur
@@ -118,10 +262,10 @@ func (m *Mint) Partition(edges []graph.Edge, numVertices, k int) ([]int32, error
 				au := int32(xrand.Hash64(uint64(e.Src)^m.Seed) % kk)
 				av := int32(xrand.Hash64(uint64(e.Dst)^m.Seed) % kk)
 				cands := [5]int32{au, av, light, -1, -1}
-				if p, ok := primary[e.Src]; ok {
+				if p, ok := primary.lookup(uint64(e.Src)); ok {
 					cands[3] = p
 				}
-				if p, ok := primary[e.Dst]; ok {
+				if p, ok := primary.lookup(uint64(e.Dst)); ok {
 					cands[4] = p
 				}
 				for _, p := range cands {
@@ -137,11 +281,11 @@ func (m *Mint) Partition(edges []graph.Edge, numVertices, k int) ([]int32, error
 					assign[i] = best
 					changed = true
 				}
-				presence[key(e.Src, best)]++
-				presence[key(e.Dst, best)]++
+				presence.add(key(e.Src, best), 1)
+				presence.add(key(e.Dst, best), 1)
 				totals[best]++
-				primary[e.Src] = best
-				primary[e.Dst] = best
+				primary.put(uint64(e.Src), best)
+				primary.put(uint64(e.Dst), best)
 			}
 			if !changed {
 				break
@@ -153,18 +297,18 @@ func (m *Mint) Partition(edges []graph.Edge, numVertices, k int) ([]int32, error
 			sizes[assign[i]]++
 		}
 	}
-	return assign, nil
+	return nil
 }
 
 // edgeCost is the player cost of edge e choosing partition p: one unit per
 // endpoint that no co-batched edge has at p (a would-be replica), plus the
 // normalized load of p including the batch edges already there.
-func (m *Mint) edgeCost(presence map[uint64]int32, totals []int64, key func(graph.VertexID, int32) uint64, e graph.Edge, p int32, mu, avg float64) float64 {
+func (m *Mint) edgeCost(presence *u64Table, totals []int64, key func(graph.VertexID, int32) uint64, e graph.Edge, p int32, mu, avg float64) float64 {
 	var rep float64
-	if presence[key(e.Src, p)] == 0 {
+	if presence.get(key(e.Src, p)) == 0 {
 		rep++
 	}
-	if presence[key(e.Dst, p)] == 0 {
+	if presence.get(key(e.Dst, p)) == 0 {
 		rep++
 	}
 	return rep + mu*float64(totals[p])/avg
@@ -180,7 +324,7 @@ func (m *Mint) StateBytes(numVertices, numEdges, k int) int64 {
 	if b > numEdges {
 		b = numEdges
 	}
-	// 4 bytes per batch assignment + ~2 presence entries per edge at ~24
-	// bytes each (key+count+bucket overhead), + k sizes.
-	return int64(b)*4 + int64(b)*2*24 + int64(k)*8
+	// 4 bytes per batch assignment + ~2 presence entries per edge at 16
+	// bytes per open-addressing slot (key+value+generation), + k sizes.
+	return int64(b)*4 + int64(b)*2*16 + int64(k)*8
 }

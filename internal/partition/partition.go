@@ -6,6 +6,11 @@
 // A vertex-cut partitioner assigns every streamed edge to exactly one of k
 // partitions; quality is measured by the replication factor and relative
 // load balance of Section II-B (package metrics).
+//
+// Partitioners consume the stream as a zero-copy stream.View and may keep
+// reusable scratch between runs (see PartitionInto); a single Partitioner
+// value is therefore not safe for concurrent use. Construct one per
+// goroutine - they are cheap, all state is scratch.
 package partition
 
 import (
@@ -26,8 +31,20 @@ type Partitioner interface {
 	// one-pass heuristics and hashes, BFS for Mint and CLUGP).
 	PreferredOrder() stream.Order
 	// Partition consumes the edge stream (possibly in multiple passes) and
-	// returns one partition id per edge, aligned with the input slice.
-	Partition(edges []graph.Edge, numVertices, k int) ([]int32, error)
+	// returns one partition id per edge, aligned with the stream.
+	Partition(s stream.View, numVertices, k int) ([]int32, error)
+}
+
+// IntoPartitioner is implemented by partitioners whose hot loop is
+// allocation-free: PartitionInto writes the assignment into a caller-owned
+// slice and reuses the partitioner's internal scratch (replica bitsets,
+// degree tables, load counters) across calls. It is the repeated-run API
+// the benchmarks and the suite lean on; Partition remains the convenient
+// one-shot form.
+type IntoPartitioner interface {
+	// PartitionInto partitions the stream into assign, which must have
+	// length s.Len().
+	PartitionInto(s stream.View, numVertices, k int, assign []int32) error
 }
 
 // StateSizer is implemented by partitioners that can report the peak size
@@ -46,11 +63,13 @@ type Result struct {
 	Order       stream.Order
 	K           int
 	NumVertices int
-	Edges       []graph.Edge
-	Assign      []int32
-	Quality     *metrics.Quality
-	Runtime     time.Duration
-	StateBytes  int64
+	// Stream is the ordered edge stream that was partitioned; Assign is
+	// aligned with it (Assign[i] is the partition of Stream.At(i)).
+	Stream     stream.View
+	Assign     []int32
+	Quality    *metrics.Quality
+	Runtime    time.Duration
+	StateBytes int64
 }
 
 // Run orders the graph's edges per the partitioner's preference, times the
@@ -60,15 +79,17 @@ func Run(p Partitioner, g *graph.Graph, k int, seed uint64) (*Result, error) {
 	if k < 1 {
 		return nil, fmt.Errorf("partition: k must be >= 1, got %d", k)
 	}
+	if err := stream.CheckLen(len(g.Edges)); err != nil {
+		return nil, fmt.Errorf("partition: %w", err)
+	}
 	order := p.PreferredOrder()
-	return RunStreamed(p, stream.Edges(g, order, seed), order, g.NumVertices, k)
+	return RunStreamed(p, stream.NewView(g, order, seed), order, g.NumVertices, k)
 }
 
 // RunCached is Run with the stream order served from c, so repeated runs
 // over the same graph (the experiment-suite hot path) reuse one ordered
-// slice instead of re-materializing it per run. A nil cache falls back to
-// Run. The cached slice is shared across runs and must not be mutated;
-// see stream.Cache.
+// permutation instead of re-materializing it per run. A nil cache falls
+// back to Run.
 func RunCached(p Partitioner, g *graph.Graph, k int, seed uint64, c *stream.Cache) (*Result, error) {
 	if k < 1 {
 		return nil, fmt.Errorf("partition: k must be >= 1, got %d", k)
@@ -76,27 +97,30 @@ func RunCached(p Partitioner, g *graph.Graph, k int, seed uint64, c *stream.Cach
 	if c == nil {
 		return Run(p, g, k, seed)
 	}
+	if err := stream.CheckLen(len(g.Edges)); err != nil {
+		return nil, fmt.Errorf("partition: %w", err)
+	}
 	order := p.PreferredOrder()
-	return RunStreamed(p, c.Edges(g, order, seed), order, g.NumVertices, k)
+	return RunStreamed(p, c.View(g, order, seed), order, g.NumVertices, k)
 }
 
 // RunStreamed partitions an already-ordered edge stream, timing the
-// partitioning pass(es) and evaluating quality. order records how edges was
-// produced; it is bookkeeping only and does not reorder anything.
-func RunStreamed(p Partitioner, edges []graph.Edge, order stream.Order, numVertices, k int) (*Result, error) {
+// partitioning pass(es) and evaluating quality. order records how the view
+// was produced; it is bookkeeping only and does not reorder anything.
+func RunStreamed(p Partitioner, s stream.View, order stream.Order, numVertices, k int) (*Result, error) {
 	if k < 1 {
 		return nil, fmt.Errorf("partition: k must be >= 1, got %d", k)
 	}
 	start := time.Now()
-	assign, err := p.Partition(edges, numVertices, k)
+	assign, err := p.Partition(s, numVertices, k)
 	elapsed := time.Since(start)
 	if err != nil {
 		return nil, fmt.Errorf("partition: %s: %w", p.Name(), err)
 	}
-	if len(assign) != len(edges) {
-		return nil, fmt.Errorf("partition: %s returned %d assignments for %d edges", p.Name(), len(assign), len(edges))
+	if len(assign) != s.Len() {
+		return nil, fmt.Errorf("partition: %s returned %d assignments for %d edges", p.Name(), len(assign), s.Len())
 	}
-	q, err := metrics.Evaluate(edges, assign, numVertices, k)
+	q, err := metrics.Evaluate(s, assign, numVertices, k)
 	if err != nil {
 		return nil, fmt.Errorf("partition: %s: %w", p.Name(), err)
 	}
@@ -105,20 +129,41 @@ func RunStreamed(p Partitioner, edges []graph.Edge, order stream.Order, numVerti
 		Order:       order,
 		K:           k,
 		NumVertices: numVertices,
-		Edges:       edges,
+		Stream:      s,
 		Assign:      assign,
 		Quality:     q,
 		Runtime:     elapsed,
 	}
-	if s, ok := p.(StateSizer); ok {
-		res.StateBytes = s.StateBytes(numVertices, len(edges), k)
+	if s2, ok := p.(StateSizer); ok {
+		res.StateBytes = s2.StateBytes(numVertices, s.Len(), k)
 	}
 	return res, nil
 }
 
+// partitionVia implements the one-shot Partition in terms of an
+// allocation-free PartitionInto.
+func partitionVia(p IntoPartitioner, s stream.View, numVertices, k int) ([]int32, error) {
+	assign := make([]int32, s.Len())
+	if err := p.PartitionInto(s, numVertices, k, assign); err != nil {
+		return nil, err
+	}
+	return assign, nil
+}
+
+// checkInto validates the common PartitionInto preconditions.
+func checkInto(s stream.View, k int, assign []int32) error {
+	if k < 1 {
+		return fmt.Errorf("partition: k must be >= 1, got %d", k)
+	}
+	if len(assign) != s.Len() {
+		return fmt.Errorf("partition: assign has length %d, stream has %d edges", len(assign), s.Len())
+	}
+	return nil
+}
+
 // leastLoaded returns the partition with the smallest size among candidates
 // (ties to the earliest candidate). candidates must be non-empty.
-func leastLoaded(sizes []int64, candidates []int) int {
+func leastLoaded(sizes []int64, candidates []int32) int32 {
 	best := candidates[0]
 	for _, p := range candidates[1:] {
 		if sizes[p] < sizes[best] {
@@ -129,9 +174,9 @@ func leastLoaded(sizes []int64, candidates []int) int {
 }
 
 // leastLoadedAll returns the globally least-loaded partition.
-func leastLoadedAll(sizes []int64) int {
-	best := 0
-	for p := 1; p < len(sizes); p++ {
+func leastLoadedAll(sizes []int64) int32 {
+	best := int32(0)
+	for p := int32(1); p < int32(len(sizes)); p++ {
 		if sizes[p] < sizes[best] {
 			best = p
 		}

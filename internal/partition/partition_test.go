@@ -165,7 +165,7 @@ func TestCLUGPRejectsBadTau(t *testing.T) {
 
 func TestCLUGPEmptyStream(t *testing.T) {
 	p := &CLUGP{}
-	assign, err := p.Partition(nil, 10, 4)
+	assign, err := p.Partition(stream.View{}, 10, 4)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -274,7 +274,8 @@ func TestDBHCutsHighDegreeVertices(t *testing.T) {
 	}
 	deg := make(map[graph.VertexID]int)
 	reps := make(map[graph.VertexID]map[int32]bool)
-	for i, e := range res.Edges {
+	for i, n := 0, res.Stream.Len(); i < n; i++ {
+		e := res.Stream.At(i)
 		deg[e.Src]++
 		deg[e.Dst]++
 		for _, v := range []graph.VertexID{e.Src, e.Dst} {
@@ -376,7 +377,7 @@ func TestGreedyUsesIntersection(t *testing.T) {
 	// intersection.
 	edges := []graph.Edge{{Src: 0, Dst: 1}, {Src: 0, Dst: 2}, {Src: 1, Dst: 2}, {Src: 0, Dst: 1}}
 	g := &Greedy{}
-	assign, err := g.Partition(edges, 3, 4)
+	assign, err := g.Partition(stream.Of(edges), 3, 4)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -166,3 +166,71 @@ func TestEdgesEmptyGraph(t *testing.T) {
 		}
 	}
 }
+
+// TestViewMatchesEdges: for every order, indexed iteration over the view
+// must yield exactly the slice Edges materializes.
+func TestViewMatchesEdges(t *testing.T) {
+	g := gen.Web(gen.WebConfig{N: 800, OutDegree: 5, CopyFactor: 0.5, Seed: 11})
+	for _, o := range []Order{Natural, BFS, DFS, Random} {
+		v := NewView(g, o, 17)
+		edges := Edges(g, o, 17)
+		if v.Len() != len(edges) {
+			t.Fatalf("%v: view length %d != %d", o, v.Len(), len(edges))
+		}
+		for i := range edges {
+			if v.At(i) != edges[i] {
+				t.Fatalf("%v: view[%d] = %v, want %v", o, i, v.At(i), edges[i])
+			}
+		}
+		if o == Natural && v.Perm() != nil {
+			t.Fatal("natural view carries a permutation")
+		}
+		if o != Natural && v.Perm() == nil {
+			t.Fatalf("%v view is not permutation-backed", o)
+		}
+	}
+}
+
+// TestViewSlice: slicing a view must agree with slicing the materialized
+// stream, for natural and permuted views alike.
+func TestViewSlice(t *testing.T) {
+	g := gen.Web(gen.WebConfig{N: 500, OutDegree: 4, CopyFactor: 0.5, Seed: 12})
+	for _, o := range []Order{Natural, Random} {
+		v := NewView(g, o, 3)
+		edges := v.Materialize()
+		lo, hi := 7, len(edges)-9
+		sub := v.Slice(lo, hi)
+		if sub.Len() != hi-lo {
+			t.Fatalf("%v: sub length %d, want %d", o, sub.Len(), hi-lo)
+		}
+		for i := 0; i < sub.Len(); i++ {
+			if sub.At(i) != edges[lo+i] {
+				t.Fatalf("%v: sub[%d] = %v, want %v", o, i, sub.At(i), edges[lo+i])
+			}
+		}
+	}
+}
+
+// TestViewOrderBytes: a permuted view owns 4 bytes per edge of ordering
+// state, a natural view none.
+func TestViewOrderBytes(t *testing.T) {
+	g := gen.Web(gen.WebConfig{N: 300, OutDegree: 4, Seed: 13})
+	if got := NewView(g, Natural, 0).OrderBytes(); got != 0 {
+		t.Fatalf("natural OrderBytes = %d, want 0", got)
+	}
+	if got, want := NewView(g, BFS, 0).OrderBytes(), int64(g.NumEdges())*4; got != want {
+		t.Fatalf("BFS OrderBytes = %d, want %d", got, want)
+	}
+}
+
+func TestPermutedExplicit(t *testing.T) {
+	base := []graph.Edge{{Src: 0, Dst: 1}, {Src: 1, Dst: 2}, {Src: 2, Dst: 0}}
+	v := Permuted(base, []int32{2, 0})
+	if v.Len() != 2 || v.At(0) != base[2] || v.At(1) != base[0] {
+		t.Fatalf("permuted view wrong: len=%d", v.Len())
+	}
+	m := v.Materialize()
+	if len(m) != 2 || m[0] != base[2] {
+		t.Fatal("materialize mismatch")
+	}
+}
