@@ -67,11 +67,11 @@ func BenchmarkStreamBFSOrder(b *testing.B) {
 
 func BenchmarkPass1Clustering(b *testing.B) {
 	g := benchGraph(b)
-	s := stream.NewView(g, stream.BFS, 0)
+	s := stream.NewView(g, stream.BFS, 0).Source(g.NumVertices)
 	vmax := int64(s.Len() / (5 * 32))
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := cluster.Run(s, g.NumVertices, cluster.Config{Vmax: vmax}); err != nil {
+		if _, err := cluster.Run(s, cluster.Config{Vmax: vmax}); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -80,8 +80,8 @@ func BenchmarkPass1Clustering(b *testing.B) {
 
 func BenchmarkPass2Game(b *testing.B) {
 	g := benchGraph(b)
-	s := stream.NewView(g, stream.BFS, 0)
-	res, err := cluster.Run(s, g.NumVertices, cluster.Config{Vmax: int64(s.Len() / (5 * 32))})
+	s := stream.NewView(g, stream.BFS, 0).Source(g.NumVertices)
+	res, err := cluster.Run(s, cluster.Config{Vmax: int64(s.Len() / (5 * 32))})
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -103,8 +103,8 @@ func BenchmarkPass2Game(b *testing.B) {
 // map+sort.Slice hot spot, now a counting-sort CSR construction).
 func BenchmarkClusterGraphBuild(b *testing.B) {
 	g := benchGraph(b)
-	s := stream.NewView(g, stream.BFS, 0)
-	res, err := cluster.Run(s, g.NumVertices, cluster.Config{Vmax: int64(s.Len() / (5 * 32))})
+	s := stream.NewView(g, stream.BFS, 0).Source(g.NumVertices)
+	res, err := cluster.Run(s, cluster.Config{Vmax: int64(s.Len() / (5 * 32))})
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -124,7 +124,7 @@ func benchPartitioner(b *testing.B, name string, k int) {
 	if err != nil {
 		b.Fatal(err)
 	}
-	s := stream.NewView(g, p.PreferredOrder(), 1)
+	s := stream.NewView(g, p.PreferredOrder(), 1).Source(g.NumVertices)
 	// Partitioners with an allocation-free PartitionInto run it against a
 	// reused output buffer, the repeated-run hot path the suite uses; the
 	// rest go through the one-shot Partition.
@@ -133,11 +133,11 @@ func benchPartitioner(b *testing.B, name string, k int) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if reuse {
-			if err := ip.PartitionInto(s, g.NumVertices, k, assign); err != nil {
+			if err := ip.PartitionInto(s, k, assign); err != nil {
 				b.Fatal(err)
 			}
 		} else {
-			if _, err := p.Partition(s, g.NumVertices, k); err != nil {
+			if _, err := p.Partition(s, k); err != nil {
 				b.Fatal(err)
 			}
 		}
@@ -187,10 +187,10 @@ func BenchmarkPageRank32Nodes(b *testing.B) {
 func BenchmarkDistributedCLUGP4Nodes(b *testing.B) {
 	g := benchGraph(b)
 	p := &DistributedCLUGP{Nodes: 4, Seed: 1}
-	s := stream.NewView(g, p.PreferredOrder(), 1)
+	s := stream.NewView(g, p.PreferredOrder(), 1).Source(g.NumVertices)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := p.Partition(s, g.NumVertices, 32); err != nil {
+		if _, err := p.Partition(s, 32); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -255,7 +255,7 @@ func BenchmarkEvaluateMetrics(b *testing.B) {
 	}
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := EvaluateStream(res.Stream, res.Assign, g.NumVertices, 32); err != nil {
+		if _, err := EvaluateStream(res.Stream, res.Assign, 32); err != nil {
 			b.Fatal(err)
 		}
 	}

@@ -93,10 +93,24 @@ func SampleVertices(g *Graph, frac float64, seed uint64) *Graph {
 type Order = stream.Order
 
 // StreamView is a zero-copy, read-only view of an ordered edge stream: the
-// base edge slice plus an optional permutation. All partitioners consume
-// streams through views, so replaying or caching an order never copies
+// base edge slice plus an optional permutation. Views adapt to the Source
+// interface via View.Source, so replaying or caching an order never copies
 // edges.
 type StreamView = stream.View
+
+// StreamSource is a sequential, replayable edge stream with a known vertex
+// count - the interface every partitioner and evaluator consumes. In-memory
+// views adapt via StreamView.Source; compressed files open directly as
+// sources via OpenCompressed without ever being materialized.
+type StreamSource = stream.Source
+
+// StreamSegmenter is a StreamSource whose contiguous ranges can be opened
+// as independent sources (DistributedCLUGP's sharded ingest).
+type StreamSegmenter = stream.Segmenter
+
+// GraphFile is a compressed graph file opened as a replayable, seekable
+// edge source (see OpenCompressed).
+type GraphFile = store.FileSource
 
 const (
 	// OrderNatural preserves generation order.
@@ -120,8 +134,28 @@ func NewStreamView(g *Graph, order Order, seed uint64) StreamView {
 	return stream.NewView(g, order, seed)
 }
 
+// NewStreamSource returns the graph's edges in the requested order as a
+// replayable source (a zero-copy view plus a cursor).
+func NewStreamSource(g *Graph, order Order, seed uint64) StreamSource {
+	return stream.NewView(g, order, seed).Source(g.NumVertices)
+}
+
 // StreamOf wraps an edge slice in its natural-order view.
 func StreamOf(edges []Edge) StreamView { return stream.Of(edges) }
+
+// ForEachStreamed replays a source from its first edge, passing each block
+// to fn with its global edge offset (stream-aligned data such as
+// PartitionResult.Assign indexes as data[off+i]).
+func ForEachStreamed(src StreamSource, fn func(off int, edges []Edge) error) error {
+	return stream.ForEach(src, fn)
+}
+
+// OpenCompressed opens a graph written by WriteCompressed as a replayable
+// edge source: edges decode on demand into a small reused buffer, Reset
+// seeks back to the first edge, and contiguous segments open independently
+// (each with its own file handle) for sharded ingest. This is the
+// out-of-core entry point: the graph is never materialized.
+func OpenCompressed(path string) (*GraphFile, error) { return store.Open(path) }
 
 // Partitioners.
 type (
@@ -202,15 +236,27 @@ func RunPartitioner(p Partitioner, g *Graph, k int, seed uint64) (*PartitionResu
 	return partition.Run(p, g, k, seed)
 }
 
+// Emit receives finalized runs of out-of-core assignments in stream order.
+type Emit = partition.Emit
+
+// RunOutOfCore partitions a source in its stored (natural) order without
+// materializing the assignment: finalized runs are scored incrementally
+// and forwarded to emit (nil discards them, leaving only quality). Peak
+// memory is the algorithm's state plus a block buffer, never O(|E|). The
+// result's Assign is nil.
+func RunOutOfCore(p Partitioner, src StreamSource, k int, emit Emit) (*PartitionResult, error) {
+	return partition.RunOutOfCore(p, src, k, emit)
+}
+
 // EvaluatePartition recomputes quality metrics from an edge assignment.
 func EvaluatePartition(edges []Edge, assign []int32, numVertices, k int) (*Quality, error) {
-	return metrics.Evaluate(stream.Of(edges), assign, numVertices, k)
+	return metrics.Evaluate(stream.Of(edges).Source(numVertices), assign, k)
 }
 
 // EvaluateStream recomputes quality metrics for an assignment over an
-// ordered stream view (e.g. PartitionResult.Stream).
-func EvaluateStream(s StreamView, assign []int32, numVertices, k int) (*Quality, error) {
-	return metrics.Evaluate(s, assign, numVertices, k)
+// ordered edge source (e.g. PartitionResult.Stream).
+func EvaluateStream(src StreamSource, assign []int32, k int) (*Quality, error) {
+	return metrics.Evaluate(src, assign, k)
 }
 
 // Pipeline access (the paper's contribution, stage by stage).

@@ -82,12 +82,15 @@ type Result struct {
 	Migrations int64
 }
 
-// Run performs one pass of streaming clustering over the edge stream.
-// numVertices must exceed every edge endpoint.
-func Run(s stream.View, numVertices int, cfg Config) (*Result, error) {
+// Run performs one pass of streaming clustering over the edge source (the
+// source's vertex count must exceed every edge endpoint). The pass consumes
+// the stream block by block and keeps only the O(|V|) mapping tables, so a
+// file-backed source clusters a graph that was never materialized.
+func Run(src stream.Source, cfg Config) (*Result, error) {
 	if cfg.Vmax <= 0 {
 		return nil, fmt.Errorf("cluster: Vmax must be positive, got %d", cfg.Vmax)
 	}
+	numVertices := src.NumVertices()
 	migCap := uint32(1)
 	switch {
 	case cfg.MigrateMaxDegree < 0:
@@ -109,12 +112,17 @@ func Run(s stream.View, numVertices int, cfg Config) (*Result, error) {
 		st.assign[i] = None
 		st.splitFrom[i] = None
 	}
-	for i, n := 0, s.Len(); i < n; i++ {
-		e := s.At(i)
-		if int(e.Src) >= numVertices || int(e.Dst) >= numVertices {
-			return nil, fmt.Errorf("cluster: edge %d->%d out of range (n=%d)", e.Src, e.Dst, numVertices)
+	err := stream.ForEach(src, func(_ int, blk []graph.Edge) error {
+		for _, e := range blk {
+			if int(e.Src) >= numVertices || int(e.Dst) >= numVertices {
+				return fmt.Errorf("cluster: edge %d->%d out of range (n=%d)", e.Src, e.Dst, numVertices)
+			}
+			st.ingest(e.Src, e.Dst)
 		}
-		st.ingest(e.Src, e.Dst)
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return &Result{
 		NumClusters: len(st.volume),

@@ -15,17 +15,17 @@ func webEdges(n int, seed uint64) ([]graph.Edge, int) {
 }
 
 func TestRunRejectsBadConfig(t *testing.T) {
-	if _, err := Run(stream.View{}, 0, Config{Vmax: 0}); err == nil {
+	if _, err := Run(stream.View{}.Source(0), Config{Vmax: 0}); err == nil {
 		t.Fatal("Vmax=0 accepted")
 	}
-	if _, err := Run(stream.Of([]graph.Edge{{Src: 0, Dst: 9}}), 2, Config{Vmax: 10}); err == nil {
+	if _, err := Run(stream.Of([]graph.Edge{{Src: 0, Dst: 9}}).Source(2), Config{Vmax: 10}); err == nil {
 		t.Fatal("out-of-range edge accepted")
 	}
 }
 
 func TestEveryEndpointClustered(t *testing.T) {
 	edges, nv := webEdges(3000, 1)
-	res, err := Run(stream.Of(edges), nv, Config{Vmax: int64(len(edges) / 16)})
+	res, err := Run(stream.Of(edges).Source(nv), Config{Vmax: int64(len(edges) / 16)})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -43,7 +43,7 @@ func TestEveryEndpointClustered(t *testing.T) {
 func TestVolumeConservation(t *testing.T) {
 	for _, split := range []bool{false, true} {
 		edges, nv := webEdges(3000, 2)
-		res, err := Run(stream.Of(edges), nv, Config{Vmax: int64(len(edges) / 32), DisableSplitting: !split})
+		res, err := Run(stream.Of(edges).Source(nv), Config{Vmax: int64(len(edges) / 32), DisableSplitting: !split})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -62,7 +62,7 @@ func TestVolumeConservation(t *testing.T) {
 
 func TestDegreesMatchStream(t *testing.T) {
 	edges, nv := webEdges(2000, 3)
-	res, err := Run(stream.Of(edges), nv, Config{Vmax: int64(len(edges) / 8)})
+	res, err := Run(stream.Of(edges).Source(nv), Config{Vmax: int64(len(edges) / 8)})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -80,7 +80,7 @@ func TestDegreesMatchStream(t *testing.T) {
 
 func TestSplittingOccursOnPowerLawGraphs(t *testing.T) {
 	edges, nv := webEdges(5000, 4)
-	res, err := Run(stream.Of(edges), nv, Config{Vmax: int64(len(edges) / 64)})
+	res, err := Run(stream.Of(edges).Source(nv), Config{Vmax: int64(len(edges) / 64)})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -100,7 +100,7 @@ func TestSplittingOccursOnPowerLawGraphs(t *testing.T) {
 
 func TestNoSplitsWhenDisabled(t *testing.T) {
 	edges, nv := webEdges(5000, 4)
-	res, err := Run(stream.Of(edges), nv, Config{Vmax: int64(len(edges) / 64), DisableSplitting: true})
+	res, err := Run(stream.Of(edges).Source(nv), Config{Vmax: int64(len(edges) / 64), DisableSplitting: true})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -116,7 +116,7 @@ func TestNoSplitsWhenDisabled(t *testing.T) {
 
 func TestMigrationHappens(t *testing.T) {
 	edges, nv := webEdges(2000, 5)
-	res, err := Run(stream.Of(edges), nv, Config{Vmax: int64(len(edges) / 8)})
+	res, err := Run(stream.Of(edges).Source(nv), Config{Vmax: int64(len(edges) / 8)})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -132,7 +132,7 @@ func TestClusteringGroupsNeighbours(t *testing.T) {
 		{Src: 0, Dst: 1}, {Src: 1, Dst: 2}, {Src: 2, Dst: 0},
 		{Src: 3, Dst: 4}, {Src: 4, Dst: 5}, {Src: 5, Dst: 3},
 	}
-	res, err := Run(stream.Of(edges), 6, Config{Vmax: 100})
+	res, err := Run(stream.Of(edges).Source(6), Config{Vmax: 100})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -153,7 +153,7 @@ func TestClusteringGroupsNeighbours(t *testing.T) {
 
 func TestCompact(t *testing.T) {
 	edges, nv := webEdges(3000, 6)
-	res, err := Run(stream.Of(edges), nv, Config{Vmax: int64(len(edges) / 32)})
+	res, err := Run(stream.Of(edges).Source(nv), Config{Vmax: int64(len(edges) / 32)})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -199,7 +199,7 @@ func TestCompact(t *testing.T) {
 func TestSplittingBoundsClusterVolume(t *testing.T) {
 	edges, nv := webEdges(5000, 7)
 	vmax := int64(len(edges) / 64)
-	res, err := Run(stream.Of(edges), nv, Config{Vmax: vmax})
+	res, err := Run(stream.Of(edges).Source(nv), Config{Vmax: vmax})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -221,7 +221,7 @@ func TestQuickClusteringInvariants(t *testing.T) {
 	check := func(seed uint64, split bool) bool {
 		g := gen.Web(gen.WebConfig{N: 400, OutDegree: 4, CopyFactor: 0.5, Seed: seed})
 		edges := stream.Edges(g, stream.BFS, 0)
-		res, err := Run(stream.Of(edges), g.NumVertices, Config{Vmax: 40, DisableSplitting: !split})
+		res, err := Run(stream.Of(edges).Source(g.NumVertices), Config{Vmax: 40, DisableSplitting: !split})
 		if err != nil {
 			return false
 		}

@@ -5,6 +5,7 @@ import (
 	"math"
 	"sort"
 
+	"repro/internal/graph"
 	"repro/internal/stream"
 )
 
@@ -43,7 +44,7 @@ type Graph struct {
 	TotalInter int64
 }
 
-// BuildGraph aggregates the edge stream into the cluster graph using the
+// BuildGraph aggregates the edge source into the cluster graph using the
 // final assignments in res. res must be compacted first (every edge
 // endpoint assigned, ids dense).
 //
@@ -53,8 +54,10 @@ type Graph struct {
 // flat arc array that every Adj row slices. No maps, no comparison sort,
 // and a bounded number of allocations regardless of edge count - the former
 // map+sort.Slice build allocated per pair bucket and per comparison
-// closure, which dominated CLUGP's allocation profile.
-func BuildGraph(s stream.View, res *Result) (*Graph, error) {
+// closure, which dominated CLUGP's allocation profile. The source is
+// streamed twice (replayable by contract), so peak memory is the packed
+// crossing-pair array, not the edge list.
+func BuildGraph(src stream.Source, res *Result) (*Graph, error) {
 	m := res.NumClusters
 	cg := &Graph{
 		NumClusters: m,
@@ -63,23 +66,27 @@ func BuildGraph(s stream.View, res *Result) (*Graph, error) {
 		AdjTotal:    make([]int64, m),
 		Weight:      make([]int64, m),
 	}
-	numEdges := s.Len()
 
 	// Pass 1: intra counts and the number of crossing edges.
 	var crossing int
-	for i := 0; i < numEdges; i++ {
-		e := s.At(i)
-		cu := res.Assign[e.Src]
-		cv := res.Assign[e.Dst]
-		if cu == None || cv == None {
-			return nil, fmt.Errorf("cluster: edge %d->%d has unclustered endpoint", e.Src, e.Dst)
+	err := stream.ForEach(src, func(_ int, blk []graph.Edge) error {
+		for _, e := range blk {
+			cu := res.Assign[e.Src]
+			cv := res.Assign[e.Dst]
+			if cu == None || cv == None {
+				return fmt.Errorf("cluster: edge %d->%d has unclustered endpoint", e.Src, e.Dst)
+			}
+			if cu == cv {
+				cg.Intra[cu]++
+				cg.TotalIntra++
+			} else {
+				crossing++
+			}
 		}
-		if cu == cv {
-			cg.Intra[cu]++
-			cg.TotalIntra++
-		} else {
-			crossing++
-		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	cg.TotalInter = int64(crossing)
 	if crossing == 0 {
@@ -91,18 +98,23 @@ func BuildGraph(s stream.View, res *Result) (*Graph, error) {
 
 	// Pass 2: pack each crossing edge as a (lo,hi) cluster-pair key.
 	pairs := make([]uint64, 0, crossing)
-	for i := 0; i < numEdges; i++ {
-		e := s.At(i)
-		cu := res.Assign[e.Src]
-		cv := res.Assign[e.Dst]
-		if cu == cv {
-			continue
+	err = stream.ForEach(src, func(_ int, blk []graph.Edge) error {
+		for _, e := range blk {
+			cu := res.Assign[e.Src]
+			cv := res.Assign[e.Dst]
+			if cu == cv {
+				continue
+			}
+			lo, hi := cu, cv
+			if lo > hi {
+				lo, hi = hi, lo
+			}
+			pairs = append(pairs, uint64(uint32(lo))<<32|uint64(uint32(hi)))
 		}
-		lo, hi := cu, cv
-		if lo > hi {
-			lo, hi = hi, lo
-		}
-		pairs = append(pairs, uint64(uint32(lo))<<32|uint64(uint32(hi)))
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 
 	// Stable LSD radix sort on the two cluster-id digits: counting-sort by

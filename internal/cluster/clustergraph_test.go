@@ -26,7 +26,7 @@ func TestBuildGraphCounts(t *testing.T) {
 		{Src: 3, Dst: 1}, // 1 -> 0
 		{Src: 4, Dst: 0}, // 2 -> 0
 	}
-	cg, err := BuildGraph(stream.Of(edges), fixedResult())
+	cg, err := BuildGraph(stream.Of(edges).Source(5), fixedResult())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -55,7 +55,7 @@ func TestBuildGraphTotalAdjacency(t *testing.T) {
 	edges := []graph.Edge{
 		{Src: 0, Dst: 2}, {Src: 2, Dst: 0}, {Src: 4, Dst: 2},
 	}
-	cg, err := BuildGraph(stream.Of(edges), fixedResult())
+	cg, err := BuildGraph(stream.Of(edges).Source(5), fixedResult())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -75,7 +75,7 @@ func TestBuildGraphTotalAdjacency(t *testing.T) {
 func TestBuildGraphRejectsUnclustered(t *testing.T) {
 	res := fixedResult()
 	res.Assign[4] = None
-	if _, err := BuildGraph(stream.Of([]graph.Edge{{Src: 4, Dst: 0}}), res); err == nil {
+	if _, err := BuildGraph(stream.Of([]graph.Edge{{Src: 4, Dst: 0}}).Source(5), res); err == nil {
 		t.Fatal("unclustered endpoint accepted")
 	}
 }
@@ -84,7 +84,7 @@ func TestBuildGraphArcsSorted(t *testing.T) {
 	edges := []graph.Edge{
 		{Src: 0, Dst: 4}, {Src: 0, Dst: 2}, {Src: 2, Dst: 4},
 	}
-	cg, err := BuildGraph(stream.Of(edges), fixedResult())
+	cg, err := BuildGraph(stream.Of(edges).Source(5), fixedResult())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -103,7 +103,7 @@ func TestBuildGraphConservesEdges(t *testing.T) {
 		{Src: 0, Dst: 4}, {Src: 4, Dst: 4},
 	}
 	res := fixedResult()
-	cg, err := BuildGraph(stream.Of(edges), res)
+	cg, err := BuildGraph(stream.Of(edges).Source(5), res)
 	if err != nil {
 		t.Fatal(err)
 	}

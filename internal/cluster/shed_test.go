@@ -43,7 +43,7 @@ func TestShedScenario(t *testing.T) {
 	}
 	// Vmax chosen so the cluster saturates after the first phase and the
 	// hub's degree (9..14) sits inside the shed window [Vmax/4, 3Vmax/4].
-	res, err := Run(stream.Of(edges), 15, Config{Vmax: 18})
+	res, err := Run(stream.Of(edges).Source(15), Config{Vmax: 18})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -78,7 +78,7 @@ func TestNoShedForEstablishedEdges(t *testing.T) {
 		edges = append(edges, graph.Edge{Src: graph.VertexID(i), Dst: 0})
 		edges = append(edges, graph.Edge{Src: graph.VertexID(10 + i), Dst: 10})
 	}
-	pre, err := Run(stream.Of(edges), 20, Config{Vmax: 10})
+	pre, err := Run(stream.Of(edges).Source(20), Config{Vmax: 10})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -86,7 +86,7 @@ func TestNoShedForEstablishedEdges(t *testing.T) {
 	// Repeat the stream plus established<->established cross edges.
 	cross := append(append([]graph.Edge{}, edges...),
 		graph.Edge{Src: 0, Dst: 10}, graph.Edge{Src: 10, Dst: 0})
-	post, err := Run(stream.Of(cross), 20, Config{Vmax: 10})
+	post, err := Run(stream.Of(cross).Source(20), Config{Vmax: 10})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -106,7 +106,7 @@ func TestMigrationCapBlocksEstablishedMoves(t *testing.T) {
 		edges = append(edges, graph.Edge{Src: graph.VertexID(i), Dst: 10})
 	}
 	edges = append(edges, graph.Edge{Src: 1, Dst: 10})
-	res, err := Run(stream.Of(edges), 20, Config{Vmax: 1000})
+	res, err := Run(stream.Of(edges).Source(20), Config{Vmax: 1000})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -114,7 +114,7 @@ func TestMigrationCapBlocksEstablishedMoves(t *testing.T) {
 		t.Fatalf("committed vertex was stolen: assign[1]=%d assign[0]=%d", res.Assign[1], res.Assign[0])
 	}
 	// With the cap removed (literal Algorithm 2) the steal happens.
-	res, err = Run(stream.Of(edges), 20, Config{Vmax: 1000, MigrateMaxDegree: -1})
+	res, err = Run(stream.Of(edges).Source(20), Config{Vmax: 1000, MigrateMaxDegree: -1})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -125,7 +125,7 @@ func TestMigrationCapBlocksEstablishedMoves(t *testing.T) {
 
 func TestSelfLoopHandling(t *testing.T) {
 	edges := []graph.Edge{{Src: 0, Dst: 0}, {Src: 0, Dst: 1}}
-	res, err := Run(stream.Of(edges), 2, Config{Vmax: 100})
+	res, err := Run(stream.Of(edges).Source(2), Config{Vmax: 100})
 	if err != nil {
 		t.Fatal(err)
 	}

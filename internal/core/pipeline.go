@@ -71,6 +71,7 @@ func Run(g *graph.Graph, opts Options) (*Pipeline, error) {
 		return nil, fmt.Errorf("core: %w", err)
 	}
 	s := stream.NewView(g, order, opts.OrderSeed)
+	src := s.Source(g.NumVertices)
 
 	p := &partition.CLUGP{
 		Tau:              opts.Tau,
@@ -94,7 +95,7 @@ func Run(g *graph.Graph, opts Options) (*Pipeline, error) {
 	if vmax < 2 {
 		vmax = 2
 	}
-	cres, err := cluster.Run(s, g.NumVertices, cluster.Config{
+	cres, err := cluster.Run(src, cluster.Config{
 		Vmax:             vmax,
 		DisableSplitting: opts.DisableSplitting,
 		MigrateMaxDegree: opts.MigrateMaxDegree,
@@ -103,7 +104,7 @@ func Run(g *graph.Graph, opts Options) (*Pipeline, error) {
 		return nil, err
 	}
 	cres.Compact()
-	cg, err := cluster.BuildGraph(s, cres)
+	cg, err := cluster.BuildGraph(src, cres)
 	if err != nil {
 		return nil, err
 	}
@@ -132,11 +133,11 @@ func Run(g *graph.Graph, opts Options) (*Pipeline, error) {
 
 	// Pass 3 runs through the partitioner so the quality metrics and trace
 	// come from the same code path as every experiment.
-	assign, err := p.Partition(s, g.NumVertices, opts.K)
+	assign, err := p.Partition(src, opts.K)
 	if err != nil {
 		return nil, err
 	}
-	q, err := metrics.Evaluate(s, assign, g.NumVertices, opts.K)
+	q, err := metrics.Evaluate(src, assign, opts.K)
 	if err != nil {
 		return nil, err
 	}
@@ -151,7 +152,7 @@ func Run(g *graph.Graph, opts Options) (*Pipeline, error) {
 			Order:       order,
 			K:           opts.K,
 			NumVertices: g.NumVertices,
-			Stream:      s,
+			Stream:      src,
 			Assign:      assign,
 			Quality:     q,
 			StateBytes:  p.StateBytes(g.NumVertices, s.Len(), opts.K),

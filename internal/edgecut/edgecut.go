@@ -45,15 +45,17 @@ type Quality struct {
 
 // Evaluate computes edge-cut quality for a vertex assignment.
 func Evaluate(g *graph.Graph, assign []int32, k int) (*Quality, error) {
-	return EvaluateStream(stream.Of(g.Edges), assign, g.NumVertices, k)
+	return EvaluateStream(stream.Of(g.Edges).Source(g.NumVertices), assign, k)
 }
 
-// EvaluateStream is Evaluate over an ordered edge stream view: the same
-// quality numbers (cut size is order-independent) without requiring a
-// *graph.Graph or a materialized edge slice. The argument order matches
-// metrics.Evaluate (stream, assignment, numVertices, k); here assign is
-// per-vertex rather than stream-aligned.
-func EvaluateStream(s stream.View, assign []int32, numVertices, k int) (*Quality, error) {
+// EvaluateStream is Evaluate over an edge source: the same quality numbers
+// (cut size is order-independent) without requiring a *graph.Graph or a
+// materialized edge slice, so the edge-cut family's quality can be scored
+// against a file-backed stream. The argument order matches metrics.Evaluate
+// (source, assignment, k); here assign is per-vertex rather than
+// stream-aligned.
+func EvaluateStream(src stream.Source, assign []int32, k int) (*Quality, error) {
+	numVertices := src.NumVertices()
 	if len(assign) != numVertices {
 		return nil, fmt.Errorf("edgecut: %d assignments for %d vertices", len(assign), numVertices)
 	}
@@ -65,14 +67,19 @@ func EvaluateStream(s stream.View, assign []int32, numVertices, k int) (*Quality
 		q.VertexSizes[p]++
 	}
 	localEdges := make([]int64, k)
-	for i, n := 0, s.Len(); i < n; i++ {
-		e := s.At(i)
-		if assign[e.Src] != assign[e.Dst] {
-			q.CutEdges++
+	err := stream.ForEach(src, func(_ int, blk []graph.Edge) error {
+		for _, e := range blk {
+			if assign[e.Src] != assign[e.Dst] {
+				q.CutEdges++
+			}
+			localEdges[assign[e.Src]]++
 		}
-		localEdges[assign[e.Src]]++
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
-	if m := s.Len(); m > 0 {
+	if m := src.Len(); m > 0 {
 		q.CutFraction = float64(q.CutEdges) / float64(m)
 		var maxE int64
 		for _, s := range localEdges {

@@ -7,6 +7,7 @@ import (
 	"repro/internal/graph"
 	"repro/internal/metrics"
 	"repro/internal/partition"
+	"repro/internal/stream"
 )
 
 // TestPlacementRFMatchesMetrics: the engine's replica accounting and the
@@ -30,7 +31,7 @@ func TestPlacementRFMatchesMetrics(t *testing.T) {
 		t.Fatalf("engine RF %v != metrics RF %v", pl.ReplicationFactor(), res.Quality.ReplicationFactor)
 	}
 	// And both must match a recomputation from scratch.
-	q, err := metrics.Evaluate(res.Stream, res.Assign, g.NumVertices, 16)
+	q, err := metrics.Evaluate(res.Stream, res.Assign, 16)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -89,8 +90,11 @@ func TestSyncPairCountFormula(t *testing.T) {
 		t.Fatal(err)
 	}
 	rs := metrics.NewReplicaSets(g.NumVertices, 8)
-	for i, n := 0, res.Stream.Len(); i < n; i++ {
-		e := res.Stream.At(i)
+	edges, err := stream.Collect(res.Stream)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, e := range edges {
 		rs.Add(e.Src, int(res.Assign[i]))
 		rs.Add(e.Dst, int(res.Assign[i]))
 	}

@@ -82,7 +82,7 @@ func TestMasterHoldsMostEdges(t *testing.T) {
 		NumVertices: 5,
 		Stream: stream.Of([]graph.Edge{
 			{Src: 0, Dst: 1}, {Src: 0, Dst: 2}, {Src: 0, Dst: 3}, {Src: 0, Dst: 4},
-		}),
+		}).Source(5),
 		Assign: []int32{0, 1, 1, 1},
 	}
 	pl, err := NewPlacement(res)

@@ -20,6 +20,7 @@ import (
 	"repro/internal/graph"
 	"repro/internal/metrics"
 	"repro/internal/partition"
+	"repro/internal/stream"
 )
 
 // Placement is the physical layout induced by a vertex-cut partitioning:
@@ -69,36 +70,44 @@ type SyncPair struct {
 // NewPlacement lays out a finished partitioning onto k logical nodes.
 // Masters are placed on the partition holding the most of the vertex's
 // edges (ties to the lowest partition id), the placement PowerGraph's
-// loader approximates.
+// loader approximates. The result must carry a materialized assignment
+// (out-of-core runs do not); its stream is replayed block by block.
 func NewPlacement(res *partition.Result) (*Placement, error) {
 	k := res.K
 	nv := res.NumVertices
 	st := res.Stream
+	if st == nil {
+		// Hand-built results may carry no stream; treat it as empty.
+		st = stream.Of(nil).Source(nv)
+	}
 	numEdges := st.Len()
+	if res.Assign == nil && numEdges > 0 {
+		return nil, fmt.Errorf("engine: result has no materialized assignment (out-of-core run)")
+	}
 	if len(res.Assign) != numEdges {
 		return nil, fmt.Errorf("engine: %d assignments for %d edges", len(res.Assign), numEdges)
 	}
 
 	rs := metrics.NewReplicaSets(nv, k)
-	// edgeCount[v*k+p] would be k*nv; count incident edges per (vertex,
-	// partition) via a two-pass: first replica sets, then per-vertex counts
-	// over its partitions only.
-	for i := 0; i < numEdges; i++ {
-		e := st.At(i)
-		p := int(res.Assign[i])
-		rs.Add(e.Src, p)
-		rs.Add(e.Dst, p)
-	}
-
-	// Incident-edge counts per (vertex, partition) using a compact
-	// hashmap; the number of entries is sum_v |P(v)|.
+	// Incident-edge counts per (vertex, partition) using a compact hashmap
+	// keyed by the replica pair; the number of entries is sum_v |P(v)|.
 	counts := make(map[uint64]int32, nv)
 	ckey := func(v graph.VertexID, p int32) uint64 { return uint64(v)<<16 | uint64(uint16(p)) }
-	for i := 0; i < numEdges; i++ {
-		e := st.At(i)
-		p := res.Assign[i]
-		counts[ckey(e.Src, p)]++
-		counts[ckey(e.Dst, p)]++
+	seen := make([]bool, nv)
+	err := stream.ForEach(st, func(off int, blk []graph.Edge) error {
+		for i, e := range blk {
+			p := res.Assign[off+i]
+			rs.Add(e.Src, int(p))
+			rs.Add(e.Dst, int(p))
+			counts[ckey(e.Src, p)]++
+			counts[ckey(e.Dst, p)]++
+			seen[e.Src] = true
+			seen[e.Dst] = true
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, fmt.Errorf("engine: %w", err)
 	}
 
 	pl := &Placement{K: k, NumVertices: nv, Master: make([]int32, nv)}
@@ -148,8 +157,15 @@ func NewPlacement(res *partition.Result) (*Placement, error) {
 	for p := 0; p < k; p++ {
 		perNode[p] = make([]graph.Edge, 0, sizes[p])
 	}
-	for i := 0; i < numEdges; i++ {
-		perNode[res.Assign[i]] = append(perNode[res.Assign[i]], st.At(i))
+	err = stream.ForEach(st, func(off int, blk []graph.Edge) error {
+		for i, e := range blk {
+			p := res.Assign[off+i]
+			perNode[p] = append(perNode[p], e)
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, fmt.Errorf("engine: %w", err)
 	}
 
 	for p := 0; p < k; p++ {
@@ -163,12 +179,6 @@ func NewPlacement(res *partition.Result) (*Placement, error) {
 		}
 	}
 	// Unseen vertices: master slot on their round-robin node.
-	seen := make([]bool, nv)
-	for i := 0; i < numEdges; i++ {
-		e := st.At(i)
-		seen[e.Src] = true
-		seen[e.Dst] = true
-	}
 	for v := 0; v < nv; v++ {
 		if !seen[v] {
 			nid := int(pl.Master[v])

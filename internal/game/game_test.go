@@ -17,8 +17,8 @@ import (
 func testClusterGraph(t testing.TB, n int, vmaxDiv int, seed uint64) *cluster.Graph {
 	t.Helper()
 	g := gen.Web(gen.WebConfig{N: n, OutDegree: 6, CopyFactor: 0.6, Seed: seed})
-	s := stream.NewView(g, stream.BFS, 0)
-	res, err := cluster.Run(s, g.NumVertices, cluster.Config{Vmax: int64(s.Len()/vmaxDiv + 1)})
+	s := stream.NewView(g, stream.BFS, 0).Source(g.NumVertices)
+	res, err := cluster.Run(s, cluster.Config{Vmax: int64(s.Len()/vmaxDiv + 1)})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -153,18 +153,25 @@ type Quality struct {
 // sweeps) allocates only each run's Sizes slice instead of a fresh
 // O(|V|·k/64) bitset per evaluation. The zero value is ready to use. Not
 // safe for concurrent use; give each worker its own.
+//
+// Besides the one-shot Evaluate, an Evaluator accumulates incrementally
+// through Begin/Observe/Finish, which is how the out-of-core path scores a
+// partitioning whose assignment is never materialized: state stays
+// O(|V|·k/64 + k) however many edges stream through Observe.
 type Evaluator struct {
 	rs   ReplicaSets
 	seen []bool
+
+	k           int
+	numVertices int
+	sizes       []int64
+	edges       int64
 }
 
-// Evaluate recomputes partition quality from scratch given the edge stream
-// and the per-edge partition assignment (ground truth, independent of any
-// partitioner-internal bookkeeping). numVertices must exceed all endpoints.
-func (ev *Evaluator) Evaluate(s stream.View, assign []int32, numVertices, k int) (*Quality, error) {
-	if s.Len() != len(assign) {
-		return nil, fmt.Errorf("metrics: %d edges but %d assignments", s.Len(), len(assign))
-	}
+// Begin clears the evaluator for a stream over numVertices vertices and k
+// partitions. Sizes are freshly allocated per run because Finish's Quality
+// takes ownership of them.
+func (ev *Evaluator) Begin(numVertices, k int) {
 	ev.rs.Reset(numVertices, k)
 	if cap(ev.seen) < numVertices {
 		ev.seen = make([]bool, numVertices)
@@ -172,13 +179,23 @@ func (ev *Evaluator) Evaluate(s stream.View, assign []int32, numVertices, k int)
 		ev.seen = ev.seen[:numVertices]
 		clear(ev.seen)
 	}
-	rs, seen := &ev.rs, ev.seen
-	sizes := make([]int64, k)
-	for i, n := 0, s.Len(); i < n; i++ {
-		e := s.At(i)
+	ev.k = k
+	ev.numVertices = numVertices
+	ev.sizes = make([]int64, k)
+	ev.edges = 0
+}
+
+// Observe accumulates one run of streamed edges with their partition
+// assignments (assign[i] is the partition of edges[i]).
+func (ev *Evaluator) Observe(edges []graph.Edge, assign []int32) error {
+	if len(edges) != len(assign) {
+		return fmt.Errorf("metrics: observed %d edges with %d assignments", len(edges), len(assign))
+	}
+	rs, seen, sizes, k := &ev.rs, ev.seen, ev.sizes, ev.k
+	for i, e := range edges {
 		p := assign[i]
 		if p < 0 || int(p) >= k {
-			return nil, fmt.Errorf("metrics: edge %d assigned to invalid partition %d (k=%d)", i, p, k)
+			return fmt.Errorf("metrics: edge %d assigned to invalid partition %d (k=%d)", ev.edges+int64(i), p, k)
 		}
 		sizes[p]++
 		rs.Add(e.Src, int(p))
@@ -186,8 +203,14 @@ func (ev *Evaluator) Evaluate(s stream.View, assign []int32, numVertices, k int)
 		seen[e.Src] = true
 		seen[e.Dst] = true
 	}
-	q := &Quality{K: k, Sizes: sizes, MinSize: int64(^uint64(0) >> 1)}
-	for _, sz := range sizes {
+	ev.edges += int64(len(edges))
+	return nil
+}
+
+// Finish summarises everything observed since Begin.
+func (ev *Evaluator) Finish() *Quality {
+	q := &Quality{K: ev.k, Sizes: ev.sizes, MinSize: int64(^uint64(0) >> 1)}
+	for _, sz := range ev.sizes {
 		if sz > q.MaxSize {
 			q.MaxSize = sz
 		}
@@ -195,7 +218,8 @@ func (ev *Evaluator) Evaluate(s stream.View, assign []int32, numVertices, k int)
 			q.MinSize = sz
 		}
 	}
-	for v := 0; v < numVertices; v++ {
+	rs, seen := &ev.rs, ev.seen
+	for v := 0; v < ev.numVertices; v++ {
 		if !seen[v] {
 			continue
 		}
@@ -205,14 +229,31 @@ func (ev *Evaluator) Evaluate(s stream.View, assign []int32, numVertices, k int)
 	if q.Vertices > 0 {
 		q.ReplicationFactor = float64(q.Replicas) / float64(q.Vertices)
 	}
-	if s.Len() > 0 {
-		q.RelativeBalance = float64(k) * float64(q.MaxSize) / float64(s.Len())
+	if ev.edges > 0 {
+		q.RelativeBalance = float64(ev.k) * float64(q.MaxSize) / float64(ev.edges)
 	}
-	return q, nil
+	return q
+}
+
+// Evaluate recomputes partition quality from scratch given the edge stream
+// and the per-edge partition assignment (ground truth, independent of any
+// partitioner-internal bookkeeping), consuming the source block by block.
+func (ev *Evaluator) Evaluate(src stream.Source, assign []int32, k int) (*Quality, error) {
+	if src.Len() != len(assign) {
+		return nil, fmt.Errorf("metrics: %d edges but %d assignments", src.Len(), len(assign))
+	}
+	ev.Begin(src.NumVertices(), k)
+	err := stream.ForEach(src, func(off int, blk []graph.Edge) error {
+		return ev.Observe(blk, assign[off:off+len(blk)])
+	})
+	if err != nil {
+		return nil, err
+	}
+	return ev.Finish(), nil
 }
 
 // Evaluate is the one-shot form of Evaluator.Evaluate.
-func Evaluate(s stream.View, assign []int32, numVertices, k int) (*Quality, error) {
+func Evaluate(src stream.Source, assign []int32, k int) (*Quality, error) {
 	var ev Evaluator
-	return ev.Evaluate(s, assign, numVertices, k)
+	return ev.Evaluate(src, assign, k)
 }

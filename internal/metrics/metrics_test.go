@@ -97,7 +97,7 @@ func TestEvaluateHandExample(t *testing.T) {
 	// Partition 0: (0,1),(1,2); partition 1: (0,3),(3,4),(0,4).
 	edges := []graph.Edge{{Src: 0, Dst: 1}, {Src: 1, Dst: 2}, {Src: 0, Dst: 3}, {Src: 3, Dst: 4}, {Src: 0, Dst: 4}}
 	assign := []int32{0, 0, 1, 1, 1}
-	q, err := Evaluate(stream.Of(edges), assign, 5, 2)
+	q, err := Evaluate(stream.Of(edges).Source(5), assign, 2)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -119,7 +119,7 @@ func TestEvaluateHandExample(t *testing.T) {
 
 func TestEvaluateExcludesUnseenVertices(t *testing.T) {
 	edges := []graph.Edge{{Src: 0, Dst: 1}}
-	q, err := Evaluate(stream.Of(edges), []int32{0}, 10, 2)
+	q, err := Evaluate(stream.Of(edges).Source(10), []int32{0}, 2)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -133,13 +133,13 @@ func TestEvaluateExcludesUnseenVertices(t *testing.T) {
 
 func TestEvaluateErrors(t *testing.T) {
 	edges := []graph.Edge{{Src: 0, Dst: 1}}
-	if _, err := Evaluate(stream.Of(edges), []int32{}, 2, 2); err == nil {
+	if _, err := Evaluate(stream.Of(edges).Source(2), []int32{}, 2); err == nil {
 		t.Fatal("length mismatch accepted")
 	}
-	if _, err := Evaluate(stream.Of(edges), []int32{5}, 2, 2); err == nil {
+	if _, err := Evaluate(stream.Of(edges).Source(2), []int32{5}, 2); err == nil {
 		t.Fatal("invalid partition accepted")
 	}
-	if _, err := Evaluate(stream.Of(edges), []int32{-1}, 2, 2); err == nil {
+	if _, err := Evaluate(stream.Of(edges).Source(2), []int32{-1}, 2); err == nil {
 		t.Fatal("negative partition accepted")
 	}
 }
@@ -158,7 +158,7 @@ func TestEvaluateRFLowerBound(t *testing.T) {
 			edges[i] = graph.Edge{Src: graph.VertexID(int(r>>8) % nv), Dst: graph.VertexID(int(r) % nv)}
 			assign[i] = int32(i % k)
 		}
-		q, err := Evaluate(stream.Of(edges), assign, nv, k)
+		q, err := Evaluate(stream.Of(edges).Source(nv), assign, k)
 		if err != nil {
 			return false
 		}
@@ -272,11 +272,11 @@ func TestEvaluatorReuseMatchesOneShot(t *testing.T) {
 		{[]graph.Edge{{Src: 2, Dst: 2}}, []int32{0}, 9, 3},    // shrink: stale seen[] must not leak
 	}
 	for i, tc := range cases {
-		got, err := ev.Evaluate(stream.Of(tc.edges), tc.assign, tc.nv, tc.k)
+		got, err := ev.Evaluate(stream.Of(tc.edges).Source(tc.nv), tc.assign, tc.k)
 		if err != nil {
 			t.Fatalf("case %d: %v", i, err)
 		}
-		want, err := Evaluate(stream.Of(tc.edges), tc.assign, tc.nv, tc.k)
+		want, err := Evaluate(stream.Of(tc.edges).Source(tc.nv), tc.assign, tc.k)
 		if err != nil {
 			t.Fatalf("case %d: %v", i, err)
 		}
@@ -295,11 +295,11 @@ func TestEvaluateViewMatchesMaterialized(t *testing.T) {
 	perm := []int32{2, 0, 3, 1}
 	v := stream.Permuted(base, perm)
 	assign := []int32{1, 0, 1, 0}
-	got, err := Evaluate(v, assign, 4, 2)
+	got, err := Evaluate(v.Source(4), assign, 2)
 	if err != nil {
 		t.Fatal(err)
 	}
-	want, err := Evaluate(stream.Of(v.Materialize()), assign, 4, 2)
+	want, err := Evaluate(stream.Of(v.Materialize()).Source(4), assign, 2)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -105,21 +105,45 @@ func (c *CLUGP) Name() string {
 func (c *CLUGP) PreferredOrder() stream.Order { return stream.BFS }
 
 // Partition implements Partitioner, running the three passes.
-func (c *CLUGP) Partition(s stream.View, numVertices, k int) ([]int32, error) {
+func (c *CLUGP) Partition(src stream.Source, k int) ([]int32, error) {
+	return partitionVia(c, src, k)
+}
+
+// PartitionInto implements IntoPartitioner. The sink is constructed in a
+// concrete call chain so it stays on the stack (zero-allocation contract).
+func (c *CLUGP) PartitionInto(src stream.Source, k int, assign []int32) error {
+	if err := checkInto(src, k, assign); err != nil {
+		return err
+	}
+	sink := assignSink{assign: assign}
+	return c.run(src, k, &sink)
+}
+
+// PartitionStream implements StreamingPartitioner: passes 1 and 2 keep only
+// the O(|V|) mapping tables and the cluster graph, and pass 3 commits each
+// transformed block as soon as its balance bookkeeping is final, so the
+// full run never holds O(|E|) state. This is the paper's actual streaming
+// deployment: three sequential passes over a replayable stream.
+func (c *CLUGP) PartitionStream(src stream.Source, k int, emit Emit) error {
+	return streamVia(c, src, k, emit)
+}
+
+// run executes the three passes, delivering pass 3's assignment to the sink.
+func (c *CLUGP) run(src stream.Source, k int, sink *assignSink) error {
 	tau := c.Tau
 	if tau == 0 {
 		tau = 1.0
 	}
 	if tau < 1.0 {
-		return nil, fmt.Errorf("clugp: tau must be >= 1.0, got %v", tau)
+		return fmt.Errorf("clugp: tau must be >= 1.0, got %v", tau)
 	}
 	vf := c.VmaxFactor
 	if vf == 0 {
 		vf = 0.2
 	}
-	numEdges := s.Len()
+	numEdges := src.Len()
 	if numEdges == 0 {
-		return []int32{}, nil
+		return nil
 	}
 
 	// Pass 1: streaming clustering. Vmax = vf*|E|/k, at least 2 so that
@@ -129,21 +153,21 @@ func (c *CLUGP) Partition(s stream.View, numVertices, k int) ([]int32, error) {
 		vmax = 2
 	}
 	t0 := time.Now()
-	cres, err := cluster.Run(s, numVertices, cluster.Config{
+	cres, err := cluster.Run(src, cluster.Config{
 		Vmax:             vmax,
 		DisableSplitting: c.DisableSplitting,
 		MigrateMaxDegree: c.MigrateMaxDegree,
 	})
 	if err != nil {
-		return nil, fmt.Errorf("clugp pass 1: %w", err)
+		return fmt.Errorf("clugp pass 1: %w", err)
 	}
 	cres.Compact()
 	t1 := time.Now()
 
 	// Pass 2: build the cluster graph and play the partitioning game.
-	cg, err := cluster.BuildGraph(s, cres)
+	cg, err := cluster.BuildGraph(src, cres)
 	if err != nil {
-		return nil, fmt.Errorf("clugp pass 2: %w", err)
+		return fmt.Errorf("clugp pass 2: %w", err)
 	}
 	t2 := time.Now()
 	var asg *game.Assignment
@@ -164,13 +188,16 @@ func (c *CLUGP) Partition(s stream.View, numVertices, k int) ([]int32, error) {
 			Seed:      c.Seed,
 		})
 		if err != nil {
-			return nil, fmt.Errorf("clugp pass 2: %w", err)
+			return fmt.Errorf("clugp pass 2: %w", err)
 		}
 	}
 	t3 := time.Now()
 
 	// Pass 3: transformation (Algorithm 1).
-	assign, overflowed := transform(s, cres, asg.Partition, k, tau)
+	overflowed, err := transform(src, cres, asg.Partition, k, tau, sink)
+	if err != nil {
+		return fmt.Errorf("clugp pass 3: %w", err)
+	}
 	t4 := time.Now()
 
 	tr := &Trace{
@@ -204,12 +231,13 @@ func (c *CLUGP) Partition(s stream.View, numVertices, k int) ([]int32, error) {
 		tr.HealedFraction = float64(healed) / float64(2*cg.TotalInter)
 	}
 	c.LastTrace = tr
-	return assign, nil
+	return nil
 }
 
 // transform implements Algorithm 1: stream the edges once more, mapping
 // each through vertex->cluster->partition, with the balance guard and the
-// replica-reducing rules.
+// replica-reducing rules, committing each block to the sink as soon as its
+// load bookkeeping is final.
 //
 // The key refinement over a literal line-by-line transcription concerns
 // divided vertices (lines 18-19). A vertex split in pass 1 is present in
@@ -220,9 +248,8 @@ func (c *CLUGP) Partition(s stream.View, numVertices, k int) ([]int32, error) {
 // exactly those O(1) tables - master partition and mirror partition - so
 // pass 3 keeps its O(1)-per-edge budget. Ties fall back to the paper's
 // cut-the-higher-degree rule (lines 21-22), then to the lighter partition.
-func transform(s stream.View, cres *cluster.Result, cpart []int32, k int, tau float64) (assign []int32, overflowed int64) {
-	numEdges := s.Len()
-	assign = make([]int32, numEdges)
+func transform(src stream.Source, cres *cluster.Result, cpart []int32, k int, tau float64, sink *assignSink) (overflowed int64, err error) {
+	numEdges := src.Len()
 	sizes := make([]int64, k)
 	// Lmax = ceil(tau*|E|/k): the ceiling guarantees k*Lmax >= |E| so an
 	// underflow partition always exists when the guard trips.
@@ -240,73 +267,76 @@ func transform(s stream.View, cres *cluster.Result, cpart []int32, k int, tau fl
 		return -1
 	}
 
-	for i := 0; i < numEdges; i++ {
-		e := s.At(i)
-		u, v := e.Src, e.Dst
-		pu := cpart[cres.Assign[u]]
-		pv := cpart[cres.Assign[v]]
+	err = forEachBlock(src, func(blk []graph.Edge) error {
+		out := sink.grab(len(blk))
+		for j, e := range blk {
+			u, v := e.Src, e.Dst
+			pu := cpart[cres.Assign[u]]
+			pv := cpart[cres.Assign[v]]
 
-		var p int32
-		if sizes[pu] >= lmax || sizes[pv] >= lmax {
-			// Balance guard (lines 6-14): reroute to an underflow
-			// partition, preferring the endpoints' own partitions.
-			overflowed++
-			switch {
-			case sizes[pu] < lmax:
+			var p int32
+			if sizes[pu] >= lmax || sizes[pv] >= lmax {
+				// Balance guard (lines 6-14): reroute to an underflow
+				// partition, preferring the endpoints' own partitions.
+				overflowed++
+				switch {
+				case sizes[pu] < lmax:
+					p = pu
+				case sizes[pv] < lmax:
+					p = pv
+				default:
+					p = leastLoadedAll(sizes)
+				}
+			} else if pu == pv {
+				// Same partition: no cut (lines 15-16).
 				p = pu
-			case sizes[pv] < lmax:
-				p = pv
-			default:
-				p = leastLoadedAll(sizes)
-			}
-		} else if pu == pv {
-			// Same partition: no cut (lines 15-16).
-			p = pu
-		} else {
-			mu, mv := mirrorPart(u), mirrorPart(v)
-			// presentU(p): u exists at p already (master or mirror copy).
-			presentU := func(p int32) bool { return p == pu || p == mu }
-			presentV := func(p int32) bool { return p == pv || p == mv }
-			// Candidates: each endpoint's master partition, plus mirror
-			// partitions when they host the other endpoint too.
-			bestCost := int32(3)
-			pick := func(cand int32, cost int32) {
-				if cand < 0 || sizes[cand] >= lmax {
-					return
-				}
-				if cost < bestCost || (cost == bestCost && sizes[cand] < sizes[p]) {
-					bestCost = cost
-					p = cand
-				}
-			}
-			p = pu
-			cost := func(cand int32) int32 {
-				c := int32(0)
-				if !presentU(cand) {
-					c++
-				}
-				if !presentV(cand) {
-					c++
-				}
-				return c
-			}
-			// Degree rule ordering (lines 21-22): evaluating the
-			// lower-degree endpoint's partition first makes it win ties,
-			// cutting the higher-degree endpoint.
-			if deg[v] > deg[u] {
-				pick(pu, cost(pu))
-				pick(pv, cost(pv))
 			} else {
-				pick(pv, cost(pv))
-				pick(pu, cost(pu))
+				mu, mv := mirrorPart(u), mirrorPart(v)
+				// presentU(p): u exists at p already (master or mirror copy).
+				presentU := func(p int32) bool { return p == pu || p == mu }
+				presentV := func(p int32) bool { return p == pv || p == mv }
+				// Candidates: each endpoint's master partition, plus mirror
+				// partitions when they host the other endpoint too.
+				bestCost := int32(3)
+				pick := func(cand int32, cost int32) {
+					if cand < 0 || sizes[cand] >= lmax {
+						return
+					}
+					if cost < bestCost || (cost == bestCost && sizes[cand] < sizes[p]) {
+						bestCost = cost
+						p = cand
+					}
+				}
+				p = pu
+				cost := func(cand int32) int32 {
+					c := int32(0)
+					if !presentU(cand) {
+						c++
+					}
+					if !presentV(cand) {
+						c++
+					}
+					return c
+				}
+				// Degree rule ordering (lines 21-22): evaluating the
+				// lower-degree endpoint's partition first makes it win ties,
+				// cutting the higher-degree endpoint.
+				if deg[v] > deg[u] {
+					pick(pu, cost(pu))
+					pick(pv, cost(pv))
+				} else {
+					pick(pv, cost(pv))
+					pick(pu, cost(pu))
+				}
+				pick(mu, cost(mu))
+				pick(mv, cost(mv))
 			}
-			pick(mu, cost(mu))
-			pick(mv, cost(mv))
+			out[j] = p
+			sizes[p]++
 		}
-		assign[i] = p
-		sizes[p]++
-	}
-	return assign, overflowed
+		return sink.commit(blk, out)
+	})
+	return overflowed, err
 }
 
 // StateBytes implements StateSizer. CLUGP's standing state is the two

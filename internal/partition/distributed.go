@@ -2,6 +2,7 @@ package partition
 
 import (
 	"fmt"
+	"io"
 	"sync"
 
 	"repro/internal/stream"
@@ -14,14 +15,17 @@ import (
 // partial partitioning results of distributed nodes."
 //
 // The stream is split into Nodes contiguous shards (contiguity preserves
-// the crawl locality each local clustering depends on); each shard runs a
-// full, independent CLUGP pipeline concurrently, partitioning its edges
-// over the same k target partitions; the shard results concatenate into
-// the final assignment. Because every shard is individually balanced to
-// tau * |shard|/k, the union respects tau * |E|/k up to per-shard ceiling
-// slack. Quality gives up a little versus single-node CLUGP (shards cannot
-// heal adjacency across their boundary), which is the trade the paper
-// accepts for horizontal ingest scaling.
+// the crawl locality each local clustering depends on) via the source's
+// Segment capability, so a file-backed stream is sharded by seeking - no
+// ingest node ever holds more than its O(|V|) tables and a decode buffer;
+// each shard runs a full, independent CLUGP pipeline concurrently,
+// partitioning its edges over the same k target partitions; the shard
+// results concatenate into the final assignment. Because every shard is
+// individually balanced to tau * |shard|/k, the union respects
+// tau * |E|/k up to per-shard ceiling slack. Quality gives up a little
+// versus single-node CLUGP (shards cannot heal adjacency across their
+// boundary), which is the trade the paper accepts for horizontal ingest
+// scaling.
 type DistributedCLUGP struct {
 	// Nodes is the number of ingest nodes (default 4).
 	Nodes int
@@ -38,49 +42,128 @@ func (d *DistributedCLUGP) Name() string { return "CLUGP-D" }
 // PreferredOrder implements Partitioner.
 func (d *DistributedCLUGP) PreferredOrder() stream.Order { return stream.BFS }
 
-// Partition implements Partitioner.
-func (d *DistributedCLUGP) Partition(s stream.View, numVertices, k int) ([]int32, error) {
+// nodeCount resolves the effective node count for a stream of numEdges.
+func (d *DistributedCLUGP) nodeCount(numEdges int) int {
 	nodes := d.Nodes
 	if nodes <= 0 {
 		nodes = 4
 	}
-	numEdges := s.Len()
 	if nodes > numEdges {
 		nodes = 1
 	}
-	assign := make([]int32, numEdges)
-	errs := make([]error, nodes)
-	var wg sync.WaitGroup
+	return nodes
+}
+
+// nodeLocal returns node nd's pipeline, seeded deterministically.
+func (d *DistributedCLUGP) nodeLocal(nd int) CLUGP {
+	local := d.Options // copy: each node owns its pipeline state
+	local.Seed = d.Seed ^ (0x9e3779b97f4a7c15 * uint64(nd+1))
+	return local
+}
+
+// shards opens one independent sub-source per ingest node. The source must
+// support segmentation (every source in this repository does: in-memory
+// views slice, file sources reopen and seek).
+func (d *DistributedCLUGP) shards(src stream.Source, nodes int) ([]stream.Source, error) {
+	seg, ok := src.(stream.Segmenter)
+	if !ok {
+		return nil, fmt.Errorf("clugp-d: source %T cannot be segmented across ingest nodes", src)
+	}
+	numEdges := src.Len()
 	per := (numEdges + nodes - 1) / nodes
+	var out []stream.Source
 	for nd := 0; nd < nodes; nd++ {
 		lo := nd * per
-		hi := lo + per
 		if lo >= numEdges {
 			break
 		}
+		hi := lo + per
 		if hi > numEdges {
 			hi = numEdges
 		}
+		sub, err := seg.Segment(lo, hi)
+		if err != nil {
+			closeShards(out)
+			return nil, fmt.Errorf("clugp-d node %d: %w", nd, err)
+		}
+		out = append(out, sub)
+	}
+	return out, nil
+}
+
+func closeShards(shards []stream.Source) {
+	for _, s := range shards {
+		if c, ok := s.(io.Closer); ok {
+			c.Close()
+		}
+	}
+}
+
+// Partition implements Partitioner.
+func (d *DistributedCLUGP) Partition(src stream.Source, k int) ([]int32, error) {
+	return partitionVia(d, src, k)
+}
+
+// PartitionInto implements IntoPartitioner: the concurrent mode. Every node
+// runs its local pipeline on its own goroutine against its own sub-source
+// (own cursor, own file handle), writing into its slice of the assignment.
+func (d *DistributedCLUGP) PartitionInto(src stream.Source, k int, assign []int32) error {
+	if err := checkInto(src, k, assign); err != nil {
+		return err
+	}
+	numEdges := src.Len()
+	nodes := d.nodeCount(numEdges)
+	shards, err := d.shards(src, nodes)
+	if err != nil {
+		return err
+	}
+	defer closeShards(shards)
+	errs := make([]error, len(shards))
+	var wg sync.WaitGroup
+	per := (numEdges + nodes - 1) / nodes
+	for nd, sub := range shards {
 		wg.Add(1)
-		go func(nd, lo, hi int) {
+		go func(nd int, sub stream.Source) {
 			defer wg.Done()
-			local := d.Options // copy: each node owns its pipeline state
-			local.Seed = d.Seed ^ (0x9e3779b97f4a7c15 * uint64(nd+1))
-			out, err := local.Partition(s.Slice(lo, hi), numVertices, k)
-			if err != nil {
+			local := d.nodeLocal(nd)
+			lo := nd * per
+			if err := local.PartitionInto(sub, k, assign[lo:lo+sub.Len()]); err != nil {
 				errs[nd] = fmt.Errorf("clugp-d node %d: %w", nd, err)
-				return
 			}
-			copy(assign[lo:hi], out)
-		}(nd, lo, hi)
+		}(nd, sub)
 	}
 	wg.Wait()
 	for _, err := range errs {
 		if err != nil {
-			return nil, err
+			return err
 		}
 	}
-	return assign, nil
+	return nil
+}
+
+// PartitionStream implements StreamingPartitioner: the bounded-memory mode.
+// Emission must follow stream order, so nodes run one after another, each
+// streaming its shard's assignments through the shared sink - the memory
+// profile of a single node (O(|V|) tables, no O(|E|) assignment) at the
+// cost of ingest concurrency. Assignments are identical to the concurrent
+// mode: nodes are independent and deterministically seeded either way.
+func (d *DistributedCLUGP) PartitionStream(src stream.Source, k int, emit Emit) error {
+	if k < 1 {
+		return fmt.Errorf("partition: k must be >= 1, got %d", k)
+	}
+	nodes := d.nodeCount(src.Len())
+	shards, err := d.shards(src, nodes)
+	if err != nil {
+		return err
+	}
+	defer closeShards(shards)
+	for nd, sub := range shards {
+		local := d.nodeLocal(nd)
+		if err := local.PartitionStream(sub, k, emit); err != nil {
+			return fmt.Errorf("clugp-d node %d: %w", nd, err)
+		}
+	}
+	return nil
 }
 
 // StateBytes implements StateSizer: each node carries a full per-vertex

@@ -11,7 +11,7 @@ import (
 )
 
 func evalQuality(edges []graph.Edge, assign []int32, nv, k int) (float64, error) {
-	q, err := metrics.Evaluate(stream.Of(edges), assign, nv, k)
+	q, err := metrics.Evaluate(stream.Of(edges).Source(nv), assign, k)
 	if err != nil {
 		return 0, err
 	}
@@ -132,7 +132,7 @@ func TestOrderRobustness(t *testing.T) {
 	g := gen.Web(gen.WebConfig{N: 6000, OutDegree: 8, IntraSite: 0.88, Seed: 12})
 	p := &CLUGP{Seed: 1}
 	bfsEdges := g.Edges // generation order is crawl-like already
-	bfs, err := p.Partition(stream.Of(bfsEdges), g.NumVertices, 16)
+	bfs, err := p.Partition(stream.Of(bfsEdges).Source(g.NumVertices), 16)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -146,7 +146,7 @@ func TestOrderRobustness(t *testing.T) {
 		j := rng.Intn(i + 1)
 		shuffled[i], shuffled[j] = shuffled[j], shuffled[i]
 	}
-	rnd, err := p.Partition(stream.Of(shuffled), g.NumVertices, 16)
+	rnd, err := p.Partition(stream.Of(shuffled).Source(g.NumVertices), 16)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,6 +1,7 @@
 package partition
 
 import (
+	"repro/internal/graph"
 	"repro/internal/metrics"
 	"repro/internal/stream"
 )
@@ -36,48 +37,61 @@ func (gr *Greedy) Name() string { return "Greedy" }
 func (gr *Greedy) PreferredOrder() stream.Order { return stream.Random }
 
 // Partition implements Partitioner.
-func (gr *Greedy) Partition(s stream.View, numVertices, k int) ([]int32, error) {
-	return partitionVia(gr, s, numVertices, k)
+func (gr *Greedy) Partition(src stream.Source, k int) ([]int32, error) {
+	return partitionVia(gr, src, k)
 }
 
-// PartitionInto implements IntoPartitioner.
-func (gr *Greedy) PartitionInto(s stream.View, numVertices, k int, assign []int32) error {
-	if err := checkInto(s, k, assign); err != nil {
+// PartitionInto implements IntoPartitioner. The sink is constructed in a
+// concrete call chain so it stays on the stack (zero-allocation contract).
+func (gr *Greedy) PartitionInto(src stream.Source, k int, assign []int32) error {
+	if err := checkInto(src, k, assign); err != nil {
 		return err
 	}
-	gr.rs.Reset(numVertices, k)
+	sink := assignSink{assign: assign}
+	return gr.run(src, k, &sink)
+}
+
+// PartitionStream implements StreamingPartitioner.
+func (gr *Greedy) PartitionStream(src stream.Source, k int, emit Emit) error {
+	return streamVia(gr, src, k, emit)
+}
+
+func (gr *Greedy) run(src stream.Source, k int, sink *assignSink) error {
+	gr.rs.Reset(src.NumVertices(), k)
 	gr.sizes = resetInt64(gr.sizes, k)
 	if cap(gr.scratch) < k {
 		gr.scratch = make([]int32, 0, k)
 	}
 	rs, sizes, scratch := &gr.rs, gr.sizes, gr.scratch
-	for i, n := 0, s.Len(); i < n; i++ {
-		e := s.At(i)
-		u, v := e.Src, e.Dst
-		var p int32
-		common := rs.Intersect(u, v, scratch[:0])
-		if len(common) > 0 {
-			p = leastLoaded(sizes, common)
-		} else {
-			cu := rs.Count(u)
-			cv := rs.Count(v)
-			switch {
-			case cu > 0 && cv > 0:
-				p = leastLoaded(sizes, rs.Union(u, v, scratch[:0]))
-			case cu > 0:
-				p = leastLoaded(sizes, rs.Partitions(u, scratch[:0]))
-			case cv > 0:
-				p = leastLoaded(sizes, rs.Partitions(v, scratch[:0]))
-			default:
-				p = leastLoadedAll(sizes)
+	return forEachBlock(src, func(blk []graph.Edge) error {
+		out := sink.grab(len(blk))
+		for j, e := range blk {
+			u, v := e.Src, e.Dst
+			var p int32
+			common := rs.Intersect(u, v, scratch[:0])
+			if len(common) > 0 {
+				p = leastLoaded(sizes, common)
+			} else {
+				cu := rs.Count(u)
+				cv := rs.Count(v)
+				switch {
+				case cu > 0 && cv > 0:
+					p = leastLoaded(sizes, rs.Union(u, v, scratch[:0]))
+				case cu > 0:
+					p = leastLoaded(sizes, rs.Partitions(u, scratch[:0]))
+				case cv > 0:
+					p = leastLoaded(sizes, rs.Partitions(v, scratch[:0]))
+				default:
+					p = leastLoadedAll(sizes)
+				}
 			}
+			out[j] = p
+			sizes[p]++
+			rs.Add(u, int(p))
+			rs.Add(v, int(p))
 		}
-		assign[i] = p
-		sizes[p]++
-		rs.Add(u, int(p))
-		rs.Add(v, int(p))
-	}
-	return nil
+		return sink.commit(blk, out)
+	})
 }
 
 // StateBytes implements StateSizer: the replica bitset plus partition sizes.

@@ -1,6 +1,7 @@
 package partition
 
 import (
+	"repro/internal/graph"
 	"repro/internal/stream"
 	"repro/internal/xrand"
 )
@@ -21,22 +22,35 @@ func (h *Hashing) Name() string { return "Hashing" }
 func (h *Hashing) PreferredOrder() stream.Order { return stream.Random }
 
 // Partition implements Partitioner.
-func (h *Hashing) Partition(s stream.View, numVertices, k int) ([]int32, error) {
-	return partitionVia(h, s, numVertices, k)
+func (h *Hashing) Partition(src stream.Source, k int) ([]int32, error) {
+	return partitionVia(h, src, k)
 }
 
-// PartitionInto implements IntoPartitioner.
-func (h *Hashing) PartitionInto(s stream.View, numVertices, k int, assign []int32) error {
-	if err := checkInto(s, k, assign); err != nil {
+// PartitionInto implements IntoPartitioner. The sink is constructed in a
+// concrete call chain so it stays on the stack (zero-allocation contract).
+func (h *Hashing) PartitionInto(src stream.Source, k int, assign []int32) error {
+	if err := checkInto(src, k, assign); err != nil {
 		return err
 	}
+	sink := assignSink{assign: assign}
+	return h.run(src, k, &sink)
+}
+
+// PartitionStream implements StreamingPartitioner.
+func (h *Hashing) PartitionStream(src stream.Source, k int, emit Emit) error {
+	return streamVia(h, src, k, emit)
+}
+
+func (h *Hashing) run(src stream.Source, k int, sink *assignSink) error {
 	kk := uint64(k)
-	for i, n := 0, s.Len(); i < n; i++ {
-		e := s.At(i)
-		key := uint64(e.Src)<<32 | uint64(e.Dst)
-		assign[i] = int32(xrand.Hash64(key^h.Seed) % kk)
-	}
-	return nil
+	return forEachBlock(src, func(blk []graph.Edge) error {
+		out := sink.grab(len(blk))
+		for j, e := range blk {
+			key := uint64(e.Src)<<32 | uint64(e.Dst)
+			out[j] = int32(xrand.Hash64(key^h.Seed) % kk)
+		}
+		return sink.commit(blk, out)
+	})
 }
 
 // StateBytes implements StateSizer: a hash function needs no state beyond
@@ -62,29 +76,42 @@ func (d *DBH) Name() string { return "DBH" }
 func (d *DBH) PreferredOrder() stream.Order { return stream.Random }
 
 // Partition implements Partitioner.
-func (d *DBH) Partition(s stream.View, numVertices, k int) ([]int32, error) {
-	return partitionVia(d, s, numVertices, k)
+func (d *DBH) Partition(src stream.Source, k int) ([]int32, error) {
+	return partitionVia(d, src, k)
 }
 
-// PartitionInto implements IntoPartitioner.
-func (d *DBH) PartitionInto(s stream.View, numVertices, k int, assign []int32) error {
-	if err := checkInto(s, k, assign); err != nil {
+// PartitionInto implements IntoPartitioner. The sink is constructed in a
+// concrete call chain so it stays on the stack (zero-allocation contract).
+func (d *DBH) PartitionInto(src stream.Source, k int, assign []int32) error {
+	if err := checkInto(src, k, assign); err != nil {
 		return err
 	}
-	d.deg = resetUint32(d.deg, numVertices)
+	sink := assignSink{assign: assign}
+	return d.run(src, k, &sink)
+}
+
+// PartitionStream implements StreamingPartitioner.
+func (d *DBH) PartitionStream(src stream.Source, k int, emit Emit) error {
+	return streamVia(d, src, k, emit)
+}
+
+func (d *DBH) run(src stream.Source, k int, sink *assignSink) error {
+	d.deg = resetUint32(d.deg, src.NumVertices())
 	deg := d.deg
 	kk := uint64(k)
-	for i, n := 0, s.Len(); i < n; i++ {
-		e := s.At(i)
-		deg[e.Src]++
-		deg[e.Dst]++
-		low := e.Src
-		if deg[e.Dst] < deg[e.Src] {
-			low = e.Dst
+	return forEachBlock(src, func(blk []graph.Edge) error {
+		out := sink.grab(len(blk))
+		for j, e := range blk {
+			deg[e.Src]++
+			deg[e.Dst]++
+			low := e.Src
+			if deg[e.Dst] < deg[e.Src] {
+				low = e.Dst
+			}
+			out[j] = int32(xrand.Hash64(uint64(low)^d.Seed) % kk)
 		}
-		assign[i] = int32(xrand.Hash64(uint64(low)^d.Seed) % kk)
-	}
-	return nil
+		return sink.commit(blk, out)
+	})
 }
 
 // StateBytes implements StateSizer: one degree counter per vertex.

@@ -1,6 +1,7 @@
 package partition
 
 import (
+	"repro/internal/graph"
 	"repro/internal/metrics"
 	"repro/internal/stream"
 )
@@ -43,81 +44,95 @@ func (h *HDRF) Name() string { return "HDRF" }
 func (h *HDRF) PreferredOrder() stream.Order { return stream.Random }
 
 // Partition implements Partitioner.
-func (h *HDRF) Partition(s stream.View, numVertices, k int) ([]int32, error) {
-	return partitionVia(h, s, numVertices, k)
+func (h *HDRF) Partition(src stream.Source, k int) ([]int32, error) {
+	return partitionVia(h, src, k)
 }
 
-// PartitionInto implements IntoPartitioner.
-func (h *HDRF) PartitionInto(s stream.View, numVertices, k int, assign []int32) error {
-	if err := checkInto(s, k, assign); err != nil {
+// PartitionInto implements IntoPartitioner. The sink is constructed here,
+// in a concrete (devirtualized) call chain, so it stays on the stack and
+// the repeated-run path keeps its zero-allocation contract.
+func (h *HDRF) PartitionInto(src stream.Source, k int, assign []int32) error {
+	if err := checkInto(src, k, assign); err != nil {
 		return err
 	}
+	sink := assignSink{assign: assign}
+	return h.run(src, k, &sink)
+}
+
+// PartitionStream implements StreamingPartitioner.
+func (h *HDRF) PartitionStream(src stream.Source, k int, emit Emit) error {
+	return streamVia(h, src, k, emit)
+}
+
+func (h *HDRF) run(src stream.Source, k int, sink *assignSink) error {
 	lam := h.BalanceWeight
 	if lam == 0 {
 		lam = 1.1
 	}
 	const eps = 1.0
-	h.rs.Reset(numVertices, k)
-	h.deg = resetUint32(h.deg, numVertices)
+	h.rs.Reset(src.NumVertices(), k)
+	h.deg = resetUint32(h.deg, src.NumVertices())
 	h.sizes = resetInt64(h.sizes, k)
 	rs, deg, sizes := &h.rs, h.deg, h.sizes
 	var maxSize, minSize int64
 
-	for i, n := 0, s.Len(); i < n; i++ {
-		e := s.At(i)
-		u, v := e.Src, e.Dst
-		deg[u]++
-		deg[v]++
-		du, dv := float64(deg[u]), float64(deg[v])
-		thetaU := du / (du + dv)
-		thetaV := 1 - thetaU
-		gU := 1 + (1 - thetaU)
-		gV := 1 + (1 - thetaV)
+	return forEachBlock(src, func(blk []graph.Edge) error {
+		out := sink.grab(len(blk))
+		for j, e := range blk {
+			u, v := e.Src, e.Dst
+			deg[u]++
+			deg[v]++
+			du, dv := float64(deg[u]), float64(deg[v])
+			thetaU := du / (du + dv)
+			thetaV := 1 - thetaU
+			gU := 1 + (1 - thetaU)
+			gV := 1 + (1 - thetaV)
 
-		spread := float64(maxSize - minSize)
-		best := 0
-		bestScore := -1.0
-		// One replica-bitset word covers 64 partitions; load each word of
-		// u's and v's sets once instead of testing bit-by-bit through Has.
-		var wu, wv uint64
-		for p := 0; p < k; p++ {
-			if p&63 == 0 {
-				wu = rs.Word(u, p>>6)
-				wv = rs.Word(v, p>>6)
+			spread := float64(maxSize - minSize)
+			best := 0
+			bestScore := -1.0
+			// One replica-bitset word covers 64 partitions; load each word of
+			// u's and v's sets once instead of testing bit-by-bit through Has.
+			var wu, wv uint64
+			for p := 0; p < k; p++ {
+				if p&63 == 0 {
+					wu = rs.Word(u, p>>6)
+					wv = rs.Word(v, p>>6)
+				}
+				bit := uint64(1) << uint(p&63)
+				var crep float64
+				if wu&bit != 0 {
+					crep += gU
+				}
+				if wv&bit != 0 {
+					crep += gV
+				}
+				cbal := lam * float64(maxSize-sizes[p]) / (eps + spread)
+				if score := crep + cbal; score > bestScore {
+					bestScore = score
+					best = p
+				}
 			}
-			bit := uint64(1) << uint(p&63)
-			var crep float64
-			if wu&bit != 0 {
-				crep += gU
+			out[j] = int32(best)
+			sizes[best]++
+			rs.Add(u, best)
+			rs.Add(v, best)
+			if sizes[best] > maxSize {
+				maxSize = sizes[best]
 			}
-			if wv&bit != 0 {
-				crep += gV
-			}
-			cbal := lam * float64(maxSize-sizes[p]) / (eps + spread)
-			if score := crep + cbal; score > bestScore {
-				bestScore = score
-				best = p
-			}
-		}
-		assign[i] = int32(best)
-		sizes[best]++
-		rs.Add(u, best)
-		rs.Add(v, best)
-		if sizes[best] > maxSize {
-			maxSize = sizes[best]
-		}
-		// minSize only changes when the previous minimum partition grew;
-		// rescan lazily in that case.
-		if sizes[best]-1 == minSize {
-			minSize = sizes[0]
-			for p := 1; p < k; p++ {
-				if sizes[p] < minSize {
-					minSize = sizes[p]
+			// minSize only changes when the previous minimum partition grew;
+			// rescan lazily in that case.
+			if sizes[best]-1 == minSize {
+				minSize = sizes[0]
+				for p := 1; p < k; p++ {
+					if sizes[p] < minSize {
+						minSize = sizes[p]
+					}
 				}
 			}
 		}
-	}
-	return nil
+		return sink.commit(blk, out)
+	})
 }
 
 // StateBytes implements StateSizer: replica bitsets + degree table + sizes.

@@ -1,6 +1,7 @@
 package partition
 
 import (
+	"repro/internal/graph"
 	"repro/internal/stream"
 	"repro/internal/xrand"
 )
@@ -29,34 +30,47 @@ func (h *HybridCut) Name() string { return "Hybrid" }
 func (h *HybridCut) PreferredOrder() stream.Order { return stream.Random }
 
 // Partition implements Partitioner.
-func (h *HybridCut) Partition(s stream.View, numVertices, k int) ([]int32, error) {
-	return partitionVia(h, s, numVertices, k)
+func (h *HybridCut) Partition(src stream.Source, k int) ([]int32, error) {
+	return partitionVia(h, src, k)
 }
 
-// PartitionInto implements IntoPartitioner.
-func (h *HybridCut) PartitionInto(s stream.View, numVertices, k int, assign []int32) error {
-	if err := checkInto(s, k, assign); err != nil {
+// PartitionInto implements IntoPartitioner. The sink is constructed in a
+// concrete call chain so it stays on the stack (zero-allocation contract).
+func (h *HybridCut) PartitionInto(src stream.Source, k int, assign []int32) error {
+	if err := checkInto(src, k, assign); err != nil {
 		return err
 	}
+	sink := assignSink{assign: assign}
+	return h.run(src, k, &sink)
+}
+
+// PartitionStream implements StreamingPartitioner.
+func (h *HybridCut) PartitionStream(src stream.Source, k int, emit Emit) error {
+	return streamVia(h, src, k, emit)
+}
+
+func (h *HybridCut) run(src stream.Source, k int, sink *assignSink) error {
 	threshold := h.Threshold
 	if threshold == 0 {
 		threshold = 100
 	}
-	h.indeg = resetUint32(h.indeg, numVertices)
+	h.indeg = resetUint32(h.indeg, src.NumVertices())
 	indeg := h.indeg
 	kk := uint64(k)
-	for i, n := 0, s.Len(); i < n; i++ {
-		e := s.At(i)
-		indeg[e.Dst]++
-		if indeg[e.Dst] > threshold {
-			// High-degree target: spread by source (vertex-cut the hub).
-			assign[i] = int32(xrand.Hash64(uint64(e.Src)^h.Seed) % kk)
-		} else {
-			// Low-degree target: keep its in-edges together.
-			assign[i] = int32(xrand.Hash64(uint64(e.Dst)^h.Seed) % kk)
+	return forEachBlock(src, func(blk []graph.Edge) error {
+		out := sink.grab(len(blk))
+		for j, e := range blk {
+			indeg[e.Dst]++
+			if indeg[e.Dst] > threshold {
+				// High-degree target: spread by source (vertex-cut the hub).
+				out[j] = int32(xrand.Hash64(uint64(e.Src)^h.Seed) % kk)
+			} else {
+				// Low-degree target: keep its in-edges together.
+				out[j] = int32(xrand.Hash64(uint64(e.Dst)^h.Seed) % kk)
+			}
 		}
-	}
-	return nil
+		return sink.commit(blk, out)
+	})
 }
 
 // StateBytes implements StateSizer: one in-degree counter per vertex.
@@ -84,27 +98,40 @@ func (g *Grid) PreferredOrder() stream.Order { return stream.Random }
 // so the algorithm uses the largest perfect square side*side <= k and
 // leaves any leftover partitions empty - the standard implementation
 // choice; pick square k for meaningful balance numbers.
-func (g *Grid) Partition(s stream.View, numVertices, k int) ([]int32, error) {
-	return partitionVia(g, s, numVertices, k)
+func (g *Grid) Partition(src stream.Source, k int) ([]int32, error) {
+	return partitionVia(g, src, k)
 }
 
-// PartitionInto implements IntoPartitioner.
-func (g *Grid) PartitionInto(s stream.View, numVertices, k int, assign []int32) error {
-	if err := checkInto(s, k, assign); err != nil {
+// PartitionInto implements IntoPartitioner. The sink is constructed in a
+// concrete call chain so it stays on the stack (zero-allocation contract).
+func (g *Grid) PartitionInto(src stream.Source, k int, assign []int32) error {
+	if err := checkInto(src, k, assign); err != nil {
 		return err
 	}
+	sink := assignSink{assign: assign}
+	return g.run(src, k, &sink)
+}
+
+// PartitionStream implements StreamingPartitioner.
+func (g *Grid) PartitionStream(src stream.Source, k int, emit Emit) error {
+	return streamVia(g, src, k, emit)
+}
+
+func (g *Grid) run(src stream.Source, k int, sink *assignSink) error {
 	side := 1
 	for (side+1)*(side+1) <= k {
 		side++
 	}
 	ss := uint64(side)
-	for i, n := 0, s.Len(); i < n; i++ {
-		e := s.At(i)
-		ru := xrand.Hash64(uint64(e.Src)^g.Seed) % ss        // u's row
-		cv := xrand.Hash64(uint64(e.Dst)^g.Seed^0xbeef) % ss // v's column
-		assign[i] = int32(ru*ss + cv)                        // intersection cell
-	}
-	return nil
+	return forEachBlock(src, func(blk []graph.Edge) error {
+		out := sink.grab(len(blk))
+		for j, e := range blk {
+			ru := xrand.Hash64(uint64(e.Src)^g.Seed) % ss        // u's row
+			cv := xrand.Hash64(uint64(e.Dst)^g.Seed^0xbeef) % ss // v's column
+			out[j] = int32(ru*ss + cv)                           // intersection cell
+		}
+		return sink.commit(blk, out)
+	})
 }
 
 // StateBytes implements StateSizer: stateless like Hashing.

@@ -33,7 +33,7 @@ func TestHybridLowDegreeVerticesStayWhole(t *testing.T) {
 		{Src: 0, Dst: 4}, {Src: 2, Dst: 4},
 	}
 	h := &HybridCut{Threshold: 100, Seed: 1}
-	assign, err := h.Partition(stream.Of(edges), 5, 8)
+	assign, err := h.Partition(stream.Of(edges).Source(5), 8)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -55,12 +55,12 @@ func TestHybridThresholdSwitchesRegime(t *testing.T) {
 	}
 	k := 16
 	spread := &HybridCut{Threshold: 10, Seed: 1}
-	sa, err := spread.Partition(stream.Of(edges), 201, k)
+	sa, err := spread.Partition(stream.Of(edges).Source(201), k)
 	if err != nil {
 		t.Fatal(err)
 	}
 	concentrated := &HybridCut{Threshold: 10000, Seed: 1}
-	ca, err := concentrated.Partition(stream.Of(edges), 201, k)
+	ca, err := concentrated.Partition(stream.Of(edges).Source(201), k)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -88,8 +88,11 @@ func TestGridReplicaBound(t *testing.T) {
 	}
 	// Structural guarantee: |P(v)| <= 2*sqrt(k)-1 = 7.
 	rs := metrics.NewReplicaSets(g.NumVertices, k)
-	for i, n := 0, res.Stream.Len(); i < n; i++ {
-		e := res.Stream.At(i)
+	edges, err := stream.Collect(res.Stream)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, e := range edges {
 		rs.Add(e.Src, int(res.Assign[i]))
 		rs.Add(e.Dst, int(res.Assign[i]))
 	}

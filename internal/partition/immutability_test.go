@@ -82,13 +82,13 @@ func TestPartitionIntoMatchesPartition(t *testing.T) {
 			g *graph.Graph
 			k int
 		}{{gA, 16}, {gB, 16}, {gB, 3}, {gA, 64}} {
-			s := stream.NewView(tc.g, reused.PreferredOrder(), 5)
+			s := stream.NewView(tc.g, reused.PreferredOrder(), 5).Source(tc.g.NumVertices)
 			got := make([]int32, s.Len())
-			if err := ip.PartitionInto(s, tc.g.NumVertices, tc.k, got); err != nil {
+			if err := ip.PartitionInto(s, tc.k, got); err != nil {
 				t.Fatalf("%s: %v", name, err)
 			}
 			fresh, _ := New(name, 5)
-			want, err := fresh.Partition(s, tc.g.NumVertices, tc.k)
+			want, err := fresh.Partition(s, tc.k)
 			if err != nil {
 				t.Fatalf("%s: %v", name, err)
 			}
@@ -104,12 +104,12 @@ func TestPartitionIntoMatchesPartition(t *testing.T) {
 // TestPartitionIntoRejectsBadArgs covers the shared precondition checks.
 func TestPartitionIntoRejectsBadArgs(t *testing.T) {
 	g := webGraph(200, 1)
-	s := stream.NewView(g, stream.Random, 1)
+	s := stream.NewView(g, stream.Random, 1).Source(g.NumVertices)
 	h := &HDRF{}
-	if err := h.PartitionInto(s, g.NumVertices, 0, make([]int32, s.Len())); err == nil {
+	if err := h.PartitionInto(s, 0, make([]int32, s.Len())); err == nil {
 		t.Fatal("k=0 accepted")
 	}
-	if err := h.PartitionInto(s, g.NumVertices, 4, make([]int32, s.Len()-1)); err == nil {
+	if err := h.PartitionInto(s, 4, make([]int32, s.Len()-1)); err == nil {
 		t.Fatal("short assign slice accepted")
 	}
 }

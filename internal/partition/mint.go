@@ -20,8 +20,9 @@ import (
 // hash-anchored initial strategy (the lower-id endpoint's hash), which
 // lands a vertex's edges on the same starting partition in every batch.
 // Quality is therefore between the hash methods and the heuristics
-// (Table I: Medium/Medium). The batch tables are scratch reused across
-// batches and across runs.
+// (Table I: Medium/Medium). The batch tables - including the batch edge
+// buffer, which is what makes Mint runnable over a source that cannot be
+// random-accessed - are scratch reused across batches and across runs.
 type Mint struct {
 	// BatchSize is the number of edges per game (default 6400).
 	BatchSize int
@@ -34,6 +35,7 @@ type Mint struct {
 	sizes    []int64
 	local    []int64
 	totals   []int64
+	batch    []graph.Edge
 	presence u64Table
 	primary  u64Table
 }
@@ -170,15 +172,27 @@ func (m *Mint) Name() string { return "Mint" }
 func (m *Mint) PreferredOrder() stream.Order { return stream.BFS }
 
 // Partition implements Partitioner.
-func (m *Mint) Partition(s stream.View, numVertices, k int) ([]int32, error) {
-	return partitionVia(m, s, numVertices, k)
+func (m *Mint) Partition(src stream.Source, k int) ([]int32, error) {
+	return partitionVia(m, src, k)
 }
 
-// PartitionInto implements IntoPartitioner.
-func (m *Mint) PartitionInto(s stream.View, numVertices, k int, assign []int32) error {
-	if err := checkInto(s, k, assign); err != nil {
+// PartitionInto implements IntoPartitioner. The sink is constructed in a
+// concrete call chain so it stays on the stack (zero-allocation contract).
+func (m *Mint) PartitionInto(src stream.Source, k int, assign []int32) error {
+	if err := checkInto(src, k, assign); err != nil {
 		return err
 	}
+	sink := assignSink{assign: assign}
+	return m.run(src, k, &sink)
+}
+
+// PartitionStream implements StreamingPartitioner: batches are finalized
+// units, so each commits to the sink as soon as its game equilibrates.
+func (m *Mint) PartitionStream(src stream.Source, k int, emit Emit) error {
+	return streamVia(m, src, k, emit)
+}
+
+func (m *Mint) run(src stream.Source, k int, sink *assignSink) error {
 	batchSize := m.BatchSize
 	if batchSize <= 0 {
 		batchSize = 6400
@@ -192,10 +206,48 @@ func (m *Mint) PartitionInto(s stream.View, numVertices, k int, assign []int32) 
 		mu = 1.0
 	}
 
-	numEdges := s.Len()
+	numEdges := src.Len()
 	m.sizes = resetInt64(m.sizes, k)   // committed edges per partition
 	m.local = resetInt64(m.local, k)   // current batch's edges per partition
 	m.totals = resetInt64(m.totals, k) // sizes + local, the cost basis
+
+	batchCap := batchSize
+	if batchCap > numEdges {
+		batchCap = numEdges
+	}
+	if cap(m.batch) < batchCap {
+		m.batch = make([]graph.Edge, 0, batchCap)
+	}
+	batch := m.batch[:0]
+
+	err := forEachBlock(src, func(blk []graph.Edge) error {
+		for len(blk) > 0 {
+			take := batchSize - len(batch)
+			if take > len(blk) {
+				take = len(blk)
+			}
+			batch = append(batch, blk[:take]...)
+			blk = blk[take:]
+			if len(batch) == batchSize {
+				if err := m.playBatch(batch, sink, k, numEdges, batchCap, maxRounds, mu); err != nil {
+					return err
+				}
+				batch = batch[:0]
+			}
+		}
+		return nil
+	})
+	if err == nil && len(batch) > 0 {
+		err = m.playBatch(batch, sink, k, numEdges, batchCap, maxRounds, mu)
+	}
+	m.batch = batch[:0]
+	return err
+}
+
+// playBatch runs one batch game to (approximate) equilibrium and commits
+// its assignments to the sink.
+func (m *Mint) playBatch(batch []graph.Edge, sink *assignSink, k, numEdges, batchCap, maxRounds int, mu float64) error {
+	out := sink.grab(len(batch))
 	sizes, local, totals := m.sizes, m.local, m.totals
 	kk := uint64(k)
 
@@ -207,97 +259,85 @@ func (m *Mint) PartitionInto(s stream.View, numVertices, k int, assign []int32) 
 	// Both tables are batch-scoped: Mint keeps no global per-vertex state.
 	primary := &m.primary
 
-	batchCap := batchSize
-	if batchCap > numEdges {
-		batchCap = numEdges
+	presence.reset(2 * batchCap)
+	primary.reset(2 * batchCap)
+	for p := range local {
+		local[p] = 0
 	}
-	for lo := 0; lo < numEdges; lo += batchSize {
-		hi := lo + batchSize
-		if hi > numEdges {
-			hi = numEdges
-		}
-		presence.reset(2 * batchCap)
-		primary.reset(2 * batchCap)
-		for p := range local {
-			local[p] = 0
-		}
 
-		// Initial strategies: hash of the lower-id endpoint anchors each
-		// vertex's edges to a consistent home partition across batches.
-		for i := lo; i < hi; i++ {
-			e := s.At(i)
-			anchor := e.Src
-			if e.Dst < anchor {
-				anchor = e.Dst
+	// Initial strategies: hash of the lower-id endpoint anchors each
+	// vertex's edges to a consistent home partition across batches.
+	for i, e := range batch {
+		anchor := e.Src
+		if e.Dst < anchor {
+			anchor = e.Dst
+		}
+		p := int32(xrand.Hash64(uint64(anchor)^m.Seed) % kk)
+		out[i] = p
+		presence.add(key(e.Src, p), 1)
+		presence.add(key(e.Dst, p), 1)
+		local[p]++
+	}
+	for p := range totals {
+		totals[p] = sizes[p] + local[p]
+	}
+
+	avg := float64(numEdges)/float64(k) + 1
+	for round := 0; round < maxRounds; round++ {
+		changed := false
+		// The least-loaded partition is the only attractive strategy
+		// beyond those where an endpoint already has presence, so each
+		// edge evaluates a constant-size candidate set instead of all k
+		// (keeping Mint's per-edge cost k-independent, which is the
+		// point of its design).
+		light := leastLoadedAll(totals)
+		for i, e := range batch {
+			cur := out[i]
+			// Remove this edge's own contribution so costs are marginal.
+			presence.add(key(e.Src, cur), -1)
+			presence.add(key(e.Dst, cur), -1)
+			totals[cur]--
+
+			best := cur
+			bestCost := m.edgeCost(presence, totals, key, e, cur, mu, avg)
+			au := int32(xrand.Hash64(uint64(e.Src)^m.Seed) % kk)
+			av := int32(xrand.Hash64(uint64(e.Dst)^m.Seed) % kk)
+			cands := [5]int32{au, av, light, -1, -1}
+			if p, ok := primary.lookup(uint64(e.Src)); ok {
+				cands[3] = p
 			}
-			p := int32(xrand.Hash64(uint64(anchor)^m.Seed) % kk)
-			assign[i] = p
-			presence.add(key(e.Src, p), 1)
-			presence.add(key(e.Dst, p), 1)
-			local[p]++
-		}
-		for p := range totals {
-			totals[p] = sizes[p] + local[p]
-		}
-
-		avg := float64(numEdges)/float64(k) + 1
-		for round := 0; round < maxRounds; round++ {
-			changed := false
-			// The least-loaded partition is the only attractive strategy
-			// beyond those where an endpoint already has presence, so each
-			// edge evaluates a constant-size candidate set instead of all k
-			// (keeping Mint's per-edge cost k-independent, which is the
-			// point of its design).
-			light := leastLoadedAll(totals)
-			for i := lo; i < hi; i++ {
-				e := s.At(i)
-				cur := assign[i]
-				// Remove this edge's own contribution so costs are marginal.
-				presence.add(key(e.Src, cur), -1)
-				presence.add(key(e.Dst, cur), -1)
-				totals[cur]--
-
-				best := cur
-				bestCost := m.edgeCost(presence, totals, key, e, cur, mu, avg)
-				au := int32(xrand.Hash64(uint64(e.Src)^m.Seed) % kk)
-				av := int32(xrand.Hash64(uint64(e.Dst)^m.Seed) % kk)
-				cands := [5]int32{au, av, light, -1, -1}
-				if p, ok := primary.lookup(uint64(e.Src)); ok {
-					cands[3] = p
-				}
-				if p, ok := primary.lookup(uint64(e.Dst)); ok {
-					cands[4] = p
-				}
-				for _, p := range cands {
-					if p == cur || p < 0 {
-						continue
-					}
-					if c := m.edgeCost(presence, totals, key, e, p, mu, avg); c < bestCost-1e-12 {
-						bestCost = c
-						best = p
-					}
-				}
-				if best != cur {
-					assign[i] = best
-					changed = true
-				}
-				presence.add(key(e.Src, best), 1)
-				presence.add(key(e.Dst, best), 1)
-				totals[best]++
-				primary.put(uint64(e.Src), best)
-				primary.put(uint64(e.Dst), best)
+			if p, ok := primary.lookup(uint64(e.Dst)); ok {
+				cands[4] = p
 			}
-			if !changed {
-				break
+			for _, p := range cands {
+				if p == cur || p < 0 {
+					continue
+				}
+				if c := m.edgeCost(presence, totals, key, e, p, mu, avg); c < bestCost-1e-12 {
+					bestCost = c
+					best = p
+				}
 			}
+			if best != cur {
+				out[i] = best
+				changed = true
+			}
+			presence.add(key(e.Src, best), 1)
+			presence.add(key(e.Dst, best), 1)
+			totals[best]++
+			primary.put(uint64(e.Src), best)
+			primary.put(uint64(e.Dst), best)
 		}
-
-		// Commit: only partition sizes survive the batch.
-		for i := lo; i < hi; i++ {
-			sizes[assign[i]]++
+		if !changed {
+			break
 		}
 	}
-	return nil
+
+	// Commit: only partition sizes survive the batch.
+	for _, p := range out {
+		sizes[p]++
+	}
+	return sink.commit(batch, out)
 }
 
 // edgeCost is the player cost of edge e choosing partition p: one unit per
@@ -314,8 +354,8 @@ func (m *Mint) edgeCost(presence *u64Table, totals []int64, key func(graph.Verte
 	return rep + mu*float64(totals[p])/avg
 }
 
-// StateBytes implements StateSizer: the batch assignment and presence map;
-// no global per-vertex state.
+// StateBytes implements StateSizer: the batch edge buffer, batch assignment
+// and presence map; no global per-vertex state.
 func (m *Mint) StateBytes(numVertices, numEdges, k int) int64 {
 	b := m.BatchSize
 	if b <= 0 {
@@ -324,7 +364,8 @@ func (m *Mint) StateBytes(numVertices, numEdges, k int) int64 {
 	if b > numEdges {
 		b = numEdges
 	}
-	// 4 bytes per batch assignment + ~2 presence entries per edge at 16
-	// bytes per open-addressing slot (key+value+generation), + k sizes.
-	return int64(b)*4 + int64(b)*2*16 + int64(k)*8
+	// 8 bytes per buffered batch edge + 4 per batch assignment + ~2 presence
+	// entries per edge at 16 bytes per open-addressing slot
+	// (key+value+generation), + k sizes.
+	return int64(b)*8 + int64(b)*4 + int64(b)*2*16 + int64(k)*8
 }

@@ -7,10 +7,13 @@
 // partitions; quality is measured by the replication factor and relative
 // load balance of Section II-B (package metrics).
 //
-// Partitioners consume the stream as a zero-copy stream.View and may keep
-// reusable scratch between runs (see PartitionInto); a single Partitioner
-// value is therefore not safe for concurrent use. Construct one per
-// goroutine - they are cheap, all state is scratch.
+// Partitioners consume the stream as a stream.Source - a sequential,
+// replayable edge stream - so the same algorithm code runs over an
+// in-memory zero-copy view and over a file that is never materialized
+// (package store). They may keep reusable scratch between runs (see
+// PartitionInto); a single Partitioner value is therefore not safe for
+// concurrent use. Construct one per goroutine - they are cheap, all state
+// is scratch.
 package partition
 
 import (
@@ -30,9 +33,9 @@ type Partitioner interface {
 	// the paper grants each competitor its best order (random for the
 	// one-pass heuristics and hashes, BFS for Mint and CLUGP).
 	PreferredOrder() stream.Order
-	// Partition consumes the edge stream (possibly in multiple passes) and
+	// Partition consumes the edge source (possibly in multiple passes) and
 	// returns one partition id per edge, aligned with the stream.
-	Partition(s stream.View, numVertices, k int) ([]int32, error)
+	Partition(src stream.Source, k int) ([]int32, error)
 }
 
 // IntoPartitioner is implemented by partitioners whose hot loop is
@@ -42,9 +45,25 @@ type Partitioner interface {
 // the benchmarks and the suite lean on; Partition remains the convenient
 // one-shot form.
 type IntoPartitioner interface {
-	// PartitionInto partitions the stream into assign, which must have
-	// length s.Len().
-	PartitionInto(s stream.View, numVertices, k int, assign []int32) error
+	// PartitionInto partitions the source into assign, which must have
+	// length src.Len().
+	PartitionInto(src stream.Source, k int, assign []int32) error
+}
+
+// Emit receives one finalized run of assignments in stream order:
+// assign[i] is the partition of edges[i]. Both slices are only valid for
+// the duration of the call.
+type Emit func(edges []graph.Edge, assign []int32) error
+
+// StreamingPartitioner is implemented by partitioners that can deliver
+// their assignment incrementally - the out-of-core mode. PartitionStream
+// partitions the source and hands each finalized run of assignments to
+// emit in stream order without ever materializing the full O(|E|)
+// assignment, so peak memory is the algorithm's own state (O(|V|) tables
+// for CLUGP, the replica bitsets for the heuristics, O(batch) for Mint)
+// plus one block buffer.
+type StreamingPartitioner interface {
+	PartitionStream(src stream.Source, k int, emit Emit) error
 }
 
 // StateSizer is implemented by partitioners that can report the peak size
@@ -63,9 +82,11 @@ type Result struct {
 	Order       stream.Order
 	K           int
 	NumVertices int
-	// Stream is the ordered edge stream that was partitioned; Assign is
-	// aligned with it (Assign[i] is the partition of Stream.At(i)).
-	Stream     stream.View
+	// Stream is the ordered edge source that was partitioned; Assign is
+	// aligned with it (Assign[i] is the partition of the i-th streamed
+	// edge). Assign is nil for out-of-core runs (RunOutOfCore), whose
+	// assignments exist only transiently in the Emit callback.
+	Stream     stream.Source
 	Assign     []int32
 	Quality    *metrics.Quality
 	Runtime    time.Duration
@@ -83,7 +104,7 @@ func Run(p Partitioner, g *graph.Graph, k int, seed uint64) (*Result, error) {
 		return nil, fmt.Errorf("partition: %w", err)
 	}
 	order := p.PreferredOrder()
-	return RunStreamed(p, stream.NewView(g, order, seed), order, g.NumVertices, k)
+	return RunStreamed(p, stream.NewView(g, order, seed).Source(g.NumVertices), order, k)
 }
 
 // RunCached is Run with the stream order served from c, so repeated runs
@@ -101,26 +122,27 @@ func RunCached(p Partitioner, g *graph.Graph, k int, seed uint64, c *stream.Cach
 		return nil, fmt.Errorf("partition: %w", err)
 	}
 	order := p.PreferredOrder()
-	return RunStreamed(p, c.View(g, order, seed), order, g.NumVertices, k)
+	return RunStreamed(p, c.View(g, order, seed).Source(g.NumVertices), order, k)
 }
 
-// RunStreamed partitions an already-ordered edge stream, timing the
-// partitioning pass(es) and evaluating quality. order records how the view
-// was produced; it is bookkeeping only and does not reorder anything.
-func RunStreamed(p Partitioner, s stream.View, order stream.Order, numVertices, k int) (*Result, error) {
+// RunStreamed partitions an already-ordered edge source, timing the
+// partitioning pass(es) and evaluating quality. order records how the
+// stream was produced; it is bookkeeping only and does not reorder
+// anything.
+func RunStreamed(p Partitioner, src stream.Source, order stream.Order, k int) (*Result, error) {
 	if k < 1 {
 		return nil, fmt.Errorf("partition: k must be >= 1, got %d", k)
 	}
 	start := time.Now()
-	assign, err := p.Partition(s, numVertices, k)
+	assign, err := p.Partition(src, k)
 	elapsed := time.Since(start)
 	if err != nil {
 		return nil, fmt.Errorf("partition: %s: %w", p.Name(), err)
 	}
-	if len(assign) != s.Len() {
-		return nil, fmt.Errorf("partition: %s returned %d assignments for %d edges", p.Name(), len(assign), s.Len())
+	if len(assign) != src.Len() {
+		return nil, fmt.Errorf("partition: %s returned %d assignments for %d edges", p.Name(), len(assign), src.Len())
 	}
-	q, err := metrics.Evaluate(s, assign, numVertices, k)
+	q, err := metrics.Evaluate(src, assign, k)
 	if err != nil {
 		return nil, fmt.Errorf("partition: %s: %w", p.Name(), err)
 	}
@@ -128,37 +150,143 @@ func RunStreamed(p Partitioner, s stream.View, order stream.Order, numVertices, 
 		Algorithm:   p.Name(),
 		Order:       order,
 		K:           k,
-		NumVertices: numVertices,
-		Stream:      s,
+		NumVertices: src.NumVertices(),
+		Stream:      src,
 		Assign:      assign,
 		Quality:     q,
 		Runtime:     elapsed,
 	}
-	if s2, ok := p.(StateSizer); ok {
-		res.StateBytes = s2.StateBytes(numVertices, s.Len(), k)
+	if sz, ok := p.(StateSizer); ok {
+		res.StateBytes = sz.StateBytes(src.NumVertices(), src.Len(), k)
 	}
 	return res, nil
 }
 
+// RunOutOfCore partitions a source in its stored (natural) order without
+// materializing the assignment: each finalized run of assignments is scored
+// incrementally and forwarded to emit (which may be nil to discard them,
+// e.g. when only quality is wanted). Peak memory is the partitioner's own
+// state plus one block, never O(|E|) - the bounded-memory mode behind
+// cmd/clugp -stream. The partitioner must implement StreamingPartitioner
+// (every algorithm in this package does).
+//
+// Because quality accounting happens inside the single pass, Runtime
+// includes it, unlike the in-memory runners which evaluate after the
+// timed pass.
+func RunOutOfCore(p Partitioner, src stream.Source, k int, emit Emit) (*Result, error) {
+	if k < 1 {
+		return nil, fmt.Errorf("partition: k must be >= 1, got %d", k)
+	}
+	sp, ok := p.(StreamingPartitioner)
+	if !ok {
+		return nil, fmt.Errorf("partition: %s cannot stream its assignment (no StreamingPartitioner)", p.Name())
+	}
+	var ev metrics.Evaluator
+	ev.Begin(src.NumVertices(), k)
+	start := time.Now()
+	err := sp.PartitionStream(src, k, func(edges []graph.Edge, assign []int32) error {
+		if err := ev.Observe(edges, assign); err != nil {
+			return err
+		}
+		if emit != nil {
+			return emit(edges, assign)
+		}
+		return nil
+	})
+	elapsed := time.Since(start)
+	if err != nil {
+		return nil, fmt.Errorf("partition: %s: %w", p.Name(), err)
+	}
+	res := &Result{
+		Algorithm:   p.Name(),
+		Order:       stream.Natural,
+		K:           k,
+		NumVertices: src.NumVertices(),
+		Stream:      src,
+		Quality:     ev.Finish(),
+		Runtime:     elapsed,
+	}
+	if sz, ok := p.(StateSizer); ok {
+		res.StateBytes = sz.StateBytes(src.NumVertices(), src.Len(), k)
+	}
+	return res, nil
+}
+
+// assignSink hands a partitioner output space for finalized assignment
+// runs and routes them to their destination. In materialized mode (assign
+// set) grab returns windows of the caller's slice, so writing assignments
+// costs nothing extra; in emit mode grab returns a reused scratch block and
+// commit forwards it, so nothing O(|E|) ever exists. Algorithms may mutate
+// a grabbed slice freely until they commit it (Mint's best-response rounds
+// rewrite the batch in place).
+type assignSink struct {
+	assign  []int32
+	scratch []int32
+	emit    Emit
+	pos     int
+}
+
+func (s *assignSink) grab(n int) []int32 {
+	if s.assign != nil {
+		return s.assign[s.pos : s.pos+n]
+	}
+	if cap(s.scratch) < n {
+		s.scratch = make([]int32, n)
+	}
+	return s.scratch[:n]
+}
+
+func (s *assignSink) commit(edges []graph.Edge, out []int32) error {
+	s.pos += len(out)
+	if s.emit != nil {
+		return s.emit(edges, out)
+	}
+	return nil
+}
+
+// sinkRunner is the internal shape every partitioner in this package
+// implements: one run over the source delivering assignments through the
+// sink. PartitionInto and PartitionStream are both thin wrappers over it.
+type sinkRunner interface {
+	run(src stream.Source, k int, sink *assignSink) error
+}
+
 // partitionVia implements the one-shot Partition in terms of an
 // allocation-free PartitionInto.
-func partitionVia(p IntoPartitioner, s stream.View, numVertices, k int) ([]int32, error) {
-	assign := make([]int32, s.Len())
-	if err := p.PartitionInto(s, numVertices, k, assign); err != nil {
+func partitionVia(p IntoPartitioner, src stream.Source, k int) ([]int32, error) {
+	assign := make([]int32, src.Len())
+	if err := p.PartitionInto(src, k, assign); err != nil {
 		return nil, err
 	}
 	return assign, nil
 }
 
-// checkInto validates the common PartitionInto preconditions.
-func checkInto(s stream.View, k int, assign []int32) error {
+// streamVia implements PartitionStream in terms of the sink runner.
+// (PartitionInto is written out concretely in each algorithm instead of
+// through this interface: a concrete call chain lets the per-run sink stay
+// on the stack, preserving the zero-allocation repeated-run contract.)
+func streamVia(p sinkRunner, src stream.Source, k int, emit Emit) error {
 	if k < 1 {
 		return fmt.Errorf("partition: k must be >= 1, got %d", k)
 	}
-	if len(assign) != s.Len() {
-		return fmt.Errorf("partition: assign has length %d, stream has %d edges", len(assign), s.Len())
+	return p.run(src, k, &assignSink{emit: emit})
+}
+
+// checkInto validates the common PartitionInto preconditions.
+func checkInto(src stream.Source, k int, assign []int32) error {
+	if k < 1 {
+		return fmt.Errorf("partition: k must be >= 1, got %d", k)
+	}
+	if len(assign) != src.Len() {
+		return fmt.Errorf("partition: assign has length %d, stream has %d edges", len(assign), src.Len())
 	}
 	return nil
+}
+
+// forEachBlock adapts stream.ForEach for the partitioner loops, which
+// track their own position through the sink and never need the offset.
+func forEachBlock(src stream.Source, fn func(blk []graph.Edge) error) error {
+	return stream.ForEach(src, func(_ int, blk []graph.Edge) error { return fn(blk) })
 }
 
 // leastLoaded returns the partition with the smallest size among candidates

@@ -165,7 +165,7 @@ func TestCLUGPRejectsBadTau(t *testing.T) {
 
 func TestCLUGPEmptyStream(t *testing.T) {
 	p := &CLUGP{}
-	assign, err := p.Partition(stream.View{}, 10, 4)
+	assign, err := p.Partition(stream.View{}.Source(10), 4)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -274,8 +274,11 @@ func TestDBHCutsHighDegreeVertices(t *testing.T) {
 	}
 	deg := make(map[graph.VertexID]int)
 	reps := make(map[graph.VertexID]map[int32]bool)
-	for i, n := 0, res.Stream.Len(); i < n; i++ {
-		e := res.Stream.At(i)
+	edges, err := stream.Collect(res.Stream)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, e := range edges {
 		deg[e.Src]++
 		deg[e.Dst]++
 		for _, v := range []graph.VertexID{e.Src, e.Dst} {
@@ -377,7 +380,7 @@ func TestGreedyUsesIntersection(t *testing.T) {
 	// intersection.
 	edges := []graph.Edge{{Src: 0, Dst: 1}, {Src: 0, Dst: 2}, {Src: 1, Dst: 2}, {Src: 0, Dst: 1}}
 	g := &Greedy{}
-	assign, err := g.Partition(stream.Of(edges), 3, 4)
+	assign, err := g.Partition(stream.Of(edges).Source(3), 4)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -93,8 +93,8 @@ func NewReader(r io.Reader) (*Reader, error) {
 	if err != nil {
 		return nil, fmt.Errorf("store: reading edge count: %w", err)
 	}
-	if nv > 1<<32 {
-		return nil, fmt.Errorf("store: vertex count %d exceeds uint32 space", nv)
+	if err := checkCounts(nv, ne); err != nil {
+		return nil, err
 	}
 	return &Reader{br: br, numVertices: int(nv), numEdges: int(ne)}, nil
 }
@@ -135,7 +135,15 @@ func Read(r io.Reader) (*graph.Graph, error) {
 	if err != nil {
 		return nil, err
 	}
-	edges := make([]graph.Edge, 0, sr.NumEdges())
+	// Cap the initial allocation: the declared edge count is untrusted until
+	// the body actually decodes, and a forged multi-billion count must not
+	// translate into a giant up-front allocation. Real counts beyond the cap
+	// just grow by appending.
+	capHint := sr.NumEdges()
+	if capHint > 1<<20 {
+		capHint = 1 << 20
+	}
+	edges := make([]graph.Edge, 0, capHint)
 	for {
 		e, err := sr.Next()
 		if err == io.EOF {

@@ -3,7 +3,10 @@ package store
 import (
 	"bufio"
 	"bytes"
+	"encoding/binary"
 	"io"
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 	"testing/quick"
@@ -153,6 +156,115 @@ func TestEmptyGraph(t *testing.T) {
 	}
 	if back.NumVertices != 5 || back.NumEdges() != 0 {
 		t.Fatalf("empty graph mangled: %d/%d", back.NumVertices, back.NumEdges())
+	}
+}
+
+// TestRoundTripAdversarial pins the format on the shapes most likely to
+// break a delta codec: ids at the top of the int32 range (giant positive
+// and negative gaps), self-loops (zero dst gap), a single vertex, an empty
+// graph, and sawtooth source jumps.
+func TestRoundTripAdversarial(t *testing.T) {
+	const maxID = 1<<31 - 1 // math.MaxInt32, a valid VertexID
+	cases := map[string]*graph.Graph{
+		"empty":         graph.New(3, nil),
+		"no-vertices":   graph.New(0, nil),
+		"single-vertex": graph.New(1, nil),
+		"self-loop":     graph.New(1, []graph.Edge{{Src: 0, Dst: 0}}),
+		"max-int32-ids": graph.New(maxID+1, []graph.Edge{
+			{Src: maxID, Dst: 0},
+			{Src: 0, Dst: maxID},
+			{Src: maxID, Dst: maxID},
+			{Src: maxID - 1, Dst: 1},
+		}),
+		"sawtooth": graph.New(1000, []graph.Edge{
+			{Src: 999, Dst: 0}, {Src: 0, Dst: 999}, {Src: 500, Dst: 500},
+			{Src: 999, Dst: 999}, {Src: 0, Dst: 0},
+		}),
+		"duplicates": graph.New(2, []graph.Edge{
+			{Src: 0, Dst: 1}, {Src: 0, Dst: 1}, {Src: 0, Dst: 1},
+		}),
+	}
+	for name, g := range cases {
+		var buf bytes.Buffer
+		if err := Write(&buf, g); err != nil {
+			t.Fatalf("%s: write: %v", name, err)
+		}
+		back, err := Read(bytes.NewReader(buf.Bytes()))
+		if err != nil {
+			t.Fatalf("%s: read: %v", name, err)
+		}
+		if back.NumVertices != g.NumVertices || back.NumEdges() != g.NumEdges() {
+			t.Fatalf("%s: shape %d/%d, want %d/%d", name, back.NumVertices, back.NumEdges(), g.NumVertices, g.NumEdges())
+		}
+		for i := range g.Edges {
+			if back.Edges[i] != g.Edges[i] {
+				t.Fatalf("%s: edge %d changed: %v vs %v", name, i, back.Edges[i], g.Edges[i])
+			}
+		}
+	}
+}
+
+// header hand-crafts a CGR header with arbitrary declared counts.
+func header(nv, ne uint64) []byte {
+	buf := append([]byte{}, magic[:]...)
+	var tmp [binary.MaxVarintLen64]byte
+	buf = append(buf, tmp[:binary.PutUvarint(tmp[:], nv)]...)
+	buf = append(buf, tmp[:binary.PutUvarint(tmp[:], ne)]...)
+	return buf
+}
+
+// TestImplausibleHeaderRejected: a forged edge or vertex count must be
+// rejected (or fail cleanly at EOF) without sizing anything from it - the
+// declared count reaches make() before a single edge is decoded.
+func TestImplausibleHeaderRejected(t *testing.T) {
+	// Declared counts beyond any physical file: rejected at the header.
+	if _, err := Read(bytes.NewReader(header(4, 1<<60))); err == nil {
+		t.Fatal("2^60 declared edges accepted")
+	}
+	if _, err := Read(bytes.NewReader(header(1<<40, 0))); err == nil {
+		t.Fatal("2^40 declared vertices accepted")
+	}
+	// Large-but-plausible count with no body: must fail at EOF, not OOM on
+	// the preallocation.
+	if _, err := Read(bytes.NewReader(header(4, 1<<40))); err == nil {
+		t.Fatal("truncated 2^40-edge body accepted")
+	}
+	// The streaming source applies the same guards.
+	path := filepath.Join(t.TempDir(), "forged.cgr")
+	if err := os.WriteFile(path, header(4, 1<<60), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Open(path); err == nil {
+		t.Fatal("streaming source accepted a forged header")
+	}
+}
+
+// TestVarintOverflowRejected: a delta whose varint encoding overflows 64
+// bits (or lands an id outside [0, numVertices)) must surface as an error,
+// never as a negative or wrapped vertex id.
+func TestVarintOverflowRejected(t *testing.T) {
+	overflow := bytes.Repeat([]byte{0x80}, 10) // 10 continuation bytes: > 64 bits
+	overflow = append(overflow, 0x02)
+	body := append(header(4, 1), overflow...)
+	body = append(body, 0x00) // dst delta, never reached
+	if _, err := Read(bytes.NewReader(body)); err == nil {
+		t.Fatal("overflowing varint accepted")
+	}
+	// Maximum negative delta from src 0: wraps far below zero and must be
+	// caught by the range guard.
+	var tmp [binary.MaxVarintLen64]byte
+	neg := tmp[:binary.PutVarint(tmp[:], -(1<<62))]
+	body = append(header(4, 1), neg...)
+	body = append(body, 0x00)
+	if _, err := Read(bytes.NewReader(body)); err == nil {
+		t.Fatal("negative vertex id accepted")
+	}
+	// Maximum positive delta: beyond numVertices, range-guarded too.
+	pos := tmp[:binary.PutVarint(tmp[:], 1<<62)]
+	body = append(header(4, 1), pos...)
+	body = append(body, 0x00)
+	if _, err := Read(bytes.NewReader(body)); err == nil {
+		t.Fatal("out-of-range vertex id accepted")
 	}
 }
 

@@ -9,10 +9,16 @@
 // Orders are represented as permutation Views over the graph's own edge
 // slice rather than reordered copies: a View is the base slice plus an
 // optional []int32 permutation, so materializing an order costs 4 bytes per
-// edge instead of 8 and replaying a stream copies nothing. Every consumer in
-// the repository (the partitioners, the CLUGP passes, the quality metrics)
-// iterates a View by index, which also makes the shared, cached orders
-// structurally immutable: a View hands out edge values, never slice access.
+// edge instead of 8 and replaying a stream copies nothing. Shared, cached
+// orders are structurally immutable: a View hands out edge values, never
+// slice access.
+//
+// Consumers do not take Views directly: every per-edge loop in the
+// repository (the partitioners, the CLUGP passes, the quality metrics)
+// consumes the Source interface - a sequential, replayable edge stream
+// delivered in blocks - for which View.Source is the trivially-satisfying
+// in-memory adapter and package store provides the file-backed, out-of-core
+// implementation.
 package stream
 
 import (
