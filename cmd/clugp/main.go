@@ -8,8 +8,14 @@
 //	clugp -in graph.txt -k 64 -algo HDRF
 //	clugp -preset IT -k 128 -algo CLUGP -tau 1.05 -assign out.txt
 //	clugp -in graph.cgr -stream -k 32              # out-of-core: O(|V|) heap
+//	clugp -in graph.cgr -stream -backend file      # seek-based source instead of mmap
+//	clugp -in old.cgr -recompress new.cgr          # rewrite as CGR2 (-format cgr1 for v1)
 //
-// With -stream the input must be a .cgr file (see cmd/genweb -binary);
+// With -stream the input must be a .cgr file (see cmd/genweb -binary),
+// CGR1 or CGR2 - the header says which; -backend picks the source: mmap
+// (default; the file is mapped once, repeat passes run at page-cache speed
+// with a portable read-at fallback) or file (seek-based, one handle per
+// segment);
 // it is partitioned in its stored (crawl) order without ever loading the
 // edge list: the partitioner re-streams the file for each pass and the
 // assignment is written (or discarded) as it is produced, so peak heap is
@@ -46,10 +52,26 @@ func main() {
 		out     = flag.String("assign", "", "write per-edge partition assignment to this file")
 		trace   = flag.Bool("trace", false, "print CLUGP per-pass diagnostics and peak heap")
 		streamF = flag.Bool("stream", false, "out-of-core mode: partition a .cgr file without loading it")
+		backend = flag.String("backend", "mmap", "file source backend for -stream: mmap or file")
+		recomp  = flag.String("recompress", "", "write the loaded graph back out compressed to this file, then exit")
+		formatF = flag.String("format", "cgr2", "compressed format for -recompress: cgr1 or cgr2")
 	)
 	flag.Parse()
 
-	heap := newHeapWatermark()
+	if *recomp != "" {
+		if err := recompress(*in, *preset, *scale, *recomp, *formatF); err != nil {
+			fail(err)
+		}
+		return
+	}
+
+	// Heap watermarking exists for the -trace report only; sampling costs
+	// periodic ReadMemStats pauses, so untraced runs skip it entirely (a
+	// nil watermark's watch is a no-op).
+	var heap *heapWatermark
+	if *trace {
+		heap = newHeapWatermark()
+	}
 
 	p, err := buildPartitioner(*algo, *seed, *tau, *weight, *batch, *thr)
 	if err != nil {
@@ -58,7 +80,7 @@ func main() {
 
 	var res *repro.PartitionResult
 	if *streamF {
-		res, err = runStreaming(p, *in, *k, *out, heap)
+		res, err = runStreaming(p, *in, *k, *out, *backend, heap)
 	} else {
 		res, err = runInMemory(p, *in, *preset, *scale, *k, *seed, *out, heap)
 	}
@@ -130,16 +152,33 @@ func runInMemory(p repro.Partitioner, in, preset string, scale float64, k int, s
 
 // runStreaming is the out-of-core path: the .cgr file is the stream; the
 // assignment is emitted as it is produced and never materialized.
-func runStreaming(p repro.Partitioner, in string, k int, out string, heap *heapWatermark) (*repro.PartitionResult, error) {
+func runStreaming(p repro.Partitioner, in string, k int, out, backend string, heap *heapWatermark) (*repro.PartitionResult, error) {
 	if in == "" {
 		return nil, fmt.Errorf("-stream needs -in FILE.cgr")
 	}
-	src, err := repro.OpenCompressed(in)
+	var src repro.GraphFile
+	var err error
+	var mode string
+	switch backend {
+	case "mmap":
+		m, merr := repro.OpenCompressedMmap(in)
+		src, err = m, merr
+		mode = "mmap"
+		if merr == nil && !m.Mapped() {
+			mode = "read-at fallback"
+		}
+	case "file":
+		src, err = repro.OpenCompressedFile(in)
+		mode = "file"
+	default:
+		return nil, fmt.Errorf("unknown -backend %q (want mmap or file)", backend)
+	}
 	if err != nil {
 		return nil, fmt.Errorf("-stream needs a compressed .cgr input: %w", err)
 	}
 	defer src.Close()
-	fmt.Printf("graph: %d vertices, %d edges (streaming from %s)\n", src.NumVertices(), src.Len(), in)
+	fmt.Printf("graph: %d vertices, %d edges (streaming %s from %s, %s backend, %.2f bytes/edge)\n",
+		src.NumVertices(), src.Len(), src.Format(), in, mode, bytesPerEdge(src.SizeBytes(), src.Len()))
 
 	var w *bufio.Writer
 	var f *os.File
@@ -198,13 +237,53 @@ func load(in, preset string, scale float64) (*repro.Graph, error) {
 		return nil, err
 	}
 	defer f.Close()
-	// Auto-detect the binary format by its magic; fall back to text.
+	// Auto-detect the binary formats by their magic; fall back to text.
 	br := bufio.NewReaderSize(f, 1<<16)
 	head, err := br.Peek(4)
-	if err == nil && string(head) == "CGR1" {
+	if err == nil && repro.SniffCompressed(head) {
 		return repro.ReadCompressed(br)
 	}
 	return repro.ReadEdgeList(br)
+}
+
+// recompress loads a graph (text or either binary format, or a preset) and
+// writes it back compressed in the requested format - the CGR1 -> CGR2
+// migration path for existing files.
+func recompress(in, preset string, scale float64, out, format string) error {
+	f, err := repro.ParseCompressedFormat(format)
+	if err != nil {
+		return err
+	}
+	g, err := load(in, preset, scale)
+	if err != nil {
+		return err
+	}
+	w, err := os.Create(out)
+	if err != nil {
+		return err
+	}
+	if err := repro.WriteCompressedFormat(w, g, f); err != nil {
+		w.Close()
+		return err
+	}
+	if err := w.Close(); err != nil {
+		return err
+	}
+	fi, err := os.Stat(out)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s: %s, %d vertices, %d edges, %.2f bytes/edge\n",
+		out, f, g.NumVertices, g.NumEdges(), bytesPerEdge(fi.Size(), g.NumEdges()))
+	return nil
+}
+
+// bytesPerEdge guards the empty-graph division.
+func bytesPerEdge(size int64, edges int) float64 {
+	if edges == 0 {
+		return 0
+	}
+	return float64(size) / float64(edges)
 }
 
 // writeAssign emits "src dst partition" lines aligned with the stream order
@@ -270,8 +349,12 @@ func (h *heapWatermark) sample() {
 
 // watch samples the heap on a ticker until the returned stop function is
 // called. Only the sampler goroutine touches peak while watching; stop
-// joins it before the caller reads the result.
+// joins it before the caller reads the result. A nil watermark (untraced
+// run) watches nothing.
 func (h *heapWatermark) watch() (stop func()) {
+	if h == nil {
+		return func() {}
+	}
 	done := make(chan struct{})
 	joined := make(chan struct{})
 	go func() {

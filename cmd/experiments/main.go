@@ -44,6 +44,7 @@ func main() {
 		name     = flag.String("name", "suite", "experiment name for the JSON report filename")
 		seeds    = flag.Int("seeds", 1, "number of seed replicates per suite cell (seed, seed+1, ...)")
 		rtol     = flag.Float64("rtol", 0, "runtime regression tolerance for -baseline (0 = default 0.5; CI on unmatched hardware should raise it)")
+		streamC  = flag.Bool("streamcells", true, "measure the out-of-core streaming grid (backend x format: bytes/edge, decode, streaming CLUGP) in suite mode")
 		algoList = flag.String("algos", "", "comma-separated algorithms for the suite (default: the paper's six)")
 		dsList   = flag.String("datasets", "", "comma-separated datasets for the suite (default: all five)")
 		ksList   = flag.String("ks", "", "comma-separated partition counts for the suite (default: 4..256)")
@@ -60,10 +61,10 @@ func main() {
 			fmt.Fprintln(os.Stderr, "experiments: -json/-baseline run the benchmark suite and cannot be combined with -fig or -all")
 			os.Exit(2)
 		}
-		runSuite(*name, *scale, *seed, *seeds, *workers, *algoList, *dsList, *ksList, *jsonOut, *baseline, *quiet, *rtol)
+		runSuite(*name, *scale, *seed, *seeds, *workers, *algoList, *dsList, *ksList, *jsonOut, *baseline, *quiet, *rtol, *streamC)
 		return
 	}
-	for _, suiteOnly := range []string{"workers", "seeds", "name", "algos", "datasets", "ks", "rtol"} {
+	for _, suiteOnly := range []string{"workers", "seeds", "name", "algos", "datasets", "ks", "rtol", "streamcells"} {
 		if set[suiteOnly] {
 			fmt.Fprintf(os.Stderr, "experiments: warning: -%s only applies to suite mode (-json/-baseline) and is ignored here\n", suiteOnly)
 		}
@@ -104,12 +105,13 @@ func main() {
 
 // runSuite executes the benchmark grid, optionally writes the JSON report,
 // and optionally diffs it against a baseline (exit 2 on regression).
-func runSuite(name string, scale float64, seed uint64, seeds, workers int, algoList, dsList, ksList string, writeJSON bool, baseline string, quiet bool, rtol float64) {
+func runSuite(name string, scale float64, seed uint64, seeds, workers int, algoList, dsList, ksList string, writeJSON bool, baseline string, quiet bool, rtol float64, streamCells bool) {
 	cfg := repro.SuiteConfig{
 		Scale:      scale,
 		Workers:    workers,
 		Algorithms: splitList(algoList),
 		Datasets:   splitList(dsList),
+		Streaming:  streamCells,
 	}
 	if !quiet {
 		cfg.Progress = os.Stderr

@@ -7,6 +7,8 @@
 //	genweb -preset UK -scale 1.0 -out uk.txt
 //	genweb -model web -n 100000 -outdeg 8 -intrasite 0.88 -out web.txt
 //	genweb -model ba -n 50000 -m 16 -out social.txt
+//	genweb -preset UK -binary -out uk.cgr               # CGR2 (default)
+//	genweb -preset UK -binary -format cgr1 -out uk.cgr  # original format
 package main
 
 import (
@@ -32,9 +34,16 @@ func main() {
 		seed      = flag.Uint64("seed", 1, "generator seed")
 		out       = flag.String("out", "", "output file (default stdout)")
 		binary    = flag.Bool("binary", false, "write the gap-compressed binary format instead of text")
+		format    = flag.String("format", "cgr2", "binary format to write: cgr1 or cgr2 (with -binary)")
 		stats     = flag.Bool("stats", false, "print graph statistics to stderr")
 	)
 	flag.Parse()
+
+	bf, err := repro.ParseCompressedFormat(*format)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "genweb:", err)
+		os.Exit(1)
+	}
 
 	g, err := build(*preset, *scale, *model, *n, *outdeg, *intrasite, *sitemean, *copyf, *m, *scalelog, *seed)
 	if err != nil {
@@ -57,7 +66,7 @@ func main() {
 		w = f
 	}
 	if *binary {
-		err = repro.WriteCompressed(w, g)
+		err = repro.WriteCompressedFormat(w, g, bf)
 	} else {
 		err = g.WriteEdgeList(w)
 	}

@@ -36,6 +36,18 @@ func main() {
 	s := repro.ComputeStats(g)
 	fmt.Printf("vertices:        %d\n", s.NumVertices)
 	fmt.Printf("edges:           %d\n", s.NumEdges)
+	// For compressed inputs, report the on-disk encoding so compression
+	// wins (CGR1 vs CGR2) are visible from the CLI.
+	if *in != "" {
+		if f, err := repro.OpenCompressed(*in); err == nil {
+			bpe := 0.0
+			if f.Len() > 0 {
+				bpe = float64(f.SizeBytes()) / float64(f.Len())
+			}
+			fmt.Printf("on-disk format:  %s (%d bytes, %.2f bytes/edge)\n", f.Format(), f.SizeBytes(), bpe)
+			f.Close()
+		}
+	}
 	fmt.Printf("mean degree:     %.2f\n", s.MeanDegree)
 	fmt.Printf("max degree:      %d\n", s.MaxDegree)
 	fmt.Printf("power-law alpha: %.2f (tail fit from degree %d)\n", s.Alpha, max32(s.DMin, 8))
@@ -97,7 +109,7 @@ func load(in, preset string, scale float64) (*repro.Graph, error) {
 	defer f.Close()
 	br := bufio.NewReaderSize(f, 1<<16)
 	head, err := br.Peek(4)
-	if err == nil && string(head) == "CGR1" {
+	if err == nil && repro.SniffCompressed(head) {
 		return repro.ReadCompressed(br)
 	}
 	return repro.ReadEdgeList(br)

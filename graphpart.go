@@ -54,12 +54,40 @@ func NewGraph(n int, edges []Edge) *Graph { return graph.New(n, edges) }
 // ReadEdgeList parses "src dst" lines (comments with '#' or '%').
 func ReadEdgeList(r io.Reader) (*Graph, error) { return graph.ReadEdgeList(r) }
 
+// CompressedFormat identifies an on-disk graph encoding.
+type CompressedFormat = store.Format
+
+const (
+	// FormatCGR1 is the original per-edge gap encoding (~2.5 bytes/edge on
+	// crawl-ordered web graphs).
+	FormatCGR1 = store.FormatCGR1
+	// FormatCGR2 is the run/interval/residual encoding (30-50% fewer
+	// bytes/edge than CGR1 on crawl-ordered web graphs).
+	FormatCGR2 = store.FormatCGR2
+)
+
+// ParseCompressedFormat maps a format name ("cgr1", "cgr2", case-insensitive
+// on the magic spelling) to its CompressedFormat.
+func ParseCompressedFormat(s string) (CompressedFormat, error) { return store.ParseFormat(s) }
+
 // WriteCompressed encodes the graph in the package's gap-compressed binary
-// format (~2 bytes/edge on crawl-ordered web graphs), preserving edge order.
+// format (CGR1), preserving edge order.
 func WriteCompressed(w io.Writer, g *Graph) error { return store.Write(w, g) }
 
-// ReadCompressed decodes a graph written by WriteCompressed.
+// WriteCompressedFormat encodes the graph in the chosen on-disk format.
+// Readers detect the format from the file header, so either decodes
+// transparently everywhere a compressed graph is accepted.
+func WriteCompressedFormat(w io.Writer, g *Graph, f CompressedFormat) error {
+	return store.WriteFormat(w, g, f)
+}
+
+// ReadCompressed decodes a graph written by WriteCompressed or
+// WriteCompressedFormat (either format, detected from the header).
 func ReadCompressed(r io.Reader) (*Graph, error) { return store.Read(r) }
+
+// SniffCompressed reports whether head (at least the first 4 bytes of a
+// file) carries either compressed-format magic.
+func SniffCompressed(head []byte) bool { return store.SniffHeader(head) }
 
 // BuildCSR builds an out-adjacency view.
 func BuildCSR(g *Graph) *CSR { return graph.BuildCSR(g) }
@@ -108,9 +136,21 @@ type StreamSource = stream.Source
 // as independent sources (DistributedCLUGP's sharded ingest).
 type StreamSegmenter = stream.Segmenter
 
-// GraphFile is a compressed graph file opened as a replayable, seekable
-// edge source (see OpenCompressed).
-type GraphFile = store.FileSource
+// GraphFile is a compressed graph file opened as a replayable, segmentable
+// edge source (see OpenCompressed). Both backends satisfy it: the
+// mmap-backed MmapGraphFile and the seek-based FileGraphFile.
+type GraphFile = store.File
+
+// MmapGraphFile is the mmap-backed file source: the file is mapped once,
+// edges decode straight from the mapped bytes, Reset is a pointer rewind
+// and segments share the mapping, so repeat passes run at page-cache
+// speed. Where mapping is unavailable it degrades to a portable read-at
+// mode with the same contract.
+type MmapGraphFile = store.MmapSource
+
+// FileGraphFile is the seek-based file source: a private file handle and
+// read window per handle, segments reopen the file.
+type FileGraphFile = store.FileSource
 
 const (
 	// OrderNatural preserves generation order.
@@ -150,12 +190,21 @@ func ForEachStreamed(src StreamSource, fn func(off int, edges []Edge) error) err
 	return stream.ForEach(src, fn)
 }
 
-// OpenCompressed opens a graph written by WriteCompressed as a replayable
-// edge source: edges decode on demand into a small reused buffer, Reset
-// seeks back to the first edge, and contiguous segments open independently
-// (each with its own file handle) for sharded ingest. This is the
-// out-of-core entry point: the graph is never materialized.
-func OpenCompressed(path string) (*GraphFile, error) { return store.Open(path) }
+// OpenCompressed opens a graph written by WriteCompressed (either format)
+// as a replayable edge source with the fastest available backend: the file
+// is mapped once and edges decode straight from the mapped bytes, so Reset
+// and Segment are free and the OS page cache serves repeat passes. This is
+// the out-of-core entry point: the graph is never materialized.
+func OpenCompressed(path string) (GraphFile, error) { return store.OpenAuto(path) }
+
+// OpenCompressedMmap opens the mmap-backed source explicitly (with its
+// portable read-at fallback); OpenCompressedFile opens the seek-based
+// FileSource backend. OpenCompressed picks for you.
+func OpenCompressedMmap(path string) (*MmapGraphFile, error) { return store.OpenMmap(path) }
+
+// OpenCompressedFile opens the seek-based backend: one private file handle
+// and read window per handle, segments reopen the file.
+func OpenCompressedFile(path string) (*FileGraphFile, error) { return store.Open(path) }
 
 // Partitioners.
 type (

@@ -77,6 +77,9 @@ type Report struct {
 	// Cells holds one entry per grid point, in deterministic
 	// dataset-major, algorithm, k, seed order.
 	Cells []Cell `json:"cells"`
+	// StreamCells holds the out-of-core streaming grid (dataset x backend
+	// x on-disk format), when the suite ran with Streaming enabled.
+	StreamCells []StreamCell `json:"stream_cells,omitempty"`
 }
 
 // Filename is the canonical on-disk name for the report.
@@ -169,6 +172,23 @@ func (r *Report) Table() []Table {
 		}
 		tables = append(tables, t)
 	}
+	if len(r.StreamCells) > 0 {
+		t := Table{
+			ID:     fmt.Sprintf("%s-streaming", r.Experiment),
+			Title:  fmt.Sprintf("Out-of-core streaming (scale %.2f, CLUGP k=%d)", r.Scale, streamK),
+			Header: []string{"dataset", "backend", "format", "B/edge", "decode(ms)", "Medges/s", "clugp(ms)", "RF"},
+			Note:   "decode = one warm full pass (stream.Drain); clugp = three restreaming passes, assignment discarded as emitted",
+		}
+		for _, c := range r.StreamCells {
+			t.AddRow(c.Dataset, c.Backend, c.Format,
+				fmt.Sprintf("%.2f", c.BytesPerEdge),
+				fmt.Sprintf("%.1f", float64(c.DecodeNS)/1e6),
+				fmt.Sprintf("%.1f", c.DecodeMEdgesPerSec),
+				fmt.Sprintf("%.1f", float64(c.PartitionNS)/1e6),
+				f3(c.ReplicationFactor))
+		}
+		tables = append(tables, t)
+	}
 	return tables
 }
 
@@ -252,6 +272,9 @@ type DiffResult struct {
 	// their MemStats deltas, so counts are not attributable) or the
 	// baseline predates allocation recording.
 	AllocSkipped string `json:"alloc_skipped,omitempty"`
+	// StreamSkipped is non-empty when the streaming grid was not compared
+	// (either report lacks stream cells).
+	StreamSkipped string `json:"stream_skipped,omitempty"`
 	// OnlyBaseline and OnlyCurrent list cells without a counterpart.
 	OnlyBaseline []string `json:"only_baseline,omitempty"`
 	OnlyCurrent  []string `json:"only_current,omitempty"`
@@ -338,9 +361,63 @@ func Diff(baseline, current *Report, opts DiffOptions) *DiffResult {
 			d.OnlyBaseline = append(d.OnlyBaseline, c.ID())
 		}
 	}
+	d.diffStreamCells(baseline, current, opts)
 	sort.Slice(d.Regressions, func(i, j int) bool { return d.Regressions[i].Relative > d.Regressions[j].Relative })
 	sort.Slice(d.Improvements, func(i, j int) bool { return d.Improvements[i].Relative < d.Improvements[j].Relative })
 	return d
+}
+
+// diffStreamCells joins the streaming grids. Bytes/edge is a deterministic
+// function of the encoder and is gated exactly like a quality metric - any
+// growth is a compression regression; decode and partition wall clocks use
+// the runtime tolerance (and are skipped under the same scheduling
+// conditions as cell runtimes).
+func (d *DiffResult) diffStreamCells(baseline, current *Report, opts DiffOptions) {
+	switch {
+	case len(baseline.StreamCells) == 0 && len(current.StreamCells) == 0:
+		return
+	case len(baseline.StreamCells) == 0:
+		d.StreamSkipped = "baseline has no stream cells"
+		return
+	case len(current.StreamCells) == 0:
+		d.StreamSkipped = "current report has no stream cells"
+		return
+	}
+	base := make(map[string]StreamCell, len(baseline.StreamCells))
+	for _, c := range baseline.StreamCells {
+		base[c.ID()] = c
+	}
+	seen := make(map[string]bool, len(current.StreamCells))
+	for _, cur := range current.StreamCells {
+		id := cur.ID()
+		seen[id] = true
+		old, ok := base[id]
+		if !ok {
+			d.OnlyCurrent = append(d.OnlyCurrent, id)
+			continue
+		}
+		d.Matched++
+		if old.Vertices != cur.Vertices || old.Edges != cur.Edges {
+			d.Incomparable = append(d.Incomparable, id)
+			continue
+		}
+		d.classify(id, "bytes_per_edge", old.BytesPerEdge, cur.BytesPerEdge, opts.QualityTolerance)
+		d.classify(id, "replication_factor", old.ReplicationFactor, cur.ReplicationFactor, opts.QualityTolerance)
+		d.classify(id, "relative_balance", old.RelativeBalance, cur.RelativeBalance, opts.QualityTolerance)
+		if d.RuntimeSkipped == "" {
+			if abs64(cur.DecodeNS-old.DecodeNS) >= opts.RuntimeFloorNS {
+				d.classify(id, "decode", float64(old.DecodeNS), float64(cur.DecodeNS), opts.RuntimeTolerance)
+			}
+			if abs64(cur.PartitionNS-old.PartitionNS) >= opts.RuntimeFloorNS {
+				d.classify(id, "partition", float64(old.PartitionNS), float64(cur.PartitionNS), opts.RuntimeTolerance)
+			}
+		}
+	}
+	for _, c := range baseline.StreamCells {
+		if !seen[c.ID()] {
+			d.OnlyBaseline = append(d.OnlyBaseline, c.ID())
+		}
+	}
 }
 
 func abs64(x int64) int64 {
@@ -382,7 +459,7 @@ func (d *DiffResult) Table() Table {
 	row := func(status string, dl Delta) {
 		fmtVal := func(v float64) string {
 			switch dl.Metric {
-			case "runtime":
+			case "runtime", "decode", "partition":
 				return fmt.Sprintf("%.1fms", v/1e6)
 			case "allocs", "alloc_bytes":
 				return fmt.Sprintf("%.0f", v)
@@ -410,6 +487,9 @@ func (d *DiffResult) Table() Table {
 	}
 	if d.AllocSkipped != "" {
 		notes = append(notes, "allocations not compared: "+d.AllocSkipped)
+	}
+	if d.StreamSkipped != "" {
+		notes = append(notes, "stream cells not compared: "+d.StreamSkipped)
 	}
 	if n := len(d.OnlyBaseline) + len(d.OnlyCurrent); n > 0 {
 		notes = append(notes, fmt.Sprintf("%d cells without a counterpart (grid changed): baseline-only %d, current-only %d",

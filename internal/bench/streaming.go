@@ -1,0 +1,186 @@
+package bench
+
+import (
+	"fmt"
+	"math"
+	"os"
+	"path/filepath"
+	"time"
+
+	"repro/internal/graph"
+	"repro/internal/partition"
+	"repro/internal/store"
+	"repro/internal/stream"
+)
+
+// StreamCell is one grid point of the out-of-core streaming benchmark: one
+// dataset encoded in one on-disk format, streamed through one source
+// backend. It captures the two numbers the compression and mmap work
+// attack - on-disk bytes/edge and decode throughput - plus the wall clock
+// of a full streaming CLUGP run (three restreaming passes over the file),
+// which is where bytes-decoded-per-pass actually bites.
+type StreamCell struct {
+	Dataset string `json:"dataset"`
+	// Backend is the source implementation: "file" (seek-based
+	// store.FileSource) or "mmap" (store.MmapSource).
+	Backend string `json:"backend"`
+	// Format is the on-disk encoding, "CGR1" or "CGR2".
+	Format string `json:"format"`
+	K      int    `json:"k"`
+	Seed   uint64 `json:"seed"`
+	// Vertices and Edges describe the built graph (after scaling).
+	Vertices int `json:"vertices"`
+	Edges    int `json:"edges"`
+	// FileBytes is the encoded file size; BytesPerEdge = FileBytes/Edges.
+	// Both are deterministic functions of the encoder, so Diff gates on
+	// BytesPerEdge exactly: any growth is a compression regression.
+	FileBytes    int64   `json:"file_bytes"`
+	BytesPerEdge float64 `json:"bytes_per_edge"`
+	// DecodeNS is one full page-cache-warm pass over the file with no
+	// consumer (stream.Drain); DecodeMEdgesPerSec is the same number as
+	// throughput. Hardware-dependent, compared with runtime tolerance.
+	DecodeNS           int64   `json:"decode_ns"`
+	DecodeMEdgesPerSec float64 `json:"decode_medges_per_sec"`
+	// PartitionNS is a full out-of-core CLUGP run (three streaming passes,
+	// assignment discarded as emitted).
+	PartitionNS int64 `json:"partition_ns"`
+	// ReplicationFactor and RelativeBalance must be bit-identical across
+	// every backend x format combination of one dataset - the streamed
+	// bytes decode to the same edge stream - and Diff treats them as
+	// quality metrics.
+	ReplicationFactor float64 `json:"replication_factor"`
+	RelativeBalance   float64 `json:"relative_balance"`
+}
+
+// ID names the cell's grid coordinates, the join key for baseline diffs.
+func (c StreamCell) ID() string {
+	return fmt.Sprintf("stream/%s/%s/%s k=%d seed=%d", c.Dataset, c.Backend, c.Format, c.K, c.Seed)
+}
+
+// streamFormats and streamBackends enumerate the streaming grid axes.
+var streamFormats = []store.Format{store.FormatCGR1, store.FormatCGR2}
+
+const streamK = 32
+
+// defaultStreamDatasets are the clustered crawl-ordered graphs where the
+// compression and restreaming story lives (one moderate, one dense).
+var defaultStreamDatasets = []string{"UK", "IT"}
+
+// runStreamCells measures the streaming grid serially (the cells time
+// wall-clock, so they never run concurrently with anything). Graphs are
+// encoded once per format into a temp directory that is removed before
+// returning.
+func runStreamCells(cfg SuiteConfig) ([]StreamCell, error) {
+	datasets := cfg.StreamDatasets
+	if len(datasets) == 0 {
+		datasets = defaultStreamDatasets
+	}
+	seed := cfg.Seeds[0]
+	dir, err := os.MkdirTemp("", "bench-stream-*")
+	if err != nil {
+		return nil, err
+	}
+	defer os.RemoveAll(dir)
+
+	var cells []StreamCell
+	for _, name := range datasets {
+		ds, err := DatasetByName(name)
+		if err != nil {
+			return nil, fmt.Errorf("bench: stream cells: %w", err)
+		}
+		g := ds.Build(cfg.Scale)
+		suiteLogf(cfg, "stream: built %s (%d vertices, %d edges)", name, g.NumVertices, g.NumEdges())
+		// Quality must agree across every combination of one dataset; the
+		// first cell pins the reference.
+		refRF := math.NaN()
+		for _, format := range streamFormats {
+			path := filepath.Join(dir, fmt.Sprintf("%s.%s.cgr", name, format))
+			if err := writeEncoded(path, g, format); err != nil {
+				return nil, err
+			}
+			for _, backend := range []string{"file", "mmap"} {
+				cell, err := runStreamCell(name, path, backend, format, g, seed)
+				if err != nil {
+					return nil, fmt.Errorf("bench: stream cell %s/%s/%s: %w", name, backend, format, err)
+				}
+				if math.IsNaN(refRF) {
+					refRF = cell.ReplicationFactor
+				} else if cell.ReplicationFactor != refRF {
+					return nil, fmt.Errorf("bench: stream cell %s/%s/%s: RF %v diverges from %v (backends must be bit-identical)",
+						name, backend, format, cell.ReplicationFactor, refRF)
+				}
+				cells = append(cells, cell)
+				suiteLogf(cfg, "  stream %-4s %-4s %s  %.2f B/edge  decode %.1f Medges/s  clugp %v",
+					name, backend, format, cell.BytesPerEdge, cell.DecodeMEdgesPerSec,
+					time.Duration(cell.PartitionNS).Round(time.Millisecond))
+			}
+		}
+	}
+	return cells, nil
+}
+
+func writeEncoded(path string, g *graph.Graph, f store.Format) error {
+	w, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := store.WriteFormat(w, g, f); err != nil {
+		w.Close()
+		return err
+	}
+	return w.Close()
+}
+
+func runStreamCell(dataset, path, backend string, format store.Format, g *graph.Graph, seed uint64) (StreamCell, error) {
+	var src store.File
+	var err error
+	if backend == "mmap" {
+		src, err = store.OpenMmap(path)
+	} else {
+		src, err = store.Open(path)
+	}
+	if err != nil {
+		return StreamCell{}, err
+	}
+	defer src.Close()
+
+	// One warm-up pass so the timed pass measures decode over a warm page
+	// cache (the multi-pass regime the backends are built for), then one
+	// timed drain.
+	if _, err := stream.Drain(src); err != nil {
+		return StreamCell{}, err
+	}
+	start := time.Now()
+	n, err := stream.Drain(src)
+	if err != nil {
+		return StreamCell{}, err
+	}
+	decodeNS := time.Since(start).Nanoseconds()
+
+	p, err := partition.New("CLUGP", seed)
+	if err != nil {
+		return StreamCell{}, err
+	}
+	start = time.Now()
+	res, err := partition.RunOutOfCore(p, src, streamK, nil)
+	if err != nil {
+		return StreamCell{}, err
+	}
+	partitionNS := time.Since(start).Nanoseconds()
+
+	cell := StreamCell{
+		Dataset: dataset, Backend: backend, Format: format.String(),
+		K: streamK, Seed: seed,
+		Vertices: g.NumVertices, Edges: g.NumEdges(),
+		FileBytes:         src.SizeBytes(),
+		DecodeNS:          decodeNS,
+		PartitionNS:       partitionNS,
+		ReplicationFactor: res.Quality.ReplicationFactor,
+		RelativeBalance:   res.Quality.RelativeBalance,
+	}
+	if n > 0 {
+		cell.BytesPerEdge = float64(cell.FileBytes) / float64(n)
+		cell.DecodeMEdgesPerSec = float64(n) / 1e6 / (float64(decodeNS) / 1e9)
+	}
+	return cell, nil
+}

@@ -33,6 +33,14 @@ type SuiteConfig struct {
 	// Workers=1 is the serial reference; results are identical (runtimes
 	// aside) for every worker count.
 	Workers int
+	// Streaming additionally measures the out-of-core streaming grid
+	// (source backend x on-disk format: bytes/edge, decode throughput,
+	// streaming CLUGP wall clock) after the main grid. The cells time wall
+	// clock, so they always run serially regardless of Workers.
+	Streaming bool
+	// StreamDatasets selects the datasets of the streaming grid. Empty
+	// means the default clustered pair (UK, IT).
+	StreamDatasets []string
 	// Progress, when non-nil, receives one line per completed cell.
 	Progress io.Writer
 }
@@ -163,6 +171,14 @@ func RunSuiteParallel(cfg SuiteConfig) (*Report, error) {
 			return nil, fmt.Errorf("bench: suite cell %s: %w", jobs[i].algorithm+"/"+jobs[i].dataset, err)
 		}
 	}
+	var streamCells []StreamCell
+	if cfg.Streaming {
+		sc, err := runStreamCells(cfg)
+		if err != nil {
+			return nil, err
+		}
+		streamCells = sc
+	}
 	return &Report{
 		Experiment:        "suite",
 		GoVersion:         runtime.Version(),
@@ -176,6 +192,7 @@ func RunSuiteParallel(cfg SuiteConfig) (*Report, error) {
 		WallTimeNS:        time.Since(start).Nanoseconds(),
 		StreamOrdersBuilt: cache.Builds(),
 		Cells:             cells,
+		StreamCells:       streamCells,
 	}, nil
 }
 

@@ -13,21 +13,48 @@ import (
 	"repro/internal/stream"
 )
 
-// writeCGR writes g to a temp .cgr file and returns its path.
-func writeCGR(t *testing.T, g *graph.Graph) string {
+// writeCGR writes g to a temp file in the given format and returns its path.
+func writeCGRFormat(t *testing.T, g *graph.Graph, format store.Format) string {
 	t.Helper()
 	path := filepath.Join(t.TempDir(), "g.cgr")
 	f, err := os.Create(path)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := store.Write(f, g); err != nil {
+	if err := store.WriteFormat(f, g, format); err != nil {
 		t.Fatal(err)
 	}
 	if err := f.Close(); err != nil {
 		t.Fatal(err)
 	}
 	return path
+}
+
+// writeCGR writes g to a temp .cgr file (CGR1) and returns its path.
+func writeCGR(t *testing.T, g *graph.Graph) string {
+	t.Helper()
+	return writeCGRFormat(t, g, store.FormatCGR1)
+}
+
+// fileBackends enumerates every (backend, format) combination the
+// out-of-core equivalence criterion must hold over.
+type fileBackend struct {
+	name   string
+	format store.Format
+	open   func(path string) (store.File, error)
+}
+
+func fileBackends() []fileBackend {
+	openFile := func(path string) (store.File, error) { return store.Open(path) }
+	openMmap := func(path string) (store.File, error) { return store.OpenMmap(path) }
+	var out []fileBackend
+	for _, f := range []store.Format{store.FormatCGR1, store.FormatCGR2} {
+		out = append(out,
+			fileBackend{"file/" + f.String(), f, openFile},
+			fileBackend{"mmap/" + f.String(), f, openMmap},
+		)
+	}
+	return out
 }
 
 // outOfCorePartitioners is every algorithm the out-of-core path must cover:
@@ -53,59 +80,64 @@ func outOfCorePartitioners(t *testing.T) []Partitioner {
 // streamed through Emit, quality accumulated incrementally - must be
 // bit-identical (assignment, replication factor, balance) to the in-memory
 // natural-order run, for every algorithm including CLUGP-D's sharded
-// ingest, which exercises the file segment readers.
+// ingest (which exercises the segment readers), on every source backend
+// over every on-disk format.
 func TestOutOfCoreMatchesInMemoryNatural(t *testing.T) {
 	g := gen.Web(gen.WebConfig{N: 3000, OutDegree: 6, IntraSite: 0.85, Seed: 31})
-	path := writeCGR(t, g)
 	k := 8
-	for _, p := range outOfCorePartitioners(t) {
-		mem, err := RunStreamed(p, stream.Of(g.Edges).Source(g.NumVertices), stream.Natural, k)
-		if err != nil {
-			t.Fatalf("%s in-memory: %v", p.Name(), err)
-		}
+	for _, fb := range fileBackends() {
+		t.Run(fb.name, func(t *testing.T) {
+			path := writeCGRFormat(t, g, fb.format)
+			for _, p := range outOfCorePartitioners(t) {
+				mem, err := RunStreamed(p, stream.Of(g.Edges).Source(g.NumVertices), stream.Natural, k)
+				if err != nil {
+					t.Fatalf("%s in-memory: %v", p.Name(), err)
+				}
 
-		src, err := store.Open(path)
-		if err != nil {
-			t.Fatal(err)
-		}
-		var streamed []int32
-		ooc, err := RunOutOfCore(p, src, k, func(edges []graph.Edge, assign []int32) error {
-			streamed = append(streamed, assign...)
-			return nil
-		})
-		src.Close()
-		if err != nil {
-			t.Fatalf("%s out-of-core: %v", p.Name(), err)
-		}
+				src, err := fb.open(path)
+				if err != nil {
+					t.Fatal(err)
+				}
+				var streamed []int32
+				ooc, err := RunOutOfCore(p, src, k, func(edges []graph.Edge, assign []int32) error {
+					streamed = append(streamed, assign...)
+					return nil
+				})
+				src.Close()
+				if err != nil {
+					t.Fatalf("%s out-of-core: %v", p.Name(), err)
+				}
 
-		if len(streamed) != len(mem.Assign) {
-			t.Fatalf("%s: emitted %d assignments, want %d", p.Name(), len(streamed), len(mem.Assign))
-		}
-		for i := range streamed {
-			if streamed[i] != mem.Assign[i] {
-				t.Fatalf("%s: out-of-core diverges from in-memory at edge %d (%d vs %d)",
-					p.Name(), i, streamed[i], mem.Assign[i])
+				if len(streamed) != len(mem.Assign) {
+					t.Fatalf("%s: emitted %d assignments, want %d", p.Name(), len(streamed), len(mem.Assign))
+				}
+				for i := range streamed {
+					if streamed[i] != mem.Assign[i] {
+						t.Fatalf("%s: out-of-core diverges from in-memory at edge %d (%d vs %d)",
+							p.Name(), i, streamed[i], mem.Assign[i])
+					}
+				}
+				if ooc.Quality.ReplicationFactor != mem.Quality.ReplicationFactor {
+					t.Fatalf("%s: RF %v != %v", p.Name(), ooc.Quality.ReplicationFactor, mem.Quality.ReplicationFactor)
+				}
+				if ooc.Quality.RelativeBalance != mem.Quality.RelativeBalance {
+					t.Fatalf("%s: balance %v != %v", p.Name(), ooc.Quality.RelativeBalance, mem.Quality.RelativeBalance)
+				}
+				if ooc.Assign != nil {
+					t.Fatalf("%s: out-of-core result materialized its assignment", p.Name())
+				}
 			}
-		}
-		if ooc.Quality.ReplicationFactor != mem.Quality.ReplicationFactor {
-			t.Fatalf("%s: RF %v != %v", p.Name(), ooc.Quality.ReplicationFactor, mem.Quality.ReplicationFactor)
-		}
-		if ooc.Quality.RelativeBalance != mem.Quality.RelativeBalance {
-			t.Fatalf("%s: balance %v != %v", p.Name(), ooc.Quality.RelativeBalance, mem.Quality.RelativeBalance)
-		}
-		if ooc.Assign != nil {
-			t.Fatalf("%s: out-of-core result materialized its assignment", p.Name())
-		}
+		})
 	}
 }
 
 // TestDistributedFileShardingMatchesViewSharding: CLUGP-D's concurrent
-// PartitionInto over file segments (reopen + seek per ingest node) must
-// equal the same run over in-memory view slices, and equal its own
-// sequential streaming mode.
+// PartitionInto over file segments (one private handle per ingest node on
+// the seek backend, one shared mapping on the mmap backend) must equal the
+// same run over in-memory view slices, and equal its own sequential
+// streaming mode - on every backend over every format.
 func TestDistributedFileShardingMatchesViewSharding(t *testing.T) {
 	g := gen.Web(gen.WebConfig{N: 4000, OutDegree: 6, IntraSite: 0.85, Seed: 32})
-	path := writeCGR(t, g)
 	d := &DistributedCLUGP{Nodes: 4, Seed: 7}
 
 	fromView, err := d.Partition(stream.Of(g.Edges).Source(g.NumVertices), 8)
@@ -113,19 +145,23 @@ func TestDistributedFileShardingMatchesViewSharding(t *testing.T) {
 		t.Fatal(err)
 	}
 
-	src, err := store.Open(path)
-	if err != nil {
-		t.Fatal(err)
-	}
-	defer src.Close()
-	fromFile := make([]int32, src.Len())
-	if err := d.PartitionInto(src, 8, fromFile); err != nil {
-		t.Fatal(err)
-	}
-	for i := range fromView {
-		if fromFile[i] != fromView[i] {
-			t.Fatalf("file sharding diverges from view sharding at edge %d", i)
-		}
+	for _, fb := range fileBackends() {
+		t.Run(fb.name, func(t *testing.T) {
+			src, err := fb.open(writeCGRFormat(t, g, fb.format))
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer src.Close()
+			fromFile := make([]int32, src.Len())
+			if err := d.PartitionInto(src, 8, fromFile); err != nil {
+				t.Fatal(err)
+			}
+			for i := range fromView {
+				if fromFile[i] != fromView[i] {
+					t.Fatalf("file sharding diverges from view sharding at edge %d", i)
+				}
+			}
+		})
 	}
 }
 

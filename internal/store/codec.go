@@ -1,0 +1,360 @@
+package store
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+
+	"repro/internal/graph"
+)
+
+// Format identifies an on-disk graph encoding. The four magic bytes at the
+// start of every file carry it, so readers are self-describing: Open,
+// OpenMmap, Read and NewReader accept either format transparently and
+// report which one they found.
+type Format uint8
+
+const (
+	// FormatCGR1 is the original encoding: per edge, a zig-zag varint
+	// source gap and a zig-zag varint target offset from the source.
+	FormatCGR1 Format = iota + 1
+	// FormatCGR2 is the compressed v2 encoding: edges are grouped into
+	// maximal same-source runs with a packed run header (zig-zag source gap
+	// and run length in one varint), and targets are coded as interval
+	// tokens (runs of consecutive ids collapse to two varints) and residual
+	// gap tokens relative to the previous target. On crawl-ordered web
+	// graphs it cuts bytes/edge by 30-50% versus CGR1. See DESIGN.md for
+	// the exact bit layout.
+	FormatCGR2
+)
+
+// String returns the format's magic name.
+func (f Format) String() string {
+	switch f {
+	case FormatCGR1:
+		return "CGR1"
+	case FormatCGR2:
+		return "CGR2"
+	}
+	return fmt.Sprintf("Format(%d)", uint8(f))
+}
+
+// ParseFormat maps a format name ("cgr1"/"CGR1", "cgr2"/"CGR2") to its
+// Format - the one parser every CLI flag goes through.
+func ParseFormat(s string) (Format, error) {
+	switch s {
+	case "cgr1", "CGR1":
+		return FormatCGR1, nil
+	case "cgr2", "CGR2":
+		return FormatCGR2, nil
+	}
+	return 0, fmt.Errorf("store: unknown format %q (want cgr1 or cgr2)", s)
+}
+
+var (
+	magic  = [4]byte{'C', 'G', 'R', '1'}
+	magic2 = [4]byte{'C', 'G', 'R', '2'}
+)
+
+// SniffHeader reports whether head starts with either format's magic.
+func SniffHeader(head []byte) bool {
+	if len(head) < 4 {
+		return false
+	}
+	return [4]byte(head[:4]) == magic || [4]byte(head[:4]) == magic2
+}
+
+// readHeader consumes the magic and declared counts from the cursor,
+// validating them before anything is sized from them.
+func readHeader(c *cursor) (Format, int, int, error) {
+	var m [4]byte
+	if err := c.readFull(m[:]); err != nil {
+		return 0, 0, 0, fmt.Errorf("store: reading magic: %w", err)
+	}
+	var format Format
+	switch m {
+	case magic:
+		format = FormatCGR1
+	case magic2:
+		format = FormatCGR2
+	default:
+		return 0, 0, 0, ErrBadMagic
+	}
+	nv, err := c.uvarint()
+	if err != nil {
+		return 0, 0, 0, fmt.Errorf("store: reading vertex count: %w", err)
+	}
+	ne, err := c.uvarint()
+	if err != nil {
+		return 0, 0, 0, fmt.Errorf("store: reading edge count: %w", err)
+	}
+	if err := checkCounts(nv, ne); err != nil {
+		return 0, 0, 0, err
+	}
+	return format, int(nv), int(ne), nil
+}
+
+// checkCounts rejects header counts no valid file can carry before anything
+// is sized from them: vertex ids must fit the uint32 VertexID space, and a
+// declared edge count beyond what varint encoding could physically fit in
+// any file (or that would overflow int) means a corrupt or adversarial
+// header rather than a graph.
+func checkCounts(nv, ne uint64) error {
+	if nv > 1<<32 {
+		return fmt.Errorf("store: vertex count %d exceeds uint32 space", nv)
+	}
+	if ne > 1<<56 {
+		return fmt.Errorf("store: edge count %d is implausible (corrupt header?)", ne)
+	}
+	return nil
+}
+
+// decState is the delta-decoder state between two edges - everything beyond
+// the byte offset that a seek must restore. CGR1 uses prevSrc only; CGR2
+// additionally tracks the position inside the current source run and any
+// in-flight interval token. Token boundaries never split across edges, so
+// (offset, decState) at any edge boundary is a complete resume point.
+type decState struct {
+	// prevSrc is the previous edge's source (CGR1) or the current run's
+	// source (CGR2; run headers encode gaps between run sources).
+	prevSrc int64
+	// prevDst is the previous target within the current run (CGR2).
+	prevDst int64
+	// runLeft counts targets remaining in the current run (CGR2).
+	runLeft int
+	// ivLeft counts targets remaining in the current interval token (CGR2).
+	ivLeft int
+}
+
+// decoder decodes edges of either format from a cursor. It is the single
+// decode core shared by every backend: FileSource wraps it around a
+// read-at cursor, MmapSource around the mapped bytes, Reader around a
+// sequential window.
+type decoder struct {
+	cur    cursor
+	st     decState
+	format Format
+	nv     int64
+	ne     int64
+}
+
+// seek positions the decoder at a byte offset with the given state.
+func (d *decoder) seek(off int64, st decState) {
+	d.cur.seek(off)
+	d.st = st
+}
+
+// next decodes the edge at stream index i.
+func (d *decoder) next(i int) (graph.Edge, error) {
+	if d.format == FormatCGR2 {
+		return d.nextCGR2(i)
+	}
+	return d.nextCGR1(i)
+}
+
+func (d *decoder) nextCGR1(i int) (graph.Edge, error) {
+	dSrc, err := d.cur.varint()
+	if err != nil {
+		return graph.Edge{}, fmt.Errorf("store: edge %d src: %w", i, err)
+	}
+	src := d.st.prevSrc + dSrc
+	dDst, err := d.cur.varint()
+	if err != nil {
+		return graph.Edge{}, fmt.Errorf("store: edge %d dst: %w", i, err)
+	}
+	dst := src + dDst
+	if src < 0 || dst < 0 || src >= d.nv || dst >= d.nv {
+		return graph.Edge{}, fmt.Errorf("store: edge %d (%d->%d) out of range (n=%d)", i, src, dst, d.nv)
+	}
+	d.st.prevSrc = src
+	return graph.Edge{Src: graph.VertexID(src), Dst: graph.VertexID(dst)}, nil
+}
+
+// cgr2RunInline is the largest run length the packed header carries inline;
+// longer runs spill the remainder into a follow-up varint.
+const cgr2RunInline = 15
+
+func (d *decoder) nextCGR2(i int) (graph.Edge, error) {
+	st := &d.st
+	// Mid-interval: the token was consumed whole, the state replays it.
+	if st.ivLeft > 0 {
+		return d.stepInterval(i)
+	}
+	// Run boundary: decode the packed header (source gap + run length).
+	if st.runLeft == 0 {
+		h, err := d.cur.uvarint()
+		if err != nil {
+			return graph.Edge{}, fmt.Errorf("store: edge %d run header: %w", i, err)
+		}
+		src := st.prevSrc + unzigzag(h>>4) + 1
+		if src < 0 || src >= d.nv {
+			return graph.Edge{}, fmt.Errorf("store: edge %d run source %d out of range (n=%d)", i, src, d.nv)
+		}
+		runLen := int64(h&cgr2RunInline) + 1
+		if h&cgr2RunInline == cgr2RunInline {
+			extra, err := d.cur.uvarint()
+			if err != nil {
+				return graph.Edge{}, fmt.Errorf("store: edge %d run length: %w", i, err)
+			}
+			if extra > uint64(d.ne) {
+				return graph.Edge{}, fmt.Errorf("store: edge %d run length %d past declared edge count %d", i, extra, d.ne)
+			}
+			runLen = cgr2RunInline + 1 + int64(extra)
+		}
+		if runLen > d.ne-int64(i) {
+			return graph.Edge{}, fmt.Errorf("store: edge %d run of %d exceeds declared edge count %d", i, runLen, d.ne)
+		}
+		st.prevSrc = src
+		st.prevDst = src // targets are relative to the source initially
+		st.runLeft = int(runLen)
+	}
+	// Target token: 0 starts an interval (consecutive ids), anything else
+	// is a single target at gap unzigzag(T-1) from the previous one.
+	t, err := d.cur.uvarint()
+	if err != nil {
+		return graph.Edge{}, fmt.Errorf("store: edge %d target: %w", i, err)
+	}
+	if t == 0 {
+		c, err := d.cur.uvarint()
+		if err != nil {
+			return graph.Edge{}, fmt.Errorf("store: edge %d interval: %w", i, err)
+		}
+		if c < 1 || c > uint64(st.runLeft) {
+			return graph.Edge{}, fmt.Errorf("store: edge %d interval of %d exceeds run remainder %d", i, c, st.runLeft)
+		}
+		st.ivLeft = int(c)
+		return d.stepInterval(i)
+	}
+	dst := st.prevDst + unzigzag(t-1)
+	if dst < 0 || dst >= d.nv {
+		return graph.Edge{}, fmt.Errorf("store: edge %d (%d->%d) out of range (n=%d)", i, st.prevSrc, dst, d.nv)
+	}
+	st.prevDst = dst
+	st.runLeft--
+	return graph.Edge{Src: graph.VertexID(st.prevSrc), Dst: graph.VertexID(dst)}, nil
+}
+
+// stepInterval emits the next target of an in-flight interval token.
+func (d *decoder) stepInterval(i int) (graph.Edge, error) {
+	st := &d.st
+	dst := st.prevDst + 1
+	if dst >= d.nv {
+		return graph.Edge{}, fmt.Errorf("store: edge %d interval target %d out of range (n=%d)", i, dst, d.nv)
+	}
+	st.prevDst = dst
+	st.ivLeft--
+	st.runLeft--
+	return graph.Edge{Src: graph.VertexID(st.prevSrc), Dst: graph.VertexID(dst)}, nil
+}
+
+// varintWriter wraps a buffered writer with varint emission.
+type varintWriter struct {
+	bw  *bufio.Writer
+	tmp [binary.MaxVarintLen64]byte
+}
+
+func (w *varintWriter) uvarint(x uint64) error {
+	n := binary.PutUvarint(w.tmp[:], x)
+	_, err := w.bw.Write(w.tmp[:n])
+	return err
+}
+
+func (w *varintWriter) varint(x int64) error {
+	return w.uvarint(zigzag(x))
+}
+
+// writeHeader emits the magic and counts for g in the given format.
+func (w *varintWriter) writeHeader(f Format, g *graph.Graph) error {
+	m := magic
+	if f == FormatCGR2 {
+		m = magic2
+	}
+	if _, err := w.bw.Write(m[:]); err != nil {
+		return err
+	}
+	if err := w.uvarint(uint64(g.NumVertices)); err != nil {
+		return err
+	}
+	return w.uvarint(uint64(g.NumEdges()))
+}
+
+// encodeCGR1 writes the per-edge gap encoding (the original format).
+func encodeCGR1(w *varintWriter, edges []graph.Edge) error {
+	prevSrc := int64(0)
+	for _, e := range edges {
+		src := int64(e.Src)
+		if err := w.varint(src - prevSrc); err != nil {
+			return err
+		}
+		if err := w.varint(int64(e.Dst) - src); err != nil {
+			return err
+		}
+		prevSrc = src
+	}
+	return nil
+}
+
+// encodeCGR2 writes the run/interval/residual encoding. Edge order is
+// preserved exactly - order is semantic for streaming partitioners - so
+// interval tokens only fire on targets that are already consecutive in the
+// stream; nothing is sorted.
+func encodeCGR2(w *varintWriter, edges []graph.Edge) error {
+	prevSrc := int64(0)
+	for i := 0; i < len(edges); {
+		// Maximal same-source run.
+		j := i + 1
+		for j < len(edges) && edges[j].Src == edges[i].Src {
+			j++
+		}
+		src := int64(edges[i].Src)
+		runLen := j - i
+		// Packed header: zig-zag source gap (biased by the common +1 step
+		// between consecutive vertices) in the high bits, run length in the
+		// low 4, overflowing into a follow-up varint.
+		gapz := zigzag(src - prevSrc - 1)
+		if runLen-1 >= cgr2RunInline {
+			if err := w.uvarint(gapz<<4 | cgr2RunInline); err != nil {
+				return err
+			}
+			if err := w.uvarint(uint64(runLen - 1 - cgr2RunInline)); err != nil {
+				return err
+			}
+		} else {
+			if err := w.uvarint(gapz<<4 | uint64(runLen-1)); err != nil {
+				return err
+			}
+		}
+		prevSrc = src
+		// Targets: intervals of consecutive ids collapse to (0, count);
+		// residuals cost their gap from the previous target, zig-zagged and
+		// shifted up by one to keep 0 free as the interval marker.
+		prevDst := src
+		for p := i; p < j; {
+			dst := int64(edges[p].Dst)
+			if dst == prevDst+1 {
+				c := 1
+				for p+c < j && int64(edges[p+c].Dst) == dst+int64(c) {
+					c++
+				}
+				if c >= 2 {
+					if err := w.uvarint(0); err != nil {
+						return err
+					}
+					if err := w.uvarint(uint64(c)); err != nil {
+						return err
+					}
+					prevDst = dst + int64(c-1)
+					p += c
+					continue
+				}
+			}
+			if err := w.uvarint(zigzag(dst-prevDst) + 1); err != nil {
+				return err
+			}
+			prevDst = dst
+			p++
+		}
+		i = j
+	}
+	return nil
+}

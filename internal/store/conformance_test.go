@@ -1,0 +1,395 @@
+package store
+
+import (
+	"io"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+
+	"repro/internal/gen"
+	"repro/internal/graph"
+	"repro/internal/stream"
+)
+
+// backends enumerates every (backend, format) combination the Source
+// contract must hold for; the matrix tests below run each case against the
+// same expectations, so the two backends and two formats can never drift
+// apart behaviorally.
+type backendCase struct {
+	name   string
+	format Format
+	open   func(path string) (File, error)
+}
+
+func backendCases() []backendCase {
+	openFile := func(path string) (File, error) { return Open(path) }
+	openMmap := func(path string) (File, error) { return OpenMmap(path) }
+	openFallback := func(path string) (File, error) {
+		disableMmap = true
+		defer func() { disableMmap = false }()
+		return OpenMmap(path)
+	}
+	var cases []backendCase
+	for _, f := range []Format{FormatCGR1, FormatCGR2} {
+		cases = append(cases,
+			backendCase{"file/" + f.String(), f, openFile},
+			backendCase{"mmap/" + f.String(), f, openMmap},
+			backendCase{"fallback/" + f.String(), f, openFallback},
+		)
+	}
+	return cases
+}
+
+// writeTempFormat writes g to a temp file in the given format.
+func writeTempFormat(t *testing.T, g *graph.Graph, f Format) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "g.cgr")
+	w, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteFormat(w, g, f); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func closeSource(t *testing.T, s stream.Source) {
+	t.Helper()
+	if c, ok := s.(io.Closer); ok {
+		if err := c.Close(); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// TestSourceMatrixStreamsAndReplays: every backend x format streams the
+// exact edge sequence, replays it identically, and reports the header.
+func TestSourceMatrixStreamsAndReplays(t *testing.T) {
+	g := gen.Web(gen.WebConfig{N: 4000, OutDegree: 7, IntraSite: 0.85, Seed: 5})
+	for _, bc := range backendCases() {
+		t.Run(bc.name, func(t *testing.T) {
+			src, err := bc.open(writeTempFormat(t, g, bc.format))
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer src.Close()
+			if src.NumVertices() != g.NumVertices || src.Len() != g.NumEdges() {
+				t.Fatalf("header %d/%d, want %d/%d", src.NumVertices(), src.Len(), g.NumVertices, g.NumEdges())
+			}
+			if src.Format() != bc.format {
+				t.Fatalf("format %s, want %s", src.Format(), bc.format)
+			}
+			a := collect(t, src)
+			b := collect(t, src) // Collect resets: the CLUGP multi-pass contract
+			if len(a) != len(g.Edges) {
+				t.Fatalf("decoded %d edges, want %d", len(a), len(g.Edges))
+			}
+			for i := range a {
+				if a[i] != g.Edges[i] {
+					t.Fatalf("edge %d: %v != %v (order must be preserved)", i, a[i], g.Edges[i])
+				}
+				if b[i] != a[i] {
+					t.Fatalf("replay diverged at edge %d", i)
+				}
+			}
+		})
+	}
+}
+
+// TestSourceMatrixSegmentEdgeCases covers the boundary shapes shared by
+// both backends: an empty file, a single-edge file, a segment whose bounds
+// land exactly on a checkpoint, and a nested segment of a segment.
+func TestSourceMatrixSegmentEdgeCases(t *testing.T) {
+	big := gen.Web(gen.WebConfig{N: 6000, OutDegree: 6, Seed: 7})
+	if big.NumEdges() < 3*indexStride {
+		t.Fatalf("test graph too small: %d edges", big.NumEdges())
+	}
+	for _, bc := range backendCases() {
+		t.Run(bc.name, func(t *testing.T) {
+			// Empty file: zero-length segments and EOF on first block.
+			empty, err := bc.open(writeTempFormat(t, graph.New(7, nil), bc.format))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got := collect(t, empty); len(got) != 0 {
+				t.Fatalf("empty file decoded %d edges", len(got))
+			}
+			seg, err := empty.Segment(0, 0)
+			if err != nil {
+				t.Fatalf("empty segment: %v", err)
+			}
+			if got := collect(t, seg); len(got) != 0 {
+				t.Fatal("empty segment yielded edges")
+			}
+			closeSource(t, seg)
+			empty.Close()
+
+			// Single-edge file: the whole file as one segment, and both
+			// degenerate boundary segments.
+			one := graph.New(3, []graph.Edge{{Src: 2, Dst: 0}})
+			osrc, err := bc.open(writeTempFormat(t, one, bc.format))
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, b := range [][2]int{{0, 1}, {0, 0}, {1, 1}} {
+				seg, err := osrc.Segment(b[0], b[1])
+				if err != nil {
+					t.Fatalf("single-edge segment %v: %v", b, err)
+				}
+				got := collect(t, seg)
+				if len(got) != b[1]-b[0] {
+					t.Fatalf("single-edge segment %v: %d edges", b, len(got))
+				}
+				if len(got) == 1 && got[0] != one.Edges[0] {
+					t.Fatalf("single-edge segment decoded %v", got[0])
+				}
+				closeSource(t, seg)
+			}
+			osrc.Close()
+
+			// Large file: segments straddling and landing exactly on
+			// checkpoint boundaries, plus nesting.
+			src, err := bc.open(writeTempFormat(t, big, bc.format))
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer src.Close()
+			n := big.NumEdges()
+			bounds := [][2]int{
+				{0, n},
+				{0, 1},
+				{n - 1, n},
+				{indexStride, 2 * indexStride},        // exactly on checkpoints
+				{indexStride - 1, indexStride + 1},    // straddles a checkpoint
+				{indexStride + 37, 2*indexStride + 5}, // mid-stride start
+			}
+			for _, b := range bounds {
+				seg, err := src.Segment(b[0], b[1])
+				if err != nil {
+					t.Fatalf("segment %v: %v", b, err)
+				}
+				got := collect(t, seg)
+				if len(got) != b[1]-b[0] {
+					t.Fatalf("segment %v: %d edges", b, len(got))
+				}
+				for i := range got {
+					if got[i] != big.Edges[b[0]+i] {
+						t.Fatalf("segment %v: edge %d mismatch", b, i)
+					}
+				}
+				// Segments replay independently too.
+				again := collect(t, seg)
+				for i := range again {
+					if again[i] != got[i] {
+						t.Fatalf("segment %v: replay diverged", b)
+					}
+				}
+				closeSource(t, seg)
+			}
+
+			// Nested segment of a segment: global [150, 250).
+			outer, err := src.Segment(100, 900)
+			if err != nil {
+				t.Fatal(err)
+			}
+			inner, err := outer.(stream.Segmenter).Segment(50, 150)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got := collect(t, inner)
+			if len(got) != 100 {
+				t.Fatalf("nested segment has %d edges", len(got))
+			}
+			for i := range got {
+				if got[i] != big.Edges[150+i] {
+					t.Fatalf("nested segment edge %d mismatch", i)
+				}
+			}
+			closeSource(t, inner)
+			closeSource(t, outer)
+
+			// Out-of-range bounds are rejected.
+			for _, b := range [][2]int{{-1, 1}, {0, n + 1}, {2, 1}} {
+				if _, err := src.Segment(b[0], b[1]); err == nil {
+					t.Fatalf("segment %v accepted", b)
+				}
+			}
+		})
+	}
+}
+
+// TestSourceMatrixConcurrentSegments shards one file across goroutines on
+// every backend; the mmap backend shares one mapping between all of them.
+func TestSourceMatrixConcurrentSegments(t *testing.T) {
+	g := gen.Web(gen.WebConfig{N: 5000, OutDegree: 6, Seed: 8})
+	for _, bc := range backendCases() {
+		t.Run(bc.name, func(t *testing.T) {
+			src, err := bc.open(writeTempFormat(t, g, bc.format))
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer src.Close()
+			n := g.NumEdges()
+			nodes := 4
+			per := (n + nodes - 1) / nodes
+			subs := make([]stream.Source, 0, nodes)
+			for nd := 0; nd < nodes; nd++ {
+				lo, hi := nd*per, (nd+1)*per
+				if hi > n {
+					hi = n
+				}
+				sub, err := src.Segment(lo, hi)
+				if err != nil {
+					t.Fatal(err)
+				}
+				subs = append(subs, sub)
+			}
+			out := make([][]graph.Edge, nodes)
+			errs := make([]error, nodes)
+			var wg sync.WaitGroup
+			for nd, sub := range subs {
+				wg.Add(1)
+				go func(nd int, sub stream.Source) {
+					defer wg.Done()
+					out[nd], errs[nd] = stream.Collect(sub)
+				}(nd, sub)
+			}
+			wg.Wait()
+			var all []graph.Edge
+			for nd := range subs {
+				if errs[nd] != nil {
+					t.Fatal(errs[nd])
+				}
+				all = append(all, out[nd]...)
+				closeSource(t, subs[nd])
+			}
+			if len(all) != n {
+				t.Fatalf("shards cover %d edges, want %d", len(all), n)
+			}
+			for i := range all {
+				if all[i] != g.Edges[i] {
+					t.Fatalf("sharded read diverges at edge %d", i)
+				}
+			}
+		})
+	}
+}
+
+// TestSourceMatrixTruncatedBody: a header-intact, body-truncated file must
+// surface a decode error, not bogus edges, on every backend.
+func TestSourceMatrixTruncatedBody(t *testing.T) {
+	g := gen.Web(gen.WebConfig{N: 300, OutDegree: 4, Seed: 10})
+	for _, bc := range backendCases() {
+		t.Run(bc.name, func(t *testing.T) {
+			path := writeTempFormat(t, g, bc.format)
+			data, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := os.WriteFile(path, data[:len(data)/2], 0o644); err != nil {
+				t.Fatal(err)
+			}
+			src, err := bc.open(path) // header is intact; the body is cut short
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer src.Close()
+			if _, err := stream.Collect(src); err == nil {
+				t.Fatal("truncated body decoded without error")
+			}
+		})
+	}
+}
+
+// TestMmapSourceModes pins the backend mode reporting and the refcounted
+// close order: the root may close before its segments, which keep the
+// mapping alive until the last handle goes.
+func TestMmapSourceModes(t *testing.T) {
+	g := gen.Web(gen.WebConfig{N: 2000, OutDegree: 5, Seed: 9})
+	path := writeTempFormat(t, g, FormatCGR2)
+
+	src, err := OpenMmap(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// On platforms with mmap wired up this must actually map; the fallback
+	// variant is exercised via disableMmap below either way.
+	t.Logf("mapped=%v", src.Mapped())
+
+	seg, err := src.Segment(100, 600)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := src.Close(); err != nil { // root first: segment must survive
+		t.Fatal(err)
+	}
+	if err := src.Close(); err != nil { // idempotent
+		t.Fatal(err)
+	}
+	got := collect(t, seg)
+	for i := range got {
+		if got[i] != g.Edges[100+i] {
+			t.Fatalf("segment after root close: edge %d mismatch", i)
+		}
+	}
+	closeSource(t, seg)
+
+	// Operations on a closed handle fail cleanly instead of touching a
+	// released mapping.
+	if err := src.Reset(); err == nil {
+		t.Fatal("Reset on closed source succeeded")
+	}
+	if _, err := src.Segment(0, 1); err == nil {
+		t.Fatal("Segment on closed source succeeded")
+	}
+
+	// The forced fallback reports unmapped and still satisfies the matrix
+	// (covered above); here just pin the flag.
+	disableMmap = true
+	defer func() { disableMmap = false }()
+	fb, err := OpenMmap(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer fb.Close()
+	if fb.Mapped() {
+		t.Fatal("disableMmap still mapped")
+	}
+	got = collect(t, fb)
+	if len(got) != g.NumEdges() {
+		t.Fatalf("fallback decoded %d edges", len(got))
+	}
+}
+
+// TestOpenAutoAndJunk: OpenAuto rejects junk and missing files like the
+// explicit constructors do.
+func TestOpenAutoAndJunk(t *testing.T) {
+	dir := t.TempDir()
+	junk := filepath.Join(dir, "junk")
+	if err := os.WriteFile(junk, []byte("not a graph at all"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := OpenAuto(junk); err == nil {
+		t.Fatal("junk accepted")
+	}
+	if _, err := OpenAuto(filepath.Join(dir, "missing")); err == nil {
+		t.Fatal("missing file accepted")
+	}
+	if _, err := OpenMmap(junk); err == nil {
+		t.Fatal("mmap junk accepted")
+	}
+	g := gen.Web(gen.WebConfig{N: 300, OutDegree: 4, Seed: 11})
+	f, err := OpenAuto(writeTempFormat(t, g, FormatCGR2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	if f.Len() != g.NumEdges() || f.Format() != FormatCGR2 || f.SizeBytes() <= 0 {
+		t.Fatalf("OpenAuto header: len=%d format=%s size=%d", f.Len(), f.Format(), f.SizeBytes())
+	}
+}

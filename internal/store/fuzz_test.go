@@ -2,24 +2,31 @@ package store
 
 import (
 	"bytes"
+	"os"
+	"path/filepath"
 	"testing"
 
 	"repro/internal/graph"
+	"repro/internal/stream"
 )
 
 // FuzzRead checks the binary decoder never panics on arbitrary input and
-// that any graph it accepts is structurally valid.
+// that any graph it accepts is structurally valid. Both formats share the
+// entry point (the magic dispatches), so seeds cover both.
 func FuzzRead(f *testing.F) {
-	// Seed with a valid file, a truncation and junk.
+	// Seed with valid files of both formats, truncations and junk.
 	g := graph.New(4, []graph.Edge{{Src: 0, Dst: 1}, {Src: 1, Dst: 2}, {Src: 3, Dst: 0}})
-	var buf bytes.Buffer
-	if err := Write(&buf, g); err != nil {
-		f.Fatal(err)
+	for _, format := range []Format{FormatCGR1, FormatCGR2} {
+		var buf bytes.Buffer
+		if err := WriteFormat(&buf, g, format); err != nil {
+			f.Fatal(err)
+		}
+		valid := buf.Bytes()
+		f.Add(valid)
+		f.Add(valid[:len(valid)/2])
 	}
-	valid := buf.Bytes()
-	f.Add(valid)
-	f.Add(valid[:len(valid)/2])
 	f.Add([]byte("CGR1"))
+	f.Add([]byte("CGR2"))
 	f.Add([]byte("junk data here"))
 	f.Add([]byte{})
 	f.Fuzz(func(t *testing.T, data []byte) {
@@ -29,6 +36,101 @@ func FuzzRead(f *testing.F) {
 		}
 		if err := got.Validate(); err != nil {
 			t.Fatalf("decoder accepted invalid graph: %v", err)
+		}
+	})
+}
+
+// FuzzReadCGR2 drives the v2 decoder specifically: its seeds forge the
+// failure shapes unique to the run/interval layout - run lengths past the
+// declared edge count, interval counts past the run remainder, truncated
+// interval tokens, overflowing varints in the packed header - so mutation
+// starts from the interesting corners rather than random bytes.
+func FuzzReadCGR2(f *testing.F) {
+	// A valid file with runs, an interval and residuals.
+	g := graph.New(16, []graph.Edge{
+		{Src: 2, Dst: 3}, {Src: 2, Dst: 4}, {Src: 2, Dst: 5}, // interval
+		{Src: 2, Dst: 1}, // residual, negative gap
+		{Src: 5, Dst: 5}, // new run, self-loop
+	})
+	var buf bytes.Buffer
+	if err := WriteFormat(&buf, g, FormatCGR2); err != nil {
+		f.Fatal(err)
+	}
+	valid := buf.Bytes()
+	f.Add(valid)
+	for cut := 1; cut < 6; cut++ { // truncations inside tokens
+		f.Add(valid[:len(valid)-cut])
+	}
+	f.Add(header2(4, 1<<60))                                        // forged edge count
+	f.Add(header2(1<<40, 0))                                        // forged vertex count
+	f.Add(append(header2(4, 2), byte(2<<4|2)))                      // run past edge count
+	f.Add(append(header2(8, 2), []byte{1<<4 | 1, 3, 0, 2}...))      // interval past run
+	f.Add(append(header2(4, 1), 0x80))                              // truncated varint
+	f.Add(append(header2(4, 1), bytes.Repeat([]byte{0x80}, 11)...)) // varint overflow
+	f.Add(append(header2(8, 2), []byte{1<<4 | 1, 0, 0}...))         // zero interval
+	f.Fuzz(func(t *testing.T, data []byte) {
+		got, err := Read(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		if err := got.Validate(); err != nil {
+			t.Fatalf("CGR2 decoder accepted invalid graph: %v", err)
+		}
+	})
+}
+
+// FuzzSourcesAgree is differential: the sequential Reader, the seek-based
+// FileSource and the mmap-backed MmapSource decode the same bytes through
+// different cursors (stream window, pread window, mapped slice), so on any
+// input all three must agree - same accept/reject decision, same edges.
+// One backend accepting what another rejects would let a corrupt file
+// produce different streams depending on how it was opened.
+func FuzzSourcesAgree(f *testing.F) {
+	g := graph.New(6, []graph.Edge{
+		{Src: 0, Dst: 1}, {Src: 0, Dst: 2}, {Src: 0, Dst: 3}, {Src: 4, Dst: 0},
+	})
+	for _, format := range []Format{FormatCGR1, FormatCGR2} {
+		var buf bytes.Buffer
+		if err := WriteFormat(&buf, g, format); err != nil {
+			f.Fatal(err)
+		}
+		f.Add(buf.Bytes())
+		f.Add(buf.Bytes()[:buf.Len()-2])
+	}
+	f.Add([]byte("CGR2junk"))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		fromReader, readerErr := Read(bytes.NewReader(data))
+
+		path := filepath.Join(t.TempDir(), "f.cgr")
+		if err := os.WriteFile(path, data, 0o644); err != nil {
+			t.Skip(err)
+		}
+		collectFile := func(open func(string) (File, error)) ([]graph.Edge, error) {
+			src, err := open(path)
+			if err != nil {
+				return nil, err
+			}
+			defer src.Close()
+			return stream.Collect(src)
+		}
+		fromFile, fileErr := collectFile(func(p string) (File, error) { return Open(p) })
+		fromMmap, mmapErr := collectFile(func(p string) (File, error) { return OpenMmap(p) })
+
+		if (readerErr == nil) != (fileErr == nil) || (readerErr == nil) != (mmapErr == nil) {
+			t.Fatalf("backends disagree on acceptance: reader=%v file=%v mmap=%v", readerErr, fileErr, mmapErr)
+		}
+		if readerErr != nil {
+			return
+		}
+		if len(fromFile) != len(fromReader.Edges) || len(fromMmap) != len(fromReader.Edges) {
+			t.Fatalf("edge counts disagree: reader=%d file=%d mmap=%d",
+				len(fromReader.Edges), len(fromFile), len(fromMmap))
+		}
+		for i := range fromReader.Edges {
+			if fromFile[i] != fromReader.Edges[i] || fromMmap[i] != fromReader.Edges[i] {
+				t.Fatalf("edge %d disagrees: reader=%v file=%v mmap=%v",
+					i, fromReader.Edges[i], fromFile[i], fromMmap[i])
+			}
 		}
 	})
 }

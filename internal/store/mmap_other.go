@@ -1,0 +1,18 @@
+//go:build !unix
+
+package store
+
+import (
+	"errors"
+	"os"
+)
+
+var errNoMmap = errors.New("store: mmap not supported on this platform")
+
+// mmapFile always fails on platforms without a wired-up mapping syscall;
+// MmapSource then runs in its portable read-at mode.
+func mmapFile(f *os.File, size int64) ([]byte, error) {
+	return nil, errNoMmap
+}
+
+func munmapFile(data []byte) error { return nil }

@@ -1,0 +1,23 @@
+//go:build unix
+
+package store
+
+import (
+	"os"
+	"syscall"
+)
+
+// mmapFile maps f read-only in its entirety. The returned slice stays valid
+// until munmapFile; the file descriptor may be closed independently of the
+// mapping's lifetime, but this package keeps it open to serve the read-at
+// fallback paths uniformly.
+func mmapFile(f *os.File, size int64) ([]byte, error) {
+	if size <= 0 || int64(int(size)) != size {
+		return nil, syscall.EINVAL
+	}
+	return syscall.Mmap(int(f.Fd()), 0, int(size), syscall.PROT_READ, syscall.MAP_SHARED)
+}
+
+func munmapFile(data []byte) error {
+	return syscall.Munmap(data)
+}

@@ -1,9 +1,6 @@
 package store
 
 import (
-	"bufio"
-	"encoding/binary"
-	"fmt"
 	"io"
 	"os"
 	"sync"
@@ -12,203 +9,104 @@ import (
 	"repro/internal/stream"
 )
 
+// File is a compressed graph file opened as a replayable, segmentable edge
+// source. Both backends satisfy it: FileSource (seek-based, one private
+// file handle per segment) and MmapSource (one shared mapping, free
+// Reset/Segment). Close releases the handle's resources; segments are
+// themselves Files and must be closed independently.
+type File interface {
+	stream.Segmenter
+	io.Closer
+	// Path returns the file the source streams from.
+	Path() string
+	// Format returns the on-disk encoding (CGR1 or CGR2).
+	Format() Format
+	// SizeBytes returns the file size - with Len, the on-disk bytes/edge.
+	SizeBytes() int64
+}
+
+var _ File = (*FileSource)(nil)
+var _ File = (*MmapSource)(nil)
+
+// OpenAuto opens path with the fastest available backend: the mmap-backed
+// source, which itself falls back to portable read-at decoding where the
+// platform cannot map. This is what the facade's OpenCompressed uses;
+// callers that specifically want the seek-based backend use Open.
+func OpenAuto(path string) (File, error) {
+	m, err := OpenMmap(path)
+	if err != nil {
+		// Return an untyped nil: a nil *MmapSource boxed in the File
+		// interface would compare non-nil to callers.
+		return nil, err
+	}
+	return m, nil
+}
+
+// blockPool recycles the BlockLen decode buffers that every source handle
+// needs: segments are opened per shard per run, and a fresh 64 KiB block
+// per handle was measurable churn on concurrent ingest. Close returns the
+// buffer, so a block handed out by the handle's last NextBlock is only
+// valid until the handle is closed.
+var blockPool = sync.Pool{
+	New: func() any {
+		b := make([]graph.Edge, stream.BlockLen)
+		return &b
+	},
+}
+
 // FileSource streams a CGR file as a stream.Source without ever holding the
-// edge list in memory: one decode buffer of stream.BlockLen edges is the
-// whole footprint. Reset seeks back to the first edge, so multi-pass
-// algorithms (the three CLUGP passes, restreaming) replay the file instead
-// of requiring a materialized graph.
+// edge list in memory: one pooled decode buffer of stream.BlockLen edges
+// plus one read window is the whole footprint. Reset seeks back to the
+// first edge, so multi-pass algorithms (the three CLUGP passes,
+// restreaming) replay the file instead of requiring a materialized graph.
 //
 // FileSource also implements stream.Segmenter: Segment(lo, hi) reopens the
 // file with its own handle and seeks to edge lo, so DistributedCLUGP can
 // shard one file across concurrent ingest nodes that never touch each
-// other's cursors. Because the format is delta-encoded, seeking needs a
+// other's cursors. Because both formats are delta-encoded, seeking needs a
 // sparse checkpoint index (byte offset + decoder state every indexStride
 // edges); the index is built lazily by one sequential scan on the first
-// Segment call and costs 24 bytes per indexStride edges.
+// Segment call.
 //
 // A FileSource is not safe for concurrent use; concurrent consumers each
 // take their own Segment. Close releases the file handle (segments own
 // theirs).
 type FileSource struct {
-	path string
+	segCore
 	f    *os.File
-	dec  decoder
-
-	nv int
-	ne int
-
-	// Segment bounds in global edge indices; the root source spans [0, ne).
-	lo, hi int
-	// Decoder state at edge lo, captured once so Reset is a single seek.
-	startOff  int64
-	startPrev int64
-
-	pos int // global index of the next edge to decode
-	buf []graph.Edge
-
-	// Checkpoint index, shared by all segments and guarded by idxMu.
-	// idx[i] is the decoder state before edge i*indexStride.
-	root    *FileSource
-	idxMu   sync.Mutex
-	idx     []checkpoint
-	idxDone bool
+	root *FileSource
 }
 
-var _ stream.Segmenter = (*FileSource)(nil)
-var _ io.Closer = (*FileSource)(nil)
-
-// indexStride is the edge spacing of seek checkpoints: fine enough that a
-// segment open decodes at most a few thousand throwaway edges, coarse
-// enough that the index is ~6000x smaller than the edges it indexes.
-const indexStride = 4096
-
-type checkpoint struct {
-	off     int64 // byte offset of the edge's first varint
-	prevSrc int64 // delta-decoder state before that edge
-}
-
-// decoder is the gap-decoding core shared by the streaming source and the
-// index scanner: a buffered reader that knows the file offset of the next
-// byte it will decode (bufio read-ahead is invisible to fileOff, which
-// counts consumed bytes only).
-type decoder struct {
-	f       *os.File
-	br      *bufio.Reader
-	fileOff int64 // file offset of the next byte the decoder will consume
-	prevSrc int64
-	nv      int64
-}
-
-func (d *decoder) init(f *os.File, nv int) {
-	d.f = f
-	d.br = bufio.NewReaderSize(f, 1<<16)
-	d.nv = int64(nv)
-}
-
-// seek positions the decoder at a byte offset with the given delta state.
-func (d *decoder) seek(off, prevSrc int64) error {
-	if _, err := d.f.Seek(off, io.SeekStart); err != nil {
-		return err
-	}
-	d.br.Reset(d.f)
-	d.fileOff = off
-	d.prevSrc = prevSrc
-	return nil
-}
-
-// offset returns the file offset of the next undecoded byte.
-func (d *decoder) offset() int64 { return d.fileOff }
-
-func (d *decoder) ReadByte() (byte, error) {
-	b, err := d.br.ReadByte()
-	if err == nil {
-		d.fileOff++
-	}
-	return b, err
-}
-
-// next decodes one edge, with the same range guards as Reader.Next.
-func (d *decoder) next(edgeIndex int) (graph.Edge, error) {
-	dSrc, err := binary.ReadVarint(d)
-	if err != nil {
-		return graph.Edge{}, fmt.Errorf("store: edge %d src: %w", edgeIndex, err)
-	}
-	src := d.prevSrc + dSrc
-	dDst, err := binary.ReadVarint(d)
-	if err != nil {
-		return graph.Edge{}, fmt.Errorf("store: edge %d dst: %w", edgeIndex, err)
-	}
-	dst := src + dDst
-	if src < 0 || dst < 0 || src >= d.nv || dst >= d.nv {
-		return graph.Edge{}, fmt.Errorf("store: edge %d (%d->%d) out of range (n=%d)", edgeIndex, src, dst, d.nv)
-	}
-	d.prevSrc = src
-	return graph.Edge{Src: graph.VertexID(src), Dst: graph.VertexID(dst)}, nil
-}
-
-// Open prepares path (a file written by Write) for streaming. The header is
-// validated eagerly; edges decode on demand.
+// Open prepares path (a file written by Write or WriteFormat, either
+// format) for streaming. The header is validated eagerly; edges decode on
+// demand.
 func Open(path string) (*FileSource, error) {
 	f, err := os.Open(path)
 	if err != nil {
 		return nil, err
 	}
-	s := &FileSource{path: path, f: f}
-	s.dec.init(f, 0)
-	var m [4]byte
-	if _, err := io.ReadFull(s.dec.br, m[:]); err != nil {
-		f.Close()
-		return nil, fmt.Errorf("store: %s: reading magic: %w", path, err)
-	}
-	s.dec.fileOff += 4
-	if m != magic {
-		f.Close()
-		return nil, fmt.Errorf("store: %s: %w", path, ErrBadMagic)
-	}
-	nv, err := binary.ReadUvarint(&s.dec)
+	fi, err := f.Stat()
 	if err != nil {
 		f.Close()
-		return nil, fmt.Errorf("store: %s: reading vertex count: %w", path, err)
+		return nil, err
 	}
-	ne, err := binary.ReadUvarint(&s.dec)
-	if err != nil {
-		f.Close()
-		return nil, fmt.Errorf("store: %s: reading edge count: %w", path, err)
-	}
-	if err := checkCounts(nv, ne); err != nil {
-		f.Close()
-		return nil, fmt.Errorf("store: %s: %w", path, err)
-	}
-	s.nv = int(nv)
-	s.ne = int(ne)
-	s.dec.nv = int64(nv)
-	s.hi = s.ne
-	s.startOff = s.dec.offset()
-	s.idx = append(s.idx, checkpoint{off: s.startOff, prevSrc: 0})
-	return s, nil
-}
-
-// NumVertices implements stream.Source.
-func (s *FileSource) NumVertices() int { return s.nv }
-
-// Len implements stream.Source: the edge count of this source's range.
-func (s *FileSource) Len() int { return s.hi - s.lo }
-
-// Path returns the file the source streams from.
-func (s *FileSource) Path() string { return s.path }
-
-// Reset implements stream.Source with a single seek: the decoder state at
-// the segment's first edge was captured when the source was opened.
-func (s *FileSource) Reset() error {
-	if err := s.dec.seek(s.startOff, s.startPrev); err != nil {
-		return fmt.Errorf("store: %s: reset: %w", s.path, err)
-	}
-	s.pos = s.lo
-	return nil
-}
-
-// NextBlock implements stream.Source, decoding up to stream.BlockLen edges
-// into an internal buffer.
-func (s *FileSource) NextBlock() ([]graph.Edge, error) {
-	if s.pos >= s.hi {
-		return nil, io.EOF
-	}
-	if s.buf == nil {
-		s.buf = make([]graph.Edge, stream.BlockLen)
-	}
-	n := s.hi - s.pos
-	if n > stream.BlockLen {
-		n = stream.BlockLen
-	}
-	for j := 0; j < n; j++ {
-		e, err := s.dec.next(s.pos + j)
+	s := &FileSource{f: f}
+	s.path, s.size = path, fi.Size()
+	s.dec.cur = readAtCursor(f, s.size)
+	// Index scans read through a private handle, so they never perturb any
+	// streaming cursor and work even after the root is closed.
+	s.newScanCursor = func() (cursor, func(), error) {
+		sf, err := os.Open(path)
 		if err != nil {
-			return nil, err
+			return cursor{}, nil, err
 		}
-		s.buf[j] = e
+		return readAtCursor(sf, s.size), func() { sf.Close() }, nil
 	}
-	s.pos += n
-	return s.buf[:n], nil
+	if err := s.initHeader(); err != nil {
+		f.Close()
+		return nil, err
+	}
+	return s, nil
 }
 
 // Segment implements stream.Segmenter: it reopens the file with its own
@@ -217,41 +115,17 @@ func (s *FileSource) NextBlock() ([]graph.Edge, error) {
 // lo and hi are relative to this source, so segments nest. The returned
 // source owns its file handle; Close it when done.
 func (s *FileSource) Segment(lo, hi int) (stream.Source, error) {
-	if lo < 0 || hi < lo || hi > s.Len() {
-		return nil, fmt.Errorf("store: %s: segment [%d,%d) out of range (len %d)", s.path, lo, hi, s.Len())
-	}
-	glo, ghi := s.lo+lo, s.lo+hi
-	root := s.rootSource()
-	cp, cpEdge, err := root.checkpointFor(glo)
-	if err != nil {
-		return nil, err
-	}
 	f, err := os.Open(s.path)
 	if err != nil {
 		return nil, err
 	}
-	seg := &FileSource{
-		path: s.path, f: f,
-		nv: s.nv, ne: s.ne,
-		lo: glo, hi: ghi,
-		root: root,
-	}
-	seg.dec.init(f, s.nv)
-	if err := seg.dec.seek(cp.off, cp.prevSrc); err != nil {
+	root := s.rootSource()
+	seg := &FileSource{f: f, root: root}
+	seg.dec.cur = readAtCursor(f, s.size)
+	if err := s.segmentWindow(&root.segCore, &seg.segCore, lo, hi); err != nil {
 		f.Close()
-		return nil, fmt.Errorf("store: %s: segment seek: %w", s.path, err)
+		return nil, err
 	}
-	// Roll forward from the checkpoint to the segment's first edge so Reset
-	// becomes a plain seek afterwards.
-	for i := cpEdge; i < glo; i++ {
-		if _, err := seg.dec.next(i); err != nil {
-			f.Close()
-			return nil, err
-		}
-	}
-	seg.startOff = seg.dec.offset()
-	seg.startPrev = seg.dec.prevSrc
-	seg.pos = glo
 	return seg, nil
 }
 
@@ -262,69 +136,12 @@ func (s *FileSource) rootSource() *FileSource {
 	return s
 }
 
-// checkpointFor returns the densest checkpoint at or before the global edge
-// index, extending the index with a sequential scan on a private handle if
-// it does not reach that far yet.
-func (s *FileSource) checkpointFor(edge int) (checkpoint, int, error) {
-	s.idxMu.Lock()
-	defer s.idxMu.Unlock()
-	want := edge / indexStride
-	if want >= len(s.idx) && !s.idxDone {
-		if err := s.extendIndexLocked(want); err != nil {
-			return checkpoint{}, 0, err
-		}
+// Close releases the source's file handle and returns its decode buffer to
+// the pool, invalidating the last NextBlock's slice. Segments are
+// independent: each must be closed on its own. Close is idempotent.
+func (s *FileSource) Close() error {
+	if !s.markClosed() {
+		return nil
 	}
-	if want >= len(s.idx) {
-		want = len(s.idx) - 1
-	}
-	return s.idx[want], want * indexStride, nil
-}
-
-// extendIndexLocked scans forward from the last checkpoint until the index
-// holds entry target (or the file ends), recording a checkpoint every
-// indexStride edges. Called with idxMu held.
-func (s *FileSource) extendIndexLocked(target int) error {
-	f, err := os.Open(s.path)
-	if err != nil {
-		return err
-	}
-	defer f.Close()
-	var d decoder
-	d.init(f, s.nv)
-	last := s.idx[len(s.idx)-1]
-	if err := d.seek(last.off, last.prevSrc); err != nil {
-		return fmt.Errorf("store: %s: index scan seek: %w", s.path, err)
-	}
-	for i := (len(s.idx) - 1) * indexStride; len(s.idx) <= target; i++ {
-		if i >= s.ne {
-			s.idxDone = true
-			return nil
-		}
-		if _, err := d.next(i); err != nil {
-			return err
-		}
-		if (i+1)%indexStride == 0 {
-			s.idx = append(s.idx, checkpoint{off: d.offset(), prevSrc: d.prevSrc})
-		}
-	}
-	return nil
-}
-
-// Close releases the source's file handle. Segments are independent: each
-// must be closed on its own.
-func (s *FileSource) Close() error { return s.f.Close() }
-
-// checkCounts rejects header counts no valid file can carry before anything
-// is sized from them: vertex ids must fit the uint32 VertexID space, and a
-// declared edge count beyond what varint encoding could physically fit in
-// any file (or that would overflow int) means a corrupt or adversarial
-// header rather than a graph.
-func checkCounts(nv, ne uint64) error {
-	if nv > 1<<32 {
-		return fmt.Errorf("store: vertex count %d exceeds uint32 space", nv)
-	}
-	if ne > 1<<56 {
-		return fmt.Errorf("store: edge count %d is implausible (corrupt header?)", ne)
-	}
-	return nil
+	return s.f.Close()
 }

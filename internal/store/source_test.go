@@ -1,33 +1,24 @@
 package store
 
 import (
-	"bytes"
-	"io"
 	"os"
 	"path/filepath"
-	"sync"
 	"testing"
 
-	"repro/internal/gen"
 	"repro/internal/graph"
 	"repro/internal/stream"
 )
 
-// writeTemp writes g to a temp .cgr file and returns its path.
+// The Source behavior shared by every backend x format combination -
+// streaming, replay, segments and their edge cases, concurrency, truncation
+// - lives in conformance_test.go and runs against FileSource, MmapSource
+// and the read-at fallback uniformly. This file keeps only what is specific
+// to the seek-based constructor.
+
+// writeTemp writes g to a temp .cgr file (CGR1) and returns its path.
 func writeTemp(t *testing.T, g *graph.Graph) string {
 	t.Helper()
-	path := filepath.Join(t.TempDir(), "g.cgr")
-	f, err := os.Create(path)
-	if err != nil {
-		t.Fatal(err)
-	}
-	if err := Write(f, g); err != nil {
-		t.Fatal(err)
-	}
-	if err := f.Close(); err != nil {
-		t.Fatal(err)
-	}
-	return path
+	return writeTempFormat(t, g, FormatCGR1)
 }
 
 func collect(t *testing.T, src stream.Source) []graph.Edge {
@@ -37,188 +28,6 @@ func collect(t *testing.T, src stream.Source) []graph.Edge {
 		t.Fatal(err)
 	}
 	return out
-}
-
-func TestFileSourceStreamsWholeFile(t *testing.T) {
-	g := gen.Web(gen.WebConfig{N: 4000, OutDegree: 7, IntraSite: 0.85, Seed: 5})
-	src, err := Open(writeTemp(t, g))
-	if err != nil {
-		t.Fatal(err)
-	}
-	defer src.Close()
-	if src.NumVertices() != g.NumVertices || src.Len() != g.NumEdges() {
-		t.Fatalf("header %d/%d, want %d/%d", src.NumVertices(), src.Len(), g.NumVertices, g.NumEdges())
-	}
-	got := collect(t, src)
-	if len(got) != len(g.Edges) {
-		t.Fatalf("decoded %d edges, want %d", len(got), len(g.Edges))
-	}
-	for i := range got {
-		if got[i] != g.Edges[i] {
-			t.Fatalf("edge %d: %v != %v (order must be preserved)", i, got[i], g.Edges[i])
-		}
-	}
-}
-
-func TestFileSourceReplays(t *testing.T) {
-	g := gen.Web(gen.WebConfig{N: 500, OutDegree: 5, Seed: 6})
-	src, err := Open(writeTemp(t, g))
-	if err != nil {
-		t.Fatal(err)
-	}
-	defer src.Close()
-	a := collect(t, src)
-	b := collect(t, src) // Collect resets: the CLUGP multi-pass contract
-	c := collect(t, src)
-	for i := range a {
-		if a[i] != b[i] || b[i] != c[i] {
-			t.Fatalf("replay diverged at edge %d", i)
-		}
-	}
-}
-
-func TestFileSourceSegments(t *testing.T) {
-	// Enough edges that segments straddle index checkpoints (stride 4096)
-	// and block boundaries.
-	g := gen.Web(gen.WebConfig{N: 6000, OutDegree: 6, Seed: 7})
-	if g.NumEdges() < 3*indexStride {
-		t.Fatalf("test graph too small: %d edges", g.NumEdges())
-	}
-	src, err := Open(writeTemp(t, g))
-	if err != nil {
-		t.Fatal(err)
-	}
-	defer src.Close()
-	n := g.NumEdges()
-	bounds := [][2]int{
-		{0, n},
-		{0, 1},
-		{n - 1, n},
-		{indexStride - 1, indexStride + 1},    // straddles a checkpoint
-		{indexStride + 37, 2*indexStride + 5}, // mid-stride start
-	}
-	for _, b := range bounds {
-		sub, err := src.Segment(b[0], b[1])
-		if err != nil {
-			t.Fatalf("segment %v: %v", b, err)
-		}
-		got := collect(t, sub)
-		if len(got) != b[1]-b[0] {
-			t.Fatalf("segment %v: %d edges", b, len(got))
-		}
-		for i := range got {
-			if got[i] != g.Edges[b[0]+i] {
-				t.Fatalf("segment %v: edge %d mismatch", b, i)
-			}
-		}
-		// Segments replay independently too.
-		again := collect(t, sub)
-		for i := range again {
-			if again[i] != got[i] {
-				t.Fatalf("segment %v: replay diverged", b)
-			}
-		}
-		if c, ok := stream.Source(sub).(io.Closer); ok {
-			c.Close()
-		}
-	}
-}
-
-func TestFileSourceSegmentsConcurrent(t *testing.T) {
-	g := gen.Web(gen.WebConfig{N: 5000, OutDegree: 6, Seed: 8})
-	src, err := Open(writeTemp(t, g))
-	if err != nil {
-		t.Fatal(err)
-	}
-	defer src.Close()
-	n := g.NumEdges()
-	nodes := 4
-	per := (n + nodes - 1) / nodes
-	subs := make([]stream.Source, 0, nodes)
-	for nd := 0; nd < nodes; nd++ {
-		lo, hi := nd*per, (nd+1)*per
-		if hi > n {
-			hi = n
-		}
-		sub, err := src.Segment(lo, hi)
-		if err != nil {
-			t.Fatal(err)
-		}
-		subs = append(subs, sub)
-	}
-	out := make([][]graph.Edge, nodes)
-	errs := make([]error, nodes)
-	var wg sync.WaitGroup
-	for nd, sub := range subs {
-		wg.Add(1)
-		go func(nd int, sub stream.Source) {
-			defer wg.Done()
-			out[nd], errs[nd] = stream.Collect(sub)
-		}(nd, sub)
-	}
-	wg.Wait()
-	var all []graph.Edge
-	for nd := range subs {
-		if errs[nd] != nil {
-			t.Fatal(errs[nd])
-		}
-		all = append(all, out[nd]...)
-		if c, ok := subs[nd].(io.Closer); ok {
-			c.Close()
-		}
-	}
-	if len(all) != n {
-		t.Fatalf("shards cover %d edges, want %d", len(all), n)
-	}
-	for i := range all {
-		if all[i] != g.Edges[i] {
-			t.Fatalf("sharded read diverges at edge %d", i)
-		}
-	}
-}
-
-func TestFileSourceNestedSegments(t *testing.T) {
-	g := gen.Web(gen.WebConfig{N: 2000, OutDegree: 5, Seed: 9})
-	src, err := Open(writeTemp(t, g))
-	if err != nil {
-		t.Fatal(err)
-	}
-	defer src.Close()
-	outer, err := src.Segment(100, 900)
-	if err != nil {
-		t.Fatal(err)
-	}
-	seg, ok := outer.(stream.Segmenter)
-	if !ok {
-		t.Fatal("segment is not a Segmenter")
-	}
-	inner, err := seg.Segment(50, 150) // global [150, 250)
-	if err != nil {
-		t.Fatal(err)
-	}
-	got := collect(t, inner)
-	if len(got) != 100 {
-		t.Fatalf("nested segment has %d edges", len(got))
-	}
-	for i := range got {
-		if got[i] != g.Edges[150+i] {
-			t.Fatalf("nested segment edge %d mismatch", i)
-		}
-	}
-}
-
-func TestFileSourceSegmentBounds(t *testing.T) {
-	g := graph.New(4, []graph.Edge{{Src: 0, Dst: 1}, {Src: 1, Dst: 2}})
-	src, err := Open(writeTemp(t, g))
-	if err != nil {
-		t.Fatal(err)
-	}
-	defer src.Close()
-	for _, b := range [][2]int{{-1, 1}, {0, 3}, {2, 1}} {
-		if _, err := src.Segment(b[0], b[1]); err == nil {
-			t.Fatalf("segment %v accepted", b)
-		}
-	}
 }
 
 func TestOpenRejectsJunk(t *testing.T) {
@@ -235,37 +44,24 @@ func TestOpenRejectsJunk(t *testing.T) {
 	}
 }
 
-func TestFileSourceEmptyGraph(t *testing.T) {
-	g := graph.New(7, nil)
+// TestFileSourceClosedHandle: a closed FileSource fails cleanly and Close
+// is idempotent (the decode buffer returns to the pool exactly once).
+func TestFileSourceClosedHandle(t *testing.T) {
+	g := graph.New(4, []graph.Edge{{Src: 0, Dst: 1}, {Src: 1, Dst: 2}})
 	src, err := Open(writeTemp(t, g))
 	if err != nil {
 		t.Fatal(err)
 	}
-	defer src.Close()
-	if src.NumVertices() != 7 || src.Len() != 0 {
-		t.Fatalf("shape %d/%d", src.NumVertices(), src.Len())
-	}
-	if got := collect(t, src); len(got) != 0 {
-		t.Fatal("edges from empty graph")
-	}
-}
-
-func TestFileSourceTruncatedBody(t *testing.T) {
-	g := gen.Web(gen.WebConfig{N: 300, OutDegree: 4, Seed: 10})
-	var buf bytes.Buffer
-	if err := Write(&buf, g); err != nil {
+	if _, err := stream.Collect(src); err != nil {
 		t.Fatal(err)
 	}
-	path := filepath.Join(t.TempDir(), "trunc.cgr")
-	if err := os.WriteFile(path, buf.Bytes()[:buf.Len()/2], 0o644); err != nil {
+	if err := src.Close(); err != nil {
 		t.Fatal(err)
 	}
-	src, err := Open(path) // header is intact; the body is cut short
-	if err != nil {
+	if err := src.Close(); err != nil {
 		t.Fatal(err)
 	}
-	defer src.Close()
-	if _, err := stream.Collect(src); err == nil {
-		t.Fatal("truncated body decoded without error")
+	if err := src.Reset(); err == nil {
+		t.Fatal("Reset on closed source succeeded")
 	}
 }

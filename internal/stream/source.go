@@ -30,8 +30,10 @@ type Source interface {
 	Reset() error
 	// NextBlock returns the next run of consecutive edges in stream order.
 	// The returned slice is only valid until the next NextBlock or Reset
-	// call and must not be mutated or retained. After the last edge it
-	// returns (nil, io.EOF).
+	// call - or until the source is closed, for sources that hold
+	// resources (their decode buffers may be recycled on Close) - and must
+	// not be mutated or retained. After the last edge it returns
+	// (nil, io.EOF).
 	NextBlock() ([]graph.Edge, error)
 }
 
@@ -144,6 +146,23 @@ func ForEach(src Source, fn func(off int, blk []graph.Edge) error) error {
 		}
 		off += len(blk)
 	}
+}
+
+// Drain replays the source start to finish, discarding every block, and
+// returns the number of edges streamed. It is the pure-decode pass the
+// bench suite times to measure a backend's streaming throughput: exactly
+// the I/O and decode work of a partitioning pass with the algorithm cost
+// subtracted.
+func Drain(src Source) (int, error) {
+	n := 0
+	err := ForEach(src, func(off int, blk []graph.Edge) error {
+		n += len(blk)
+		return nil
+	})
+	if err != nil {
+		return 0, err
+	}
+	return n, nil
 }
 
 // Collect materializes a source into a fresh edge slice, resetting it
