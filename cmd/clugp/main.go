@@ -9,6 +9,7 @@
 //	clugp -preset IT -k 128 -algo CLUGP -tau 1.05 -assign out.txt
 //	clugp -in graph.cgr -stream -k 32              # out-of-core: O(|V|) heap
 //	clugp -in graph.cgr -stream -backend file      # seek-based source instead of mmap
+//	clugp -in graph.cgr -stream -workers 4         # parallel hot pass, identical results
 //	clugp -in old.cgr -recompress new.cgr          # rewrite as CGR2 (-format cgr1 for v1)
 //
 // With -stream the input must be a .cgr file (see cmd/genweb -binary),
@@ -53,6 +54,7 @@ func main() {
 		trace   = flag.Bool("trace", false, "print CLUGP per-pass diagnostics and peak heap")
 		streamF = flag.Bool("stream", false, "out-of-core mode: partition a .cgr file without loading it")
 		backend = flag.String("backend", "mmap", "file source backend for -stream: mmap or file")
+		workers = flag.Int("workers", 1, "decode workers for -stream (>1 enables the parallel hot pass; results are identical for any count)")
 		recomp  = flag.String("recompress", "", "write the loaded graph back out compressed to this file, then exit")
 		formatF = flag.String("format", "cgr2", "compressed format for -recompress: cgr1 or cgr2")
 	)
@@ -80,7 +82,7 @@ func main() {
 
 	var res *repro.PartitionResult
 	if *streamF {
-		res, err = runStreaming(p, *in, *k, *out, *backend, heap)
+		res, err = runStreaming(p, *in, *k, *out, *backend, *workers, heap)
 	} else {
 		res, err = runInMemory(p, *in, *preset, *scale, *k, *seed, *out, heap)
 	}
@@ -151,8 +153,10 @@ func runInMemory(p repro.Partitioner, in, preset string, scale float64, k int, s
 }
 
 // runStreaming is the out-of-core path: the .cgr file is the stream; the
-// assignment is emitted as it is produced and never materialized.
-func runStreaming(p repro.Partitioner, in string, k int, out, backend string, heap *heapWatermark) (*repro.PartitionResult, error) {
+// assignment is emitted as it is produced and never materialized. With
+// workers > 1 decode and quality accounting run on worker fleets; the
+// emitted assignment and quality are identical to the serial pass.
+func runStreaming(p repro.Partitioner, in string, k int, out, backend string, workers int, heap *heapWatermark) (*repro.PartitionResult, error) {
 	if in == "" {
 		return nil, fmt.Errorf("-stream needs -in FILE.cgr")
 	}
@@ -204,7 +208,7 @@ func runStreaming(p repro.Partitioner, in string, k int, out, backend string, he
 		return nil
 	}
 	stop := heap.watch()
-	res, err := repro.RunOutOfCore(p, src, k, emit)
+	res, err := repro.RunOutOfCoreOpts(p, src, k, emit, repro.OutOfCoreOptions{Workers: workers})
 	stop()
 	if err != nil {
 		return nil, err

@@ -44,7 +44,7 @@ func main() {
 		name     = flag.String("name", "suite", "experiment name for the JSON report filename")
 		seeds    = flag.Int("seeds", 1, "number of seed replicates per suite cell (seed, seed+1, ...)")
 		rtol     = flag.Float64("rtol", 0, "runtime regression tolerance for -baseline (0 = default 0.5; CI on unmatched hardware should raise it)")
-		streamC  = flag.Bool("streamcells", true, "measure the out-of-core streaming grid (backend x format: bytes/edge, decode, streaming CLUGP) in suite mode")
+		streamC  = flag.Bool("streamcells", true, "measure the out-of-core streaming grids (backend x format, plus parallel decode-worker scaling) in suite mode")
 		algoList = flag.String("algos", "", "comma-separated algorithms for the suite (default: the paper's six)")
 		dsList   = flag.String("datasets", "", "comma-separated datasets for the suite (default: all five)")
 		ksList   = flag.String("ks", "", "comma-separated partition counts for the suite (default: 4..256)")

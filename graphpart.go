@@ -297,6 +297,29 @@ func RunOutOfCore(p Partitioner, src StreamSource, k int, emit Emit) (*Partition
 	return partition.RunOutOfCore(p, src, k, emit)
 }
 
+// OutOfCoreOptions tune the out-of-core pass; Workers > 1 enables the
+// parallel hot pass (multi-worker decode plus sharded quality accounting)
+// with results bit-identical to the serial pass for any worker count.
+type OutOfCoreOptions = partition.OutOfCoreOptions
+
+// RunOutOfCoreOpts is RunOutOfCore with the parallel hot pass available.
+func RunOutOfCoreOpts(p Partitioner, src StreamSource, k int, emit Emit, opts OutOfCoreOptions) (*PartitionResult, error) {
+	return partition.RunOutOfCoreOpts(p, src, k, emit, opts)
+}
+
+// ParallelStreamConfig sizes a parallel decode pipeline; the zero value
+// picks sensible defaults (GOMAXPROCS workers). Every knob affects
+// scheduling only, never which edges appear in which position.
+type ParallelStreamConfig = stream.ParallelConfig
+
+// ParallelStream wraps a segmentable source in a multi-worker decode
+// pipeline that delivers exactly the base stream - same edges, same order,
+// for any worker count - in fixed-size batches decoded concurrently. Close
+// the returned source to release the workers; the base stays open.
+func ParallelStream(base StreamSegmenter, cfg ParallelStreamConfig) (*stream.ParallelSource, error) {
+	return stream.Parallel(base, cfg)
+}
+
 // EvaluatePartition recomputes quality metrics from an edge assignment.
 func EvaluatePartition(edges []Edge, assign []int32, numVertices, k int) (*Quality, error) {
 	return metrics.Evaluate(stream.Of(edges).Source(numVertices), assign, k)

@@ -1,0 +1,88 @@
+package bench
+
+import (
+	"bytes"
+	"testing"
+)
+
+// TestParallelCells pins the scaling grid's invariants: one cell per
+// algorithm x worker count per dataset, quality bit-identical down each
+// workers column (the run-time gate), the workers=1 reference at
+// speedup 1.0, and every cell measured.
+func TestParallelCells(t *testing.T) {
+	rep, err := RunSuite(streamSuite())
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := len(parallelAlgos) * len(parallelWorkers)
+	if len(rep.ParallelCells) != want {
+		t.Fatalf("got %d parallel cells, want %d", len(rep.ParallelCells), want)
+	}
+	ref := map[string]ParallelCell{}
+	for _, c := range rep.ParallelCells {
+		if c.PartitionNS <= 0 {
+			t.Errorf("%s: missing runtime: %+v", c.ID(), c)
+		}
+		if c.Workers == 1 {
+			if c.Speedup != 1 || c.Efficiency != 1 {
+				t.Errorf("%s: serial reference has speedup %v / efficiency %v", c.ID(), c.Speedup, c.Efficiency)
+			}
+			ref[c.Dataset+"/"+c.Algorithm] = c
+			continue
+		}
+		r, ok := ref[c.Dataset+"/"+c.Algorithm]
+		if !ok {
+			t.Fatalf("%s: no workers=1 reference preceding it", c.ID())
+		}
+		if c.ReplicationFactor != r.ReplicationFactor || c.RelativeBalance != r.RelativeBalance {
+			t.Errorf("%s: quality diverges from serial", c.ID())
+		}
+		if c.Speedup <= 0 || c.Efficiency <= 0 {
+			t.Errorf("%s: unmeasured scaling: %+v", c.ID(), c)
+		}
+	}
+
+	var buf bytes.Buffer
+	if err := rep.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadReport(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back.ParallelCells) != len(rep.ParallelCells) || back.ParallelCells[0] != rep.ParallelCells[0] {
+		t.Fatal("parallel cells mangled by JSON round trip")
+	}
+
+	// Diff gating: self-diff clean, injected quality drift flagged at exact
+	// tolerance, missing grid skipped rather than phantom-flagged.
+	clean := Diff(rep, rep, DiffOptions{})
+	if clean.HasRegressions() {
+		t.Fatalf("self-diff regressed: %+v", clean.Regressions)
+	}
+	if clean.ParallelSkipped != "" {
+		t.Fatalf("self-diff skipped parallel cells: %s", clean.ParallelSkipped)
+	}
+	worse := *rep
+	worse.ParallelCells = append([]ParallelCell(nil), rep.ParallelCells...)
+	worse.ParallelCells[1].ReplicationFactor *= 1.000001
+	d := Diff(rep, &worse, DiffOptions{})
+	found := false
+	for _, r := range d.Regressions {
+		if r.Metric == "replication_factor" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("quality drift in a parallel cell not flagged: %+v", d.Regressions)
+	}
+	old := *rep
+	old.ParallelCells = nil
+	d = Diff(&old, rep, DiffOptions{})
+	if d.ParallelSkipped == "" {
+		t.Fatal("baseline without parallel cells should skip the comparison")
+	}
+	if d.HasRegressions() {
+		t.Fatalf("skip still produced regressions: %+v", d.Regressions)
+	}
+}

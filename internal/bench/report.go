@@ -80,6 +80,11 @@ type Report struct {
 	// StreamCells holds the out-of-core streaming grid (dataset x backend
 	// x on-disk format), when the suite ran with Streaming enabled.
 	StreamCells []StreamCell `json:"stream_cells,omitempty"`
+	// ParallelCells holds the parallel-streaming scaling grid (dataset x
+	// algorithm x decode workers), when the suite ran with Streaming
+	// enabled. Quality is gated against the workers=1 cell at measurement
+	// time, so the column is bit-identical by construction.
+	ParallelCells []ParallelCell `json:"parallel_cells,omitempty"`
 }
 
 // Filename is the canonical on-disk name for the report.
@@ -189,6 +194,22 @@ func (r *Report) Table() []Table {
 		}
 		tables = append(tables, t)
 	}
+	if len(r.ParallelCells) > 0 {
+		t := Table{
+			ID:     fmt.Sprintf("%s-parallel", r.Experiment),
+			Title:  fmt.Sprintf("Parallel streaming scaling (scale %.2f, mmap/CGR2, k=%d)", r.Scale, streamK),
+			Header: []string{"dataset", "algorithm", "workers", "runtime(ms)", "speedup", "efficiency", "RF"},
+			Note:   "quality is gated bit-identical to workers=1 when measured; efficiency = speedup/workers",
+		}
+		for _, c := range r.ParallelCells {
+			t.AddRow(c.Dataset, c.Algorithm, fmt.Sprintf("%d", c.Workers),
+				fmt.Sprintf("%.1f", float64(c.PartitionNS)/1e6),
+				fmt.Sprintf("%.2fx", c.Speedup),
+				fmt.Sprintf("%.2f", c.Efficiency),
+				f3(c.ReplicationFactor))
+		}
+		tables = append(tables, t)
+	}
 	return tables
 }
 
@@ -275,6 +296,9 @@ type DiffResult struct {
 	// StreamSkipped is non-empty when the streaming grid was not compared
 	// (either report lacks stream cells).
 	StreamSkipped string `json:"stream_skipped,omitempty"`
+	// ParallelSkipped is non-empty when the parallel-streaming grid was not
+	// compared (either report lacks parallel cells).
+	ParallelSkipped string `json:"parallel_skipped,omitempty"`
 	// OnlyBaseline and OnlyCurrent list cells without a counterpart.
 	OnlyBaseline []string `json:"only_baseline,omitempty"`
 	OnlyCurrent  []string `json:"only_current,omitempty"`
@@ -362,6 +386,7 @@ func Diff(baseline, current *Report, opts DiffOptions) *DiffResult {
 		}
 	}
 	d.diffStreamCells(baseline, current, opts)
+	d.diffParallelCells(baseline, current, opts)
 	sort.Slice(d.Regressions, func(i, j int) bool { return d.Regressions[i].Relative > d.Regressions[j].Relative })
 	sort.Slice(d.Improvements, func(i, j int) bool { return d.Improvements[i].Relative < d.Improvements[j].Relative })
 	return d
@@ -414,6 +439,53 @@ func (d *DiffResult) diffStreamCells(baseline, current *Report, opts DiffOptions
 		}
 	}
 	for _, c := range baseline.StreamCells {
+		if !seen[c.ID()] {
+			d.OnlyBaseline = append(d.OnlyBaseline, c.ID())
+		}
+	}
+}
+
+// diffParallelCells joins the parallel-streaming scaling grids. Quality is
+// gated exactly (it is bit-identical to the serial pass by construction, so
+// any drift is a determinism break, not noise); the per-cell wall clock
+// uses the runtime tolerance. Speedup and efficiency are derived from the
+// runtimes and hardware-dependent, so they are never diffed themselves.
+func (d *DiffResult) diffParallelCells(baseline, current *Report, opts DiffOptions) {
+	switch {
+	case len(baseline.ParallelCells) == 0 && len(current.ParallelCells) == 0:
+		return
+	case len(baseline.ParallelCells) == 0:
+		d.ParallelSkipped = "baseline has no parallel cells"
+		return
+	case len(current.ParallelCells) == 0:
+		d.ParallelSkipped = "current report has no parallel cells"
+		return
+	}
+	base := make(map[string]ParallelCell, len(baseline.ParallelCells))
+	for _, c := range baseline.ParallelCells {
+		base[c.ID()] = c
+	}
+	seen := make(map[string]bool, len(current.ParallelCells))
+	for _, cur := range current.ParallelCells {
+		id := cur.ID()
+		seen[id] = true
+		old, ok := base[id]
+		if !ok {
+			d.OnlyCurrent = append(d.OnlyCurrent, id)
+			continue
+		}
+		d.Matched++
+		if old.Vertices != cur.Vertices || old.Edges != cur.Edges {
+			d.Incomparable = append(d.Incomparable, id)
+			continue
+		}
+		d.classify(id, "replication_factor", old.ReplicationFactor, cur.ReplicationFactor, opts.QualityTolerance)
+		d.classify(id, "relative_balance", old.RelativeBalance, cur.RelativeBalance, opts.QualityTolerance)
+		if d.RuntimeSkipped == "" && abs64(cur.PartitionNS-old.PartitionNS) >= opts.RuntimeFloorNS {
+			d.classify(id, "partition", float64(old.PartitionNS), float64(cur.PartitionNS), opts.RuntimeTolerance)
+		}
+	}
+	for _, c := range baseline.ParallelCells {
 		if !seen[c.ID()] {
 			d.OnlyBaseline = append(d.OnlyBaseline, c.ID())
 		}
@@ -490,6 +562,9 @@ func (d *DiffResult) Table() Table {
 	}
 	if d.StreamSkipped != "" {
 		notes = append(notes, "stream cells not compared: "+d.StreamSkipped)
+	}
+	if d.ParallelSkipped != "" {
+		notes = append(notes, "parallel cells not compared: "+d.ParallelSkipped)
 	}
 	if n := len(d.OnlyBaseline) + len(d.OnlyCurrent); n > 0 {
 		notes = append(notes, fmt.Sprintf("%d cells without a counterpart (grid changed): baseline-only %d, current-only %d",

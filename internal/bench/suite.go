@@ -35,8 +35,10 @@ type SuiteConfig struct {
 	Workers int
 	// Streaming additionally measures the out-of-core streaming grid
 	// (source backend x on-disk format: bytes/edge, decode throughput,
-	// streaming CLUGP wall clock) after the main grid. The cells time wall
-	// clock, so they always run serially regardless of Workers.
+	// streaming CLUGP wall clock) and the parallel-streaming scaling grid
+	// (algorithm x decode workers, quality gated bit-identical to the
+	// serial cell) after the main grid. The cells time wall clock, so they
+	// always run serially regardless of Workers.
 	Streaming bool
 	// StreamDatasets selects the datasets of the streaming grid. Empty
 	// means the default clustered pair (UK, IT).
@@ -172,12 +174,18 @@ func RunSuiteParallel(cfg SuiteConfig) (*Report, error) {
 		}
 	}
 	var streamCells []StreamCell
+	var parallelCells []ParallelCell
 	if cfg.Streaming {
 		sc, err := runStreamCells(cfg)
 		if err != nil {
 			return nil, err
 		}
 		streamCells = sc
+		pc, err := runParallelCells(cfg)
+		if err != nil {
+			return nil, err
+		}
+		parallelCells = pc
 	}
 	return &Report{
 		Experiment:        "suite",
@@ -193,6 +201,7 @@ func RunSuiteParallel(cfg SuiteConfig) (*Report, error) {
 		StreamOrdersBuilt: cache.Builds(),
 		Cells:             cells,
 		StreamCells:       streamCells,
+		ParallelCells:     parallelCells,
 	}, nil
 }
 

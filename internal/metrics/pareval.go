@@ -1,0 +1,171 @@
+package metrics
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/graph"
+)
+
+// obs is one batch broadcast to every shard worker: the edges and their
+// partition assignments, valid only until the workers acknowledge.
+type obs struct {
+	edges  []graph.Edge
+	assign []int32
+}
+
+// ParallelEvaluator accumulates partition quality like Evaluator, but its
+// replica-table maintenance runs on a fleet of shard workers over a
+// vertex-range ShardedReplicaSets: each worker owns a contiguous vertex
+// range (one shard), scans every observed batch, and applies the replica
+// and seen updates only for endpoints inside its range. Ownership is
+// disjoint, so the workers share the table without locks, and every update
+// is a commutative bitset OR, so the accumulated state - and the resulting
+// Quality - is bit-identical to the serial Evaluator whatever the shard
+// count or scheduling (held by TestParallelEvaluatorMatchesSerial and the
+// -race suite).
+//
+// Observe is synchronous: it returns after every worker has finished the
+// batch, so the caller's batch buffers can be recycled immediately -
+// exactly the Emit contract of the out-of-core path, whose parallel mode
+// (partition.RunOutOfCoreOpts with Workers > 1) is the intended caller.
+// Like Evaluator, a ParallelEvaluator must be driven by one goroutine;
+// the concurrency is internal.
+type ParallelEvaluator struct {
+	rs   ShardedReplicaSets
+	seen []bool // shared storage; workers write disjoint index ranges
+
+	k           int
+	numVertices int
+	sizes       []int64
+	edges       int64
+
+	in      []chan obs
+	done    chan struct{}
+	wg      sync.WaitGroup
+	running bool
+}
+
+// Begin clears the evaluator for a stream over numVertices vertices and k
+// partitions, and spawns one worker per shard. shards < 1 means 1. Every
+// Begin must be paired with Finish (or Stop on error paths) to join the
+// fleet.
+func (ev *ParallelEvaluator) Begin(numVertices, k, shards int) {
+	ev.Stop()
+	ev.rs.Reset(numVertices, k, shards)
+	if cap(ev.seen) < numVertices {
+		ev.seen = make([]bool, numVertices)
+	} else {
+		ev.seen = ev.seen[:numVertices]
+		clear(ev.seen)
+	}
+	ev.k = k
+	ev.numVertices = numVertices
+	ev.sizes = make([]int64, k)
+	ev.edges = 0
+
+	n := ev.rs.NumShards()
+	ev.in = make([]chan obs, n)
+	ev.done = make(chan struct{}, n)
+	for i := 0; i < n; i++ {
+		ev.in[i] = make(chan obs)
+		ev.wg.Add(1)
+		go ev.worker(i, ev.in[i])
+	}
+	ev.running = true
+}
+
+// worker applies shard i's slice of every batch: replica bits and seen
+// marks for endpoints in [lo, hi), through the shard's own table.
+func (ev *ParallelEvaluator) worker(i int, in chan obs) {
+	defer ev.wg.Done()
+	lo, hi := ev.rs.ShardRange(i)
+	vlo, vhi := graph.VertexID(lo), graph.VertexID(hi)
+	tab := ev.rs.Shard(i)
+	seen := ev.seen
+	for o := range in {
+		for j, e := range o.edges {
+			p := int(o.assign[j])
+			if e.Src >= vlo && e.Src < vhi {
+				tab.Add(e.Src-vlo, p)
+				seen[e.Src] = true
+			}
+			if e.Dst >= vlo && e.Dst < vhi {
+				tab.Add(e.Dst-vlo, p)
+				seen[e.Dst] = true
+			}
+		}
+		ev.done <- struct{}{}
+	}
+}
+
+// Observe accumulates one run of streamed edges with their assignments. It
+// validates and tallies partition sizes inline, broadcasts the batch to the
+// shard workers, and returns once all of them have applied it.
+func (ev *ParallelEvaluator) Observe(edges []graph.Edge, assign []int32) error {
+	if len(edges) != len(assign) {
+		return fmt.Errorf("metrics: observed %d edges with %d assignments", len(edges), len(assign))
+	}
+	sizes, k := ev.sizes, ev.k
+	for i, p := range assign {
+		if p < 0 || int(p) >= k {
+			return fmt.Errorf("metrics: edge %d assigned to invalid partition %d (k=%d)", ev.edges+int64(i), p, k)
+		}
+		sizes[p]++
+	}
+	o := obs{edges: edges, assign: assign}
+	for _, in := range ev.in {
+		in <- o
+	}
+	for range ev.in {
+		<-ev.done
+	}
+	ev.edges += int64(len(edges))
+	return nil
+}
+
+// Finish joins the fleet and summarises everything observed since Begin.
+func (ev *ParallelEvaluator) Finish() *Quality {
+	ev.Stop()
+	q := &Quality{K: ev.k, Sizes: ev.sizes, MinSize: int64(^uint64(0) >> 1)}
+	for _, sz := range ev.sizes {
+		if sz > q.MaxSize {
+			q.MaxSize = sz
+		}
+		if sz < q.MinSize {
+			q.MinSize = sz
+		}
+	}
+	for i := 0; i < ev.rs.NumShards(); i++ {
+		lo, hi := ev.rs.ShardRange(i)
+		tab := ev.rs.Shard(i)
+		for v := lo; v < hi; v++ {
+			if !ev.seen[v] {
+				continue
+			}
+			q.Vertices++
+			q.Replicas += int64(tab.Count(graph.VertexID(v - lo)))
+		}
+	}
+	if q.Vertices > 0 {
+		q.ReplicationFactor = float64(q.Replicas) / float64(q.Vertices)
+	}
+	if ev.edges > 0 {
+		q.RelativeBalance = float64(ev.k) * float64(q.MaxSize) / float64(ev.edges)
+	}
+	return q
+}
+
+// Stop joins the shard workers without producing a result - the error-path
+// counterpart of Finish. Idempotent; safe on a zero-value evaluator.
+func (ev *ParallelEvaluator) Stop() {
+	if !ev.running {
+		return
+	}
+	for _, in := range ev.in {
+		close(in)
+	}
+	ev.wg.Wait()
+	ev.in = nil
+	ev.running = false
+}

@@ -1,0 +1,197 @@
+package partition
+
+import (
+	"fmt"
+	"os"
+	"testing"
+
+	"repro/internal/gen"
+	"repro/internal/graph"
+	"repro/internal/store"
+	"repro/internal/stream"
+)
+
+// collectOutOfCore runs the out-of-core pass with the given options and
+// returns the emitted assignment plus the result.
+func collectOutOfCore(t *testing.T, p Partitioner, src stream.Source, k int, opts OutOfCoreOptions) ([]int32, *Result) {
+	t.Helper()
+	var assign []int32
+	res, err := RunOutOfCoreOpts(p, src, k, func(edges []graph.Edge, as []int32) error {
+		assign = append(assign, as...)
+		return nil
+	}, opts)
+	if err != nil {
+		t.Fatalf("%s (workers=%d): %v", p.Name(), opts.Workers, err)
+	}
+	return assign, res
+}
+
+// TestParallelWorkerInvariance is the worker-invariance criterion of the
+// parallel hot pass: for every algorithm, on every source backend, over
+// every on-disk format, the parallel out-of-core run must emit an
+// assignment bit-identical to the serial run - and identical quality - for
+// every worker count, including one that divides nothing (7). BatchEdges is
+// forced small so even the test graph spans many batches and segments and
+// the workers genuinely interleave.
+func TestParallelWorkerInvariance(t *testing.T) {
+	g := gen.Web(gen.WebConfig{N: 2500, OutDegree: 6, IntraSite: 0.85, Seed: 51})
+	k := 8
+	for _, fb := range fileBackends() {
+		t.Run(fb.name, func(t *testing.T) {
+			path := writeCGRFormat(t, g, fb.format)
+			for _, p := range outOfCorePartitioners(t) {
+				src, err := fb.open(path)
+				if err != nil {
+					t.Fatal(err)
+				}
+				serial, serialRes := collectOutOfCore(t, p, src, k, OutOfCoreOptions{})
+				for _, workers := range []int{1, 2, 4, 7} {
+					par, parRes := collectOutOfCore(t, p, src, k, OutOfCoreOptions{
+						Workers:    workers,
+						BatchEdges: 512,
+					})
+					if len(par) != len(serial) {
+						t.Fatalf("%s workers=%d: emitted %d assignments, serial %d",
+							p.Name(), workers, len(par), len(serial))
+					}
+					for i := range par {
+						if par[i] != serial[i] {
+							t.Fatalf("%s workers=%d: assignment diverges from serial at edge %d (%d vs %d)",
+								p.Name(), workers, i, par[i], serial[i])
+						}
+					}
+					if parRes.Quality.ReplicationFactor != serialRes.Quality.ReplicationFactor {
+						t.Fatalf("%s workers=%d: RF %v != serial %v",
+							p.Name(), workers, parRes.Quality.ReplicationFactor, serialRes.Quality.ReplicationFactor)
+					}
+					if parRes.Quality.RelativeBalance != serialRes.Quality.RelativeBalance {
+						t.Fatalf("%s workers=%d: balance %v != serial %v",
+							p.Name(), workers, parRes.Quality.RelativeBalance, serialRes.Quality.RelativeBalance)
+					}
+					if parRes.Quality.Replicas != serialRes.Quality.Replicas ||
+						parRes.Quality.Vertices != serialRes.Quality.Vertices {
+						t.Fatalf("%s workers=%d: replica accounting diverges", p.Name(), workers)
+					}
+				}
+				src.Close()
+			}
+		})
+	}
+}
+
+// TestParallelWorkerInvarianceInMemory covers the in-memory segmentable
+// source (ViewSource), whose natural-order fast path returns one giant
+// block: the parallel pipeline must still cut exact fixed-size batches.
+func TestParallelWorkerInvarianceInMemory(t *testing.T) {
+	g := gen.Web(gen.WebConfig{N: 1500, OutDegree: 5, Seed: 52})
+	src := stream.Of(g.Edges).Source(g.NumVertices)
+	for _, p := range []Partitioner{&HDRF{}, &CLUGP{Seed: 2}} {
+		serial, _ := collectOutOfCore(t, p, src, 6, OutOfCoreOptions{})
+		for _, workers := range []int{2, 7} {
+			par, _ := collectOutOfCore(t, p, src, 6, OutOfCoreOptions{Workers: workers, BatchEdges: 300})
+			for i := range par {
+				if par[i] != serial[i] {
+					t.Fatalf("%s workers=%d: diverges at edge %d", p.Name(), workers, i)
+				}
+			}
+		}
+	}
+}
+
+// TestParallelFallsBackWithoutSegmenter: a source that cannot segment runs
+// the serial pass (same results, no error) even when workers are requested.
+type unsegmentable struct{ stream.Source }
+
+func TestParallelFallsBackWithoutSegmenter(t *testing.T) {
+	g := gen.Web(gen.WebConfig{N: 500, OutDegree: 4, Seed: 53})
+	src := stream.Of(g.Edges).Source(g.NumVertices)
+	serial, _ := collectOutOfCore(t, &DBH{}, src, 4, OutOfCoreOptions{})
+	fell, _ := collectOutOfCore(t, &DBH{}, unsegmentable{src}, 4, OutOfCoreOptions{Workers: 8})
+	for i := range fell {
+		if fell[i] != serial[i] {
+			t.Fatalf("fallback diverges at edge %d", i)
+		}
+	}
+}
+
+// TestParallelOutOfCoreRace is the dedicated race workload: repeated
+// parallel passes with several worker counts over the mmap backend, so the
+// decode fleet hammers concurrent Segment cursors on one shared mapping
+// while the shard fleet writes the sharded replica tables. Run under
+// -race in CI; assertions are minimal because the test's job is the
+// schedule, not the values (TestParallelWorkerInvariance pins those).
+func TestParallelOutOfCoreRace(t *testing.T) {
+	g := gen.Web(gen.WebConfig{N: 2000, OutDegree: 8, IntraSite: 0.8, Seed: 54})
+	path := writeCGRFormat(t, g, store.FormatCGR2)
+	src, err := store.OpenMmap(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer src.Close()
+	for round := 0; round < 3; round++ {
+		for _, workers := range []int{2, 3, 5} {
+			for _, p := range []Partitioner{&DBH{Seed: 1}, &CLUGP{Seed: 1}, &DistributedCLUGP{Nodes: 3, Seed: 1}} {
+				res, err := RunOutOfCoreOpts(p, src, 8, nil, OutOfCoreOptions{
+					Workers:    workers,
+					BatchEdges: 256 + 64*round, // shift batch boundaries between rounds
+				})
+				if err != nil {
+					t.Fatalf("%s workers=%d round=%d: %v", p.Name(), workers, round, err)
+				}
+				if got := res.Quality.Sizes; len(got) != 8 {
+					t.Fatalf("%s: %d partition sizes", p.Name(), len(got))
+				}
+				var sum int64
+				for _, s := range res.Quality.Sizes {
+					sum += s
+				}
+				if sum != int64(g.NumEdges()) {
+					t.Fatalf("%s workers=%d: sizes sum %d, want %d", p.Name(), workers, sum, g.NumEdges())
+				}
+			}
+		}
+	}
+}
+
+// TestRunOutOfCoreOptsRejectsBadK covers the shared precondition on the
+// options path too.
+func TestRunOutOfCoreOptsRejectsBadK(t *testing.T) {
+	src := stream.Of([]graph.Edge{{Src: 0, Dst: 1}}).Source(2)
+	if _, err := RunOutOfCoreOpts(&Hashing{}, src, 0, nil, OutOfCoreOptions{Workers: 4}); err == nil {
+		t.Fatal("k=0 accepted")
+	}
+}
+
+// BenchmarkOutOfCoreWorkers measures the parallel hot pass end to end on
+// the mmap/CGR2 backend - the configuration the bench suite's scaling
+// cells use.
+func BenchmarkOutOfCoreWorkers(b *testing.B) {
+	g := gen.Web(gen.WebConfig{N: 20000, OutDegree: 15, IntraSite: 0.85, Seed: 55})
+	path := b.TempDir() + "/g.cgr"
+	f, err := os.Create(path)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := store.WriteFormat(f, g, store.FormatCGR2); err != nil {
+		b.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		b.Fatal(err)
+	}
+	src, err := store.OpenMmap(path)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer src.Close()
+	for _, workers := range []int{1, 2, 4} {
+		b.Run(fmt.Sprintf("dbh/w%d", workers), func(b *testing.B) {
+			p := &DBH{Seed: 1}
+			b.SetBytes(int64(g.NumEdges()) * 8)
+			for i := 0; i < b.N; i++ {
+				if _, err := RunOutOfCoreOpts(p, src, 32, nil, OutOfCoreOptions{Workers: workers}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

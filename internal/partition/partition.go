@@ -162,6 +162,27 @@ func RunStreamed(p Partitioner, src stream.Source, order stream.Order, k int) (*
 	return res, nil
 }
 
+// OutOfCoreOptions tune the out-of-core streaming pass. The zero value is
+// the serial mode RunOutOfCore has always run.
+type OutOfCoreOptions struct {
+	// Workers enables the parallel hot pass when > 1 and the source can be
+	// segmented (every source in this repository can): a fleet of Workers
+	// decode goroutines pulls disjoint stream.Segmenter ranges and feeds the
+	// assignment stage fixed-size batches committed in segment order, and
+	// quality accounting runs on Workers vertex-range shard workers over a
+	// metrics.ShardedReplicaSets. Assignments and quality are bit-identical
+	// to the serial pass for any worker count - the decode/merge pipeline
+	// preserves exact stream order and the sharded accounting is
+	// commutative - which TestParallelWorkerInvariance holds across every
+	// algorithm x backend x format combination. Sources that cannot segment
+	// fall back to the serial pass.
+	Workers int
+	// BatchEdges is the parallel pipeline's batch granularity (0 = the
+	// stream.ParallelConfig default). Affects scheduling only, never
+	// results.
+	BatchEdges int
+}
+
 // RunOutOfCore partitions a source in its stored (natural) order without
 // materializing the assignment: each finalized run of assignments is scored
 // incrementally and forwarded to emit (which may be nil to discard them,
@@ -174,6 +195,22 @@ func RunStreamed(p Partitioner, src stream.Source, order stream.Order, k int) (*
 // includes it, unlike the in-memory runners which evaluate after the
 // timed pass.
 func RunOutOfCore(p Partitioner, src stream.Source, k int, emit Emit) (*Result, error) {
+	return RunOutOfCoreOpts(p, src, k, emit, OutOfCoreOptions{})
+}
+
+// qualityObserver is the incremental accounting seam between the serial
+// metrics.Evaluator and the sharded metrics.ParallelEvaluator.
+type qualityObserver interface {
+	Observe(edges []graph.Edge, assign []int32) error
+	Finish() *metrics.Quality
+}
+
+// RunOutOfCoreOpts is RunOutOfCore with the parallel hot pass available:
+// with opts.Workers > 1 the decode stage and the quality accounting run on
+// worker fleets (see OutOfCoreOptions.Workers) while the algorithm's own
+// assignment loop stays sequential over the exactly-ordered batch stream,
+// keeping results bit-identical to the serial pass.
+func RunOutOfCoreOpts(p Partitioner, src stream.Source, k int, emit Emit, opts OutOfCoreOptions) (*Result, error) {
 	if k < 1 {
 		return nil, fmt.Errorf("partition: k must be >= 1, got %d", k)
 	}
@@ -181,8 +218,33 @@ func RunOutOfCore(p Partitioner, src stream.Source, k int, emit Emit) (*Result, 
 	if !ok {
 		return nil, fmt.Errorf("partition: %s cannot stream its assignment (no StreamingPartitioner)", p.Name())
 	}
-	var ev metrics.Evaluator
-	ev.Begin(src.NumVertices(), k)
+	orig := src
+	parallel := false
+	if opts.Workers > 1 {
+		if seg, isSeg := src.(stream.Segmenter); isSeg {
+			par, err := stream.Parallel(seg, stream.ParallelConfig{
+				Workers:    opts.Workers,
+				BatchEdges: opts.BatchEdges,
+			})
+			if err != nil {
+				return nil, fmt.Errorf("partition: %s: %w", p.Name(), err)
+			}
+			defer par.Close()
+			src = par
+			parallel = true
+		}
+	}
+	var ev qualityObserver
+	if parallel {
+		pev := &metrics.ParallelEvaluator{}
+		pev.Begin(src.NumVertices(), k, opts.Workers)
+		defer pev.Stop()
+		ev = pev
+	} else {
+		sev := &metrics.Evaluator{}
+		sev.Begin(src.NumVertices(), k)
+		ev = sev
+	}
 	start := time.Now()
 	err := sp.PartitionStream(src, k, func(edges []graph.Edge, assign []int32) error {
 		if err := ev.Observe(edges, assign); err != nil {
@@ -202,9 +264,11 @@ func RunOutOfCore(p Partitioner, src stream.Source, k int, emit Emit) (*Result, 
 		Order:       stream.Natural,
 		K:           k,
 		NumVertices: src.NumVertices(),
-		Stream:      src,
-		Quality:     ev.Finish(),
-		Runtime:     elapsed,
+		// The caller's source, not the parallel wrapper: the wrapper's
+		// fleet is released when this function returns.
+		Stream:  orig,
+		Quality: ev.Finish(),
+		Runtime: elapsed,
 	}
 	if sz, ok := p.(StateSizer); ok {
 		res.StateBytes = sz.StateBytes(src.NumVertices(), src.Len(), k)

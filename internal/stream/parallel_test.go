@@ -1,0 +1,297 @@
+package stream
+
+import (
+	"fmt"
+	"io"
+	"math/rand/v2"
+	"testing"
+
+	"repro/internal/graph"
+)
+
+// seqEdges builds n distinguishable edges so any reordering, duplication or
+// loss shows up in a plain equality check.
+func seqEdges(n int) []graph.Edge {
+	edges := make([]graph.Edge, n)
+	for i := range edges {
+		edges[i] = graph.Edge{Src: graph.VertexID(i), Dst: graph.VertexID(i + 1)}
+	}
+	return edges
+}
+
+func parallelOver(t *testing.T, edges []graph.Edge, cfg ParallelConfig) *ParallelSource {
+	t.Helper()
+	par, err := Parallel(Of(edges).Source(len(edges)+1), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { par.Close() })
+	return par
+}
+
+// TestParallelDeliversExactStream: whatever the worker count, batch size,
+// segment size or prefetch depth, the wrapper must deliver exactly the base
+// stream - same edges, same order, and batch boundaries that are a pure
+// function of BatchEdges.
+func TestParallelDeliversExactStream(t *testing.T) {
+	edges := seqEdges(10007) // prime: nothing divides evenly
+	for _, cfg := range []ParallelConfig{
+		{},
+		{Workers: 1},
+		{Workers: 2, BatchEdges: 512},
+		{Workers: 4, BatchEdges: 100, SegmentBatches: 3, Depth: 2},
+		{Workers: 7, BatchEdges: 64, SegmentBatches: 1, Depth: 1},
+		{Workers: 64, BatchEdges: 33, SegmentBatches: 2},
+	} {
+		t.Run(fmt.Sprintf("w%d_b%d_s%d_d%d", cfg.Workers, cfg.BatchEdges, cfg.SegmentBatches, cfg.Depth), func(t *testing.T) {
+			par := parallelOver(t, edges, cfg)
+			if par.NumVertices() != len(edges)+1 || par.Len() != len(edges) {
+				t.Fatalf("shape %d/%d", par.NumVertices(), par.Len())
+			}
+			got := sourceEdges(t, par)
+			if len(got) != len(edges) {
+				t.Fatalf("streamed %d edges, want %d", len(got), len(edges))
+			}
+			for i := range got {
+				if got[i] != edges[i] {
+					t.Fatalf("edge %d: got %v want %v", i, got[i], edges[i])
+				}
+			}
+		})
+	}
+}
+
+// TestParallelBatchBoundariesFixed: batch b must cover edges
+// [b*B, (b+1)*B) regardless of the worker count - the invariant the
+// deterministic merge rests on.
+func TestParallelBatchBoundariesFixed(t *testing.T) {
+	edges := seqEdges(1000)
+	for _, workers := range []int{1, 2, 3, 7} {
+		par := parallelOver(t, edges, ParallelConfig{Workers: workers, BatchEdges: 96, SegmentBatches: 2})
+		if err := par.Reset(); err != nil {
+			t.Fatal(err)
+		}
+		off := 0
+		for {
+			blk, err := par.NextBlock()
+			if err == io.EOF {
+				break
+			}
+			if err != nil {
+				t.Fatal(err)
+			}
+			want := 96
+			if off+want > len(edges) {
+				want = len(edges) - off
+			}
+			if len(blk) != want {
+				t.Fatalf("workers=%d: batch at %d has %d edges, want %d", workers, off, len(blk), want)
+			}
+			off += len(blk)
+		}
+	}
+}
+
+// TestParallelMultiPass: Reset must rewind to edge 0 and redeliver the
+// identical stream - the multi-pass contract CLUGP's three passes need.
+func TestParallelMultiPass(t *testing.T) {
+	edges := seqEdges(3000)
+	par := parallelOver(t, edges, ParallelConfig{Workers: 3, BatchEdges: 128, SegmentBatches: 2})
+	for pass := 0; pass < 3; pass++ {
+		got := sourceEdges(t, par)
+		if len(got) != len(edges) || got[0] != edges[0] || got[len(got)-1] != edges[len(edges)-1] {
+			t.Fatalf("pass %d: stream diverged", pass)
+		}
+	}
+}
+
+// TestParallelResetMidStream: abandoning a pass partway (restreaming
+// restarts, error recovery) must not deadlock or corrupt the next pass.
+func TestParallelResetMidStream(t *testing.T) {
+	edges := seqEdges(5000)
+	par := parallelOver(t, edges, ParallelConfig{Workers: 4, BatchEdges: 64, SegmentBatches: 2, Depth: 2})
+	for _, consume := range []int{1, 7, 30} {
+		if err := par.Reset(); err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < consume; i++ {
+			if _, err := par.NextBlock(); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	got := sourceEdges(t, par)
+	for i := range got {
+		if got[i] != edges[i] {
+			t.Fatalf("after mid-stream resets, edge %d diverged", i)
+		}
+	}
+}
+
+// TestParallelEmptyAndTiny covers the degenerate shapes: zero edges, fewer
+// edges than one batch, fewer segments than workers.
+func TestParallelEmptyAndTiny(t *testing.T) {
+	for _, n := range []int{0, 1, 5} {
+		par := parallelOver(t, seqEdges(n), ParallelConfig{Workers: 8, BatchEdges: 4})
+		got := sourceEdges(t, par)
+		if len(got) != n {
+			t.Fatalf("n=%d: streamed %d edges", n, len(got))
+		}
+	}
+}
+
+// TestParallelSegmentDelegates: Segment on the wrapper must stream the
+// sub-range exactly (itself through a nested parallel pipeline).
+func TestParallelSegmentDelegates(t *testing.T) {
+	edges := seqEdges(2000)
+	par := parallelOver(t, edges, ParallelConfig{Workers: 3, BatchEdges: 64})
+	sub, err := par.Segment(500, 1200)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c, ok := sub.(io.Closer); ok {
+		defer c.Close()
+	}
+	got := sourceEdges(t, sub)
+	if len(got) != 700 {
+		t.Fatalf("segment streamed %d edges, want 700", len(got))
+	}
+	for i := range got {
+		if got[i] != edges[500+i] {
+			t.Fatalf("segment edge %d diverged", i)
+		}
+	}
+}
+
+// TestParallelClosedUse: a closed wrapper must refuse further use instead
+// of deadlocking on a dead fleet.
+func TestParallelClosedUse(t *testing.T) {
+	par := parallelOver(t, seqEdges(100), ParallelConfig{Workers: 2, BatchEdges: 8})
+	if _, err := par.NextBlock(); err != nil {
+		t.Fatal(err)
+	}
+	if err := par.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := par.Close(); err != nil {
+		t.Fatal("double close must be a no-op")
+	}
+	if err := par.Reset(); err == nil {
+		t.Fatal("Reset after Close accepted")
+	}
+	if _, err := par.NextBlock(); err == nil {
+		t.Fatal("NextBlock after Close accepted")
+	}
+	if _, err := par.Segment(0, 10); err == nil {
+		t.Fatal("Segment after Close accepted")
+	}
+}
+
+// errorSegmenter fails decode at a fixed edge index, in whichever segment
+// that index lands.
+type errorSegmenter struct {
+	*ViewSource
+	failAt int // global edge index
+	lo     int // this segment's global offset
+}
+
+func (e *errorSegmenter) NextBlock() ([]graph.Edge, error) {
+	blk, err := e.ViewSource.NextBlock()
+	if err != nil {
+		return nil, err
+	}
+	// pos has advanced past the block; compute the block's global range.
+	end := e.lo + e.pos
+	start := end - len(blk)
+	if start <= e.failAt && e.failAt < end {
+		return nil, fmt.Errorf("synthetic decode failure at edge %d", e.failAt)
+	}
+	return blk, nil
+}
+
+func (e *errorSegmenter) Segment(lo, hi int) (Source, error) {
+	sub, err := e.ViewSource.Segment(lo, hi)
+	if err != nil {
+		return nil, err
+	}
+	return &errorSegmenter{ViewSource: sub.(*ViewSource), failAt: e.failAt, lo: e.lo + lo}, nil
+}
+
+// TestParallelErrorPropagates: a decode error must surface to the consumer
+// at (or before) the broken position, poison the stream, and leave the
+// fleet joinable - no deadlock, no hang on Close.
+func TestParallelErrorPropagates(t *testing.T) {
+	edges := seqEdges(1000)
+	base := &errorSegmenter{ViewSource: Of(edges).Source(len(edges) + 1), failAt: 700}
+	par, err := Parallel(base, ParallelConfig{Workers: 3, BatchEdges: 32, SegmentBatches: 2, Depth: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer par.Close()
+	streamed, err := Drain(par)
+	if err == nil {
+		t.Fatal("decode error swallowed")
+	}
+	if streamed != 0 { // Drain reports 0 on error; the point is it returned
+		t.Fatalf("Drain returned %d with error", streamed)
+	}
+	if _, err := par.NextBlock(); err == nil {
+		t.Fatal("stream not poisoned after error")
+	}
+	// The wrapper must recover on Reset (the view source is stateless).
+	if err := par.Reset(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := par.NextBlock(); err != nil {
+		t.Fatalf("first block after reset: %v", err)
+	}
+}
+
+// TestParallelStress is the synctest-free randomized stress test: many
+// rounds of random worker counts, batch sizes, segment sizes and prefetch
+// depths, with interleaved partial passes, all checked against the base
+// stream. Run with -race, this hammers the worker handoff paths the
+// deterministic tests walk gently.
+func TestParallelStress(t *testing.T) {
+	rng := rand.New(rand.NewPCG(7, 9))
+	edges := seqEdges(4096)
+	for round := 0; round < 40; round++ {
+		cfg := ParallelConfig{
+			Workers:        1 + rng.IntN(9),
+			BatchEdges:     1 + rng.IntN(300),
+			SegmentBatches: 1 + rng.IntN(5),
+			Depth:          1 + rng.IntN(4),
+		}
+		n := rng.IntN(len(edges) + 1)
+		par, err := Parallel(Of(edges[:n]).Source(len(edges)+1), cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Random partial pass first, then a full verified pass.
+		if rng.IntN(2) == 0 {
+			if err := par.Reset(); err != nil {
+				t.Fatal(err)
+			}
+			for i := rng.IntN(8); i > 0; i-- {
+				if _, err := par.NextBlock(); err == io.EOF {
+					break
+				} else if err != nil {
+					t.Fatal(err)
+				}
+			}
+		}
+		got, err := Collect(par)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(got) != n {
+			t.Fatalf("round %d (%+v): streamed %d edges, want %d", round, cfg, len(got), n)
+		}
+		for i := range got {
+			if got[i] != edges[i] {
+				t.Fatalf("round %d (%+v): edge %d diverged", round, cfg, i)
+			}
+		}
+		par.Close()
+	}
+}
