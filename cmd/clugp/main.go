@@ -11,6 +11,7 @@
 //	clugp -in graph.cgr -stream -backend file      # seek-based source instead of mmap
 //	clugp -in graph.cgr -stream -workers 4         # parallel hot pass, identical results
 //	clugp -in old.cgr -recompress new.cgr          # rewrite as CGR2 (-format cgr1 for v1)
+//	clugp -in graph.cgr -stream -result run.cpr    # save a serveable result for cmd/partsrv
 //
 // With -stream the input must be a .cgr file (see cmd/genweb -binary),
 // CGR1 or CGR2 - the header says which; -backend picks the source: mmap
@@ -51,6 +52,7 @@ func main() {
 		batch   = flag.Int("batch", 0, "CLUGP game batch size (default 6400)")
 		thr     = flag.Int("threads", 0, "CLUGP game threads (default GOMAXPROCS)")
 		out     = flag.String("assign", "", "write per-edge partition assignment to this file")
+		resultF = flag.String("result", "", "write the serveable partition result (.cpr, for cmd/partsrv) to this file")
 		trace   = flag.Bool("trace", false, "print CLUGP per-pass diagnostics and peak heap")
 		streamF = flag.Bool("stream", false, "out-of-core mode: partition a .cgr file without loading it")
 		backend = flag.String("backend", "mmap", "file source backend for -stream: mmap or file")
@@ -82,9 +84,9 @@ func main() {
 
 	var res *repro.PartitionResult
 	if *streamF {
-		res, err = runStreaming(p, *in, *k, *out, *backend, *workers, heap)
+		res, err = runStreaming(p, *in, *k, *out, *resultF, *backend, *workers, heap)
 	} else {
-		res, err = runInMemory(p, *in, *preset, *scale, *k, *seed, *out, heap)
+		res, err = runInMemory(p, *in, *preset, *scale, *k, *seed, *out, *resultF, heap)
 	}
 	if err != nil {
 		fail(err)
@@ -118,6 +120,9 @@ func main() {
 	if *out != "" {
 		fmt.Printf("assignment written: %s\n", *out)
 	}
+	if *resultF != "" {
+		fmt.Printf("result written:     %s (serve it: partsrv -result %s)\n", *resultF, *resultF)
+	}
 }
 
 // buildPartitioner mirrors the historical flag behaviour: CLUGP knobs apply
@@ -132,7 +137,7 @@ func buildPartitioner(algo string, seed uint64, tau, weight float64, batch, thr 
 
 // runInMemory is the classic path: load (or generate) the whole graph, then
 // partition it under the algorithm's preferred order.
-func runInMemory(p repro.Partitioner, in, preset string, scale float64, k int, seed uint64, out string, heap *heapWatermark) (*repro.PartitionResult, error) {
+func runInMemory(p repro.Partitioner, in, preset string, scale float64, k int, seed uint64, out, resultPath string, heap *heapWatermark) (*repro.PartitionResult, error) {
 	g, err := load(in, preset, scale)
 	if err != nil {
 		return nil, err
@@ -149,6 +154,15 @@ func runInMemory(p repro.Partitioner, in, preset string, scale float64, k int, s
 			return nil, err
 		}
 	}
+	if resultPath != "" {
+		saved, err := repro.SavedResultFromRun(res)
+		if err != nil {
+			return nil, err
+		}
+		if err := writeResult(resultPath, saved); err != nil {
+			return nil, err
+		}
+	}
 	return res, nil
 }
 
@@ -156,7 +170,7 @@ func runInMemory(p repro.Partitioner, in, preset string, scale float64, k int, s
 // assignment is emitted as it is produced and never materialized. With
 // workers > 1 decode and quality accounting run on worker fleets; the
 // emitted assignment and quality are identical to the serial pass.
-func runStreaming(p repro.Partitioner, in string, k int, out, backend string, workers int, heap *heapWatermark) (*repro.PartitionResult, error) {
+func runStreaming(p repro.Partitioner, in string, k int, out, resultPath, backend string, workers int, heap *heapWatermark) (*repro.PartitionResult, error) {
 	if in == "" {
 		return nil, fmt.Errorf("-stream needs -in FILE.cgr")
 	}
@@ -194,8 +208,24 @@ func runStreaming(p repro.Partitioner, in string, k int, out, backend string, wo
 		defer f.Close()
 		w = bufio.NewWriterSize(f, 1<<16)
 	}
+	// -result chains a serve builder onto the emit callback: the serving
+	// tables (replica bitsets + sizes) accumulate as assignments stream
+	// past, so saving a result costs O(|V|*k/64) extra state, never the
+	// O(|E|) assignment the streaming mode exists to avoid.
+	var builder *repro.ServeBuilder
+	if resultPath != "" {
+		builder, err = repro.NewServeBuilder(src.NumVertices(), k)
+		if err != nil {
+			return nil, err
+		}
+	}
 	var buf []byte
 	emit := func(edges []repro.Edge, assign []int32) error {
+		if builder != nil {
+			if err := builder.Observe(edges, assign); err != nil {
+				return err
+			}
+		}
 		if w == nil {
 			return nil
 		}
@@ -221,7 +251,25 @@ func runStreaming(p repro.Partitioner, in string, k int, out, backend string, wo
 			return nil, err
 		}
 	}
+	if builder != nil {
+		if err := writeResult(resultPath, builder.Result(res.Algorithm, res.Order.String())); err != nil {
+			return nil, err
+		}
+	}
 	return res, nil
+}
+
+// writeResult saves a serveable partition result (.cpr).
+func writeResult(path string, saved *repro.SavedResult) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := repro.WriteSavedResult(f, saved); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }
 
 func load(in, preset string, scale float64) (*repro.Graph, error) {

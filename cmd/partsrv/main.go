@@ -1,0 +1,173 @@
+// Command partsrv serves a finished graph partitioning over HTTP: vertex
+// lookups, replica sets and edge routing, answered from an immutable
+// in-memory snapshot of the partition result.
+//
+// Usage:
+//
+//	partsrv -result run.cpr -addr :8080            # serve a saved result
+//	partsrv -in graph.cgr -k 32 -addr :8080        # partition on boot, then serve
+//	partsrv -result run.cpr -layout sharded -shards 16
+//
+// Input is either a saved result file (clugp -result run.cpr, or
+// repro.WriteSavedResult) or a compressed .cgr graph, which is partitioned
+// out-of-core on boot with the chosen algorithm - the assignment is never
+// materialized; the serving tables are built directly from the emitted
+// stream.
+//
+// Endpoints:
+//
+//	GET  /v1/vertex/{id}     primary partition + replica count
+//	GET  /v1/replicas/{id}   full replica set P(v)
+//	GET  /v1/edge?src=&dst=  edge-routing decision (vertex-cut rule)
+//	GET  /v1/stats           snapshot metadata + partition sizes
+//	POST /v1/reload          rebuild from the input and swap epochs
+//	GET  /healthz            liveness
+//
+// SIGHUP triggers the same reload as POST /v1/reload: the next snapshot is
+// built off-thread from the input file and swapped in with a single atomic
+// pointer store. In-flight queries keep answering from the epoch they
+// loaded; no request ever blocks on, or tears across, a reload.
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+
+	"repro"
+)
+
+func main() {
+	var (
+		result = flag.String("result", "", "saved partition result (.cpr) to serve")
+		in     = flag.String("in", "", "compressed .cgr graph to partition on boot (alternative to -result)")
+		algo   = flag.String("algo", "CLUGP", "algorithm for -in partitioning on boot")
+		k      = flag.Int("k", 32, "partition count for -in")
+		seed   = flag.Uint64("seed", 42, "seed for -in")
+		addr   = flag.String("addr", ":8080", "listen address")
+		layout = flag.String("layout", "flat", "snapshot table layout: flat or sharded")
+		shards = flag.Int("shards", 0, "shard count for -layout sharded (default GOMAXPROCS)")
+	)
+	flag.Parse()
+
+	opts, err := layoutOptions(*layout, *shards)
+	if err != nil {
+		fail(err)
+	}
+	loader, err := makeLoader(*result, *in, *algo, *k, *seed, opts)
+	if err != nil {
+		fail(err)
+	}
+	snap, err := loader()
+	if err != nil {
+		fail(err)
+	}
+	srv := repro.NewServeServer(snap)
+	srv.SetLoader(loader)
+	logStats(srv.Current())
+
+	hup := make(chan os.Signal, 1)
+	signal.Notify(hup, syscall.SIGHUP)
+	go func() {
+		for range hup {
+			next, err := srv.Reload()
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "partsrv: SIGHUP reload failed:", err)
+				continue
+			}
+			fmt.Println("partsrv: reloaded on SIGHUP")
+			logStats(next)
+		}
+	}()
+
+	fmt.Printf("partsrv: listening on %s\n", *addr)
+	fail(http.ListenAndServe(*addr, srv.Handler()))
+}
+
+func layoutOptions(layout string, shards int) (repro.ServeOptions, error) {
+	switch layout {
+	case "flat":
+		return repro.ServeOptions{}, nil
+	case "sharded":
+		if shards < 2 {
+			shards = 8
+		}
+		return repro.ServeOptions{Shards: shards}, nil
+	}
+	return repro.ServeOptions{}, fmt.Errorf("unknown -layout %q (want flat or sharded)", layout)
+}
+
+// makeLoader returns the snapshot builder both boot and every reload use:
+// re-read the saved result, or re-partition the graph file out-of-core with
+// the serving tables accumulated from the emitted stream.
+func makeLoader(result, in, algo string, k int, seed uint64, opts repro.ServeOptions) (func() (*repro.ServeSnapshot, error), error) {
+	switch {
+	case result != "" && in != "":
+		return nil, fmt.Errorf("-result and -in are mutually exclusive")
+	case result != "":
+		return func() (*repro.ServeSnapshot, error) {
+			saved, err := loadResult(result)
+			if err != nil {
+				return nil, err
+			}
+			return repro.NewServeSnapshot(saved, opts)
+		}, nil
+	case in != "":
+		return func() (*repro.ServeSnapshot, error) {
+			saved, err := partitionFile(in, algo, k, seed)
+			if err != nil {
+				return nil, err
+			}
+			return repro.NewServeSnapshot(saved, opts)
+		}, nil
+	}
+	return nil, fmt.Errorf("need -result FILE.cpr or -in FILE.cgr")
+}
+
+func loadResult(path string) (*repro.SavedResult, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return repro.ReadSavedResult(bufio.NewReaderSize(f, 1<<16))
+}
+
+// partitionFile streams a .cgr file through the algorithm out-of-core,
+// chaining a ServeBuilder onto the emit callback so the serving tables are
+// the only partition-sized state ever held.
+func partitionFile(path, algo string, k int, seed uint64) (*repro.SavedResult, error) {
+	p, err := repro.NewPartitioner(algo, seed)
+	if err != nil {
+		return nil, err
+	}
+	src, err := repro.OpenCompressed(path)
+	if err != nil {
+		return nil, err
+	}
+	defer src.Close()
+	b, err := repro.NewServeBuilder(src.NumVertices(), k)
+	if err != nil {
+		return nil, err
+	}
+	res, err := repro.RunOutOfCore(p, src, k, b.Observe)
+	if err != nil {
+		return nil, err
+	}
+	return b.Result(res.Algorithm, res.Order.String()), nil
+}
+
+func logStats(snap *repro.ServeSnapshot) {
+	st := repro.ServeStatsOf(snap)
+	fmt.Printf("partsrv: epoch %d: %s/%s, k=%d, %d vertices, %d edges, %s layout\n",
+		st.Epoch, st.Algorithm, st.Order, st.K, st.Vertices, st.Edges, st.Layout)
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "partsrv:", err)
+	os.Exit(1)
+}

@@ -30,6 +30,7 @@ import (
 	"repro/internal/graph"
 	"repro/internal/metrics"
 	"repro/internal/partition"
+	"repro/internal/serve"
 	"repro/internal/store"
 	"repro/internal/stream"
 )
@@ -459,6 +460,62 @@ func DiffReports(baseline, current *Report, opts DiffOptions) *DiffResult {
 // NewStreamCache returns an empty stream-order cache for repeated
 // partitioning runs over the same graphs.
 func NewStreamCache() *StreamCache { return stream.NewCache() }
+
+// Placement service: save a finished partitioning and serve
+// vertex->partition, replica-set and edge-routing lookups online
+// (cmd/partsrv is the daemon around these pieces).
+type (
+	// SavedResult is the serializable core of a finished partitioning:
+	// replica table + per-partition sizes, everything a lookup service
+	// needs, without the O(|E|) assignment.
+	SavedResult = store.Result
+	// ServeSnapshot is one immutable epoch of serving state; any number of
+	// goroutines may query it concurrently.
+	ServeSnapshot = serve.Snapshot
+	// ServeOptions configure the snapshot table layout (flat or
+	// vertex-range sharded).
+	ServeOptions = serve.Options
+	// ServeBuilder accumulates a streamed partitioning into SavedResult
+	// form (chain Observe onto an out-of-core Emit).
+	ServeBuilder = serve.Builder
+	// ServeServer swaps snapshots behind an epoch pointer with zero
+	// downtime and serves the HTTP/JSON query API.
+	ServeServer = serve.Server
+	// ServeStats is the /v1/stats response shape.
+	ServeStats = serve.Stats
+)
+
+// WriteSavedResult encodes a finished partitioning to w (.cpr file).
+func WriteSavedResult(w io.Writer, r *SavedResult) error { return store.WriteResult(w, r) }
+
+// ReadSavedResult decodes a result written by WriteSavedResult, rejecting
+// truncated files, forged headers and inconsistent bodies.
+func ReadSavedResult(r io.Reader) (*SavedResult, error) { return store.ReadResult(r) }
+
+// SniffSavedResult reports whether head (at least 4 bytes) carries the
+// result-file magic.
+func SniffSavedResult(head []byte) bool { return store.SniffResultHeader(head) }
+
+// SavedResultFromRun converts a finished in-memory run into saveable form
+// by replaying its stream against its assignment.
+func SavedResultFromRun(res *PartitionResult) (*SavedResult, error) { return serve.FromRun(res) }
+
+// NewServeBuilder returns a builder for a stream over numVertices vertices
+// and k partitions.
+func NewServeBuilder(numVertices, k int) (*ServeBuilder, error) {
+	return serve.NewBuilder(numVertices, k)
+}
+
+// NewServeSnapshot freezes a saved result into serving form.
+func NewServeSnapshot(r *SavedResult, opts ServeOptions) (*ServeSnapshot, error) {
+	return serve.NewSnapshot(r, opts)
+}
+
+// NewServeServer returns a server with initial installed as epoch 1.
+func NewServeServer(initial *ServeSnapshot) *ServeServer { return serve.NewServer(initial) }
+
+// ServeStatsOf summarises a snapshot.
+func ServeStatsOf(snap *ServeSnapshot) ServeStats { return serve.StatsOf(snap) }
 
 // PartitionCached is Partition with the stream order served from cache.
 func PartitionCached(g *Graph, algorithm string, k int, seed uint64, cache *StreamCache) (*PartitionResult, error) {

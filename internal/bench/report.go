@@ -85,6 +85,11 @@ type Report struct {
 	// enabled. Quality is gated against the workers=1 cell at measurement
 	// time, so the column is bit-identical by construction.
 	ParallelCells []ParallelCell `json:"parallel_cells,omitempty"`
+	// ServeCells holds the placement-service grid (dataset x snapshot
+	// layout x client count), when the suite ran with Streaming enabled.
+	// The single-client cells' allocs/op is gated to exactly zero at
+	// measurement time.
+	ServeCells []ServeCell `json:"serve_cells,omitempty"`
 }
 
 // Filename is the canonical on-disk name for the report.
@@ -194,6 +199,22 @@ func (r *Report) Table() []Table {
 		}
 		tables = append(tables, t)
 	}
+	if len(r.ServeCells) > 0 {
+		t := Table{
+			ID:     fmt.Sprintf("%s-serve", r.Experiment),
+			Title:  fmt.Sprintf("Placement service (scale %.2f, CLUGP k=%d)", r.Scale, serveK),
+			Header: []string{"dataset", "layout", "clients", "Mlookups/s", "p50(ns)", "p99(ns)", "allocs/op"},
+			Note:   "mixed primary/replica-set/edge-routing workload; single-client allocs/op gated to 0 at measurement",
+		}
+		for _, c := range r.ServeCells {
+			t.AddRow(c.Dataset, c.Layout, fmt.Sprintf("%d", c.Clients),
+				fmt.Sprintf("%.2f", c.LookupsPerSec/1e6),
+				fmt.Sprintf("%d", c.P50NS),
+				fmt.Sprintf("%d", c.P99NS),
+				fmt.Sprintf("%.2f", c.AllocsPerOp))
+		}
+		tables = append(tables, t)
+	}
 	if len(r.ParallelCells) > 0 {
 		t := Table{
 			ID:     fmt.Sprintf("%s-parallel", r.Experiment),
@@ -299,6 +320,9 @@ type DiffResult struct {
 	// ParallelSkipped is non-empty when the parallel-streaming grid was not
 	// compared (either report lacks parallel cells).
 	ParallelSkipped string `json:"parallel_skipped,omitempty"`
+	// ServeSkipped is non-empty when the placement-service grid was not
+	// compared (either report lacks serve cells).
+	ServeSkipped string `json:"serve_skipped,omitempty"`
 	// OnlyBaseline and OnlyCurrent list cells without a counterpart.
 	OnlyBaseline []string `json:"only_baseline,omitempty"`
 	OnlyCurrent  []string `json:"only_current,omitempty"`
@@ -387,6 +411,7 @@ func Diff(baseline, current *Report, opts DiffOptions) *DiffResult {
 	}
 	d.diffStreamCells(baseline, current, opts)
 	d.diffParallelCells(baseline, current, opts)
+	d.diffServeCells(baseline, current, opts)
 	sort.Slice(d.Regressions, func(i, j int) bool { return d.Regressions[i].Relative > d.Regressions[j].Relative })
 	sort.Slice(d.Improvements, func(i, j int) bool { return d.Improvements[i].Relative < d.Improvements[j].Relative })
 	return d
@@ -492,6 +517,55 @@ func (d *DiffResult) diffParallelCells(baseline, current *Report, opts DiffOptio
 	}
 }
 
+// diffServeCells joins the placement-service grids. Allocations per query
+// are a deterministic function of the query path (the single-client cell is
+// additionally hard-gated to zero when measured), so they are compared
+// exactly; the latency percentiles use the runtime tolerance without the
+// absolute floor - they are per-query nanoseconds, far below RuntimeFloorNS
+// by construction. Throughput is the inverse of latency under this workload
+// and is never diffed itself.
+func (d *DiffResult) diffServeCells(baseline, current *Report, opts DiffOptions) {
+	switch {
+	case len(baseline.ServeCells) == 0 && len(current.ServeCells) == 0:
+		return
+	case len(baseline.ServeCells) == 0:
+		d.ServeSkipped = "baseline has no serve cells"
+		return
+	case len(current.ServeCells) == 0:
+		d.ServeSkipped = "current report has no serve cells"
+		return
+	}
+	base := make(map[string]ServeCell, len(baseline.ServeCells))
+	for _, c := range baseline.ServeCells {
+		base[c.ID()] = c
+	}
+	seen := make(map[string]bool, len(current.ServeCells))
+	for _, cur := range current.ServeCells {
+		id := cur.ID()
+		seen[id] = true
+		old, ok := base[id]
+		if !ok {
+			d.OnlyCurrent = append(d.OnlyCurrent, id)
+			continue
+		}
+		d.Matched++
+		if old.Vertices != cur.Vertices || old.Edges != cur.Edges {
+			d.Incomparable = append(d.Incomparable, id)
+			continue
+		}
+		d.classify(id, "allocs_per_op", old.AllocsPerOp, cur.AllocsPerOp, opts.QualityTolerance)
+		if d.RuntimeSkipped == "" {
+			d.classify(id, "p50_latency", float64(old.P50NS), float64(cur.P50NS), opts.RuntimeTolerance)
+			d.classify(id, "p99_latency", float64(old.P99NS), float64(cur.P99NS), opts.RuntimeTolerance)
+		}
+	}
+	for _, c := range baseline.ServeCells {
+		if !seen[c.ID()] {
+			d.OnlyBaseline = append(d.OnlyBaseline, c.ID())
+		}
+	}
+}
+
 func abs64(x int64) int64 {
 	if x < 0 {
 		return -x
@@ -533,6 +607,8 @@ func (d *DiffResult) Table() Table {
 			switch dl.Metric {
 			case "runtime", "decode", "partition":
 				return fmt.Sprintf("%.1fms", v/1e6)
+			case "p50_latency", "p99_latency":
+				return fmt.Sprintf("%.0fns", v)
 			case "allocs", "alloc_bytes":
 				return fmt.Sprintf("%.0f", v)
 			}
@@ -565,6 +641,9 @@ func (d *DiffResult) Table() Table {
 	}
 	if d.ParallelSkipped != "" {
 		notes = append(notes, "parallel cells not compared: "+d.ParallelSkipped)
+	}
+	if d.ServeSkipped != "" {
+		notes = append(notes, "serve cells not compared: "+d.ServeSkipped)
 	}
 	if n := len(d.OnlyBaseline) + len(d.OnlyCurrent); n > 0 {
 		notes = append(notes, fmt.Sprintf("%d cells without a counterpart (grid changed): baseline-only %d, current-only %d",

@@ -43,6 +43,9 @@ type SuiteConfig struct {
 	// StreamDatasets selects the datasets of the streaming grid. Empty
 	// means the default clustered pair (UK, IT).
 	StreamDatasets []string
+	// ServeDatasets selects the datasets of the placement-service grid
+	// (also gated by Streaming). Empty means the default (UK).
+	ServeDatasets []string
 	// Progress, when non-nil, receives one line per completed cell.
 	Progress io.Writer
 }
@@ -175,6 +178,7 @@ func RunSuiteParallel(cfg SuiteConfig) (*Report, error) {
 	}
 	var streamCells []StreamCell
 	var parallelCells []ParallelCell
+	var serveCells []ServeCell
 	if cfg.Streaming {
 		sc, err := runStreamCells(cfg)
 		if err != nil {
@@ -186,6 +190,11 @@ func RunSuiteParallel(cfg SuiteConfig) (*Report, error) {
 			return nil, err
 		}
 		parallelCells = pc
+		vc, err := runServeCells(cfg)
+		if err != nil {
+			return nil, err
+		}
+		serveCells = vc
 	}
 	return &Report{
 		Experiment:        "suite",
@@ -202,6 +211,7 @@ func RunSuiteParallel(cfg SuiteConfig) (*Report, error) {
 		Cells:             cells,
 		StreamCells:       streamCells,
 		ParallelCells:     parallelCells,
+		ServeCells:        serveCells,
 	}, nil
 }
 

@@ -1,0 +1,159 @@
+package metrics
+
+import (
+	"testing"
+
+	"repro/internal/graph"
+)
+
+// These tests pin behaviour exactly at the 64-bit word boundary of the
+// replica bitsets: k=64 is the largest single-word geometry (the top bit of
+// word 0 is partition 63), k=128 the largest two-word one. Off-by-one bugs
+// in word sizing, cloning or merging surface precisely here - a table that
+// rounds (k+63)/64 wrong, clones one word short, or merges past a vertex's
+// last word corrupts partition 63/64/127 first.
+
+// boundaryPartitions are the partition ids that straddle word edges for a
+// given k.
+func boundaryPartitions(k int) []int {
+	ps := []int{0, 62, 63}
+	if k > 64 {
+		ps = append(ps, 64, 65, k-1)
+	}
+	return ps
+}
+
+func TestEvaluatorCloneBoundary(t *testing.T) {
+	for _, k := range []int{64, 128} {
+		const n = 10
+		var ev Evaluator
+		ev.Begin(n, k)
+		// Observe edges whose assignments hit every word-edge partition.
+		var edges []graph.Edge
+		var assign []int32
+		for i, p := range boundaryPartitions(k) {
+			v := graph.VertexID(i % n)
+			edges = append(edges, graph.Edge{Src: v, Dst: (v + 1) % n})
+			assign = append(assign, int32(p))
+		}
+		if err := ev.Observe(edges, assign); err != nil {
+			t.Fatalf("k=%d: %v", k, err)
+		}
+
+		c := ev.Clone()
+
+		// The clone starts bit-identical: same word content for every vertex,
+		// including the top word holding partition k-1.
+		for v := 0; v < n; v++ {
+			for w := 0; w < ev.rs.Words(); w++ {
+				if got, want := c.rs.Word(graph.VertexID(v), w), ev.rs.Word(graph.VertexID(v), w); got != want {
+					t.Fatalf("k=%d: clone vertex %d word %d = %#x, want %#x", k, v, w, got, want)
+				}
+			}
+		}
+
+		// Diverge: the original gets partition k-1 on vertex 9, the clone
+		// partition 0 on vertex 8. Neither write may leak into the other -
+		// value-copied evaluators would fail exactly this (shared bits slice).
+		last := []graph.Edge{{Src: 9, Dst: 9}}
+		if err := ev.Observe(last, []int32{int32(k - 1)}); err != nil {
+			t.Fatal(err)
+		}
+		if err := c.Observe([]graph.Edge{{Src: 8, Dst: 8}}, []int32{0}); err != nil {
+			t.Fatal(err)
+		}
+		if c.rs.Has(9, k-1) {
+			t.Errorf("k=%d: original's post-clone write to partition %d leaked into the clone", k, k-1)
+		}
+		if !ev.rs.Has(9, k-1) {
+			t.Errorf("k=%d: original lost its own write to partition %d", k, k-1)
+		}
+		if ev.rs.Has(8, 0) && !eqObserved(&ev, 8, 0, edges, assign) {
+			t.Errorf("k=%d: clone's write to vertex 8 leaked into the original", k)
+		}
+
+		// Both finish with internally consistent quality, and their totals
+		// differ by exactly the divergent observations.
+		qo, qc := ev.Finish(), c.Finish()
+		if qo.Sizes[k-1] != qc.Sizes[k-1]+1 {
+			t.Errorf("k=%d: sizes[%d] = %d (original) vs %d (clone)", k, k-1, qo.Sizes[k-1], qc.Sizes[k-1])
+		}
+		if qo.Sizes[0]+1 != qc.Sizes[0] {
+			t.Errorf("k=%d: sizes[0] = %d (original) vs %d (clone)", k, qo.Sizes[0], qc.Sizes[0])
+		}
+	}
+}
+
+// eqObserved reports whether (v, p) was among the shared pre-clone
+// observations, in which case seeing it in the original is not leakage.
+func eqObserved(ev *Evaluator, v graph.VertexID, p int, edges []graph.Edge, assign []int32) bool {
+	for i, e := range edges {
+		if (e.Src == v || e.Dst == v) && int(assign[i]) == p {
+			return true
+		}
+	}
+	return false
+}
+
+func TestShardedMergeBoundary(t *testing.T) {
+	for _, k := range []int{64, 128} {
+		const n, shards = 130, 4
+		a := NewShardedReplicaSets(n, k, shards)
+		b := NewShardedReplicaSets(n, k, shards)
+
+		// a and b get disjoint halves of the boundary bits on vertices that
+		// themselves sit at shard edges (0, span-1, span, n-1).
+		span := (n + shards - 1) / shards
+		verts := []graph.VertexID{0, graph.VertexID(span - 1), graph.VertexID(span), n - 1}
+		ps := boundaryPartitions(k)
+		for i, v := range verts {
+			for j, p := range ps {
+				if (i+j)%2 == 0 {
+					a.Add(v, p)
+				} else {
+					b.Add(v, p)
+				}
+			}
+		}
+
+		if err := a.Merge(b); err != nil {
+			t.Fatalf("k=%d: Merge: %v", k, err)
+		}
+
+		// After the merge, a holds the union; b is untouched.
+		for i, v := range verts {
+			for j, p := range ps {
+				if !a.Has(v, p) {
+					t.Errorf("k=%d: merged table missing vertex %d partition %d", k, v, p)
+				}
+				if fromA := (i+j)%2 == 0; b.Has(v, p) == fromA {
+					t.Errorf("k=%d: merge mutated its argument at vertex %d partition %d", k, v, p)
+				}
+			}
+			// No stray bits: the union on these vertices is exactly ps.
+			if got, want := a.Count(v), len(ps); got != want {
+				t.Errorf("k=%d: vertex %d count = %d after merge, want %d", k, v, got, want)
+			}
+		}
+		// Word-level check at the top word: partition k-1's bit lands in the
+		// last word, bit (k-1)%64.
+		topWord := (k - 1) / 64
+		topBit := uint64(1) << uint((k-1)%64)
+		for _, v := range verts {
+			if a.Word(v, topWord)&topBit == 0 {
+				t.Errorf("k=%d: vertex %d top word missing partition %d's bit", k, v, k-1)
+			}
+		}
+
+		// Geometry mismatches reject: different k, n and shard count.
+		for _, bad := range []*ShardedReplicaSets{
+			NewShardedReplicaSets(n, k/2, shards),
+			NewShardedReplicaSets(n+1, k, shards),
+			NewShardedReplicaSets(n, k, shards+1),
+		} {
+			if err := a.Merge(bad); err == nil {
+				t.Errorf("k=%d: Merge accepted mismatched geometry", k)
+			}
+		}
+	}
+}

@@ -30,6 +30,41 @@ func NewReplicaSets(n, k int) *ReplicaSets {
 	return r
 }
 
+// NewReplicaSetsFromWords adopts a raw word slice as a replica table: words
+// must hold exactly n*((k+63)/64) entries laid out vertex-major, and no bit
+// above partition k-1 may be set in any vertex's top word (such a bit names
+// a partition that does not exist - in a decoded file it means corruption,
+// never a graph). The slice is adopted, not copied; the caller must not
+// touch it afterwards. This is the load path of the result-file codec
+// (store.ReadResult), which streams words off disk and hands them over.
+func NewReplicaSetsFromWords(n, k int, words []uint64) (*ReplicaSets, error) {
+	if n < 0 || k < 1 {
+		return nil, fmt.Errorf("metrics: invalid geometry %d vertices, %d partitions", n, k)
+	}
+	perVertex := (k + 63) / 64
+	if len(words) != n*perVertex {
+		return nil, fmt.Errorf("metrics: %d words for %d vertices x %d partitions (want %d)",
+			len(words), n, k, n*perVertex)
+	}
+	if top := k % 64; top != 0 {
+		stray := ^uint64(0) << uint(top)
+		for v := 0; v < n; v++ {
+			if w := words[v*perVertex+perVertex-1] & stray; w != 0 {
+				return nil, fmt.Errorf("metrics: vertex %d has replica bits above partition %d-1", v, k)
+			}
+		}
+	}
+	return &ReplicaSets{k: k, words: perVertex, bits: words}, nil
+}
+
+// NumVertices returns the number of vertices the table covers.
+func (r *ReplicaSets) NumVertices() int {
+	if r.words == 0 {
+		return 0
+	}
+	return len(r.bits) / r.words
+}
+
 // Reset clears the table and resizes it for n vertices and k partitions,
 // reusing the existing bit storage when it is large enough. It is the
 // scratch-reuse entry point: a partitioner that keeps one ReplicaSets

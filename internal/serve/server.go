@@ -1,0 +1,277 @@
+package serve
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strconv"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/graph"
+)
+
+// Server serves partition lookups over the current Snapshot and swaps in new
+// snapshots with zero downtime. The entire mutable state is one
+// atomic.Pointer: a query loads the pointer exactly once and answers wholly
+// from that snapshot, so every response is consistent with exactly one
+// epoch - a reload mid-request cannot mix old replica bits with new sizes.
+// Install builds the next snapshot off-thread (the caller's goroutine) and
+// publishes it with a single pointer store; readers never block and old
+// epochs die by garbage collection once their in-flight queries return.
+type Server struct {
+	cur    atomic.Pointer[Snapshot]
+	epoch  atomic.Uint64
+	mu     sync.Mutex // serializes Reload (loader + install), not queries
+	loader func() (*Snapshot, error)
+}
+
+// NewServer returns a server with initial installed as epoch 1.
+func NewServer(initial *Snapshot) *Server {
+	s := &Server{}
+	s.Install(initial)
+	return s
+}
+
+// Install publishes snap as the new current snapshot under the next epoch
+// and returns the installed copy. The argument is copied (shallowly - the
+// immutable tables are shared) so the same prepared Snapshot value can be
+// installed repeatedly, and so nothing ever writes to a snapshot that
+// readers already hold.
+func (s *Server) Install(snap *Snapshot) *Snapshot {
+	next := *snap
+	next.epoch = s.epoch.Add(1)
+	s.cur.Store(&next)
+	return &next
+}
+
+// Current returns the snapshot serving queries right now.
+func (s *Server) Current() *Snapshot { return s.cur.Load() }
+
+// SetLoader registers the function Reload uses to build the next snapshot
+// (typically: re-read the result file, NewSnapshot). The loader runs outside
+// any lock held by queries; only concurrent Reloads serialize.
+func (s *Server) SetLoader(fn func() (*Snapshot, error)) {
+	s.mu.Lock()
+	s.loader = fn
+	s.mu.Unlock()
+}
+
+// Reload builds the next snapshot via the registered loader and installs
+// it. Queries keep answering from the old epoch for the whole build; the
+// switch is the single pointer store inside Install.
+func (s *Server) Reload() (*Snapshot, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.loader == nil {
+		return nil, fmt.Errorf("serve: no loader registered")
+	}
+	snap, err := s.loader()
+	if err != nil {
+		return nil, fmt.Errorf("serve: reload: %w", err)
+	}
+	return s.Install(snap), nil
+}
+
+// scratch is the per-request working set for the hot endpoints: one
+// response buffer and one replica-id slice, pooled so steady-state query
+// handling does not allocate. (The HTTP stack itself reuses its connection
+// buffers; with this pool the handler adds nothing on top.)
+type scratch struct {
+	buf  []byte
+	reps []int32
+}
+
+var scratchPool = sync.Pool{New: func() any {
+	return &scratch{buf: make([]byte, 0, 512), reps: make([]int32, 0, 64)}
+}}
+
+// Handler returns the HTTP API:
+//
+//	GET  /v1/vertex/{id}    -> {"epoch":E,"vertex":V,"partition":P,"replicas":N}
+//	GET  /v1/replicas/{id}  -> {"epoch":E,"vertex":V,"partitions":[...]}
+//	GET  /v1/edge?src=&dst= -> {"epoch":E,"src":S,"dst":D,"partition":P}
+//	GET  /v1/stats          -> snapshot metadata + partition sizes
+//	POST /v1/reload         -> rebuild via the loader, swap epochs
+//	GET  /healthz           -> ok
+//
+// Every response carries the epoch it was answered under, which is what the
+// hot-reload harness asserts consistency against. The three query endpoints
+// hand-roll their JSON into a pooled buffer - no json.Marshal, no
+// fmt.Sprintf - so the query path is allocation-free at steady state.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /v1/vertex/{id}", s.handleVertex)
+	mux.HandleFunc("GET /v1/replicas/{id}", s.handleReplicas)
+	mux.HandleFunc("GET /v1/edge", s.handleEdge)
+	mux.HandleFunc("GET /v1/stats", s.handleStats)
+	mux.HandleFunc("POST /v1/reload", s.handleReload)
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
+		w.Write([]byte("ok\n"))
+	})
+	return mux
+}
+
+// parseVertex parses a decimal vertex id. Range checking against the
+// snapshot happens in the query itself.
+func parseVertex(str string) (graph.VertexID, bool) {
+	u, err := strconv.ParseUint(str, 10, 32)
+	if err != nil {
+		return 0, false
+	}
+	return graph.VertexID(u), true
+}
+
+func writeJSON(w http.ResponseWriter, status int, buf []byte) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	w.Write(buf)
+}
+
+func badRequest(w http.ResponseWriter, msg string) {
+	http.Error(w, msg, http.StatusBadRequest)
+}
+
+func (s *Server) handleVertex(w http.ResponseWriter, r *http.Request) {
+	v, ok := parseVertex(r.PathValue("id"))
+	if !ok {
+		badRequest(w, "bad vertex id")
+		return
+	}
+	snap := s.cur.Load()
+	p, err := snap.Primary(v)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusNotFound)
+		return
+	}
+	n, _ := snap.Count(v)
+	sc := scratchPool.Get().(*scratch)
+	b := sc.buf[:0]
+	b = append(b, `{"epoch":`...)
+	b = strconv.AppendUint(b, snap.epoch, 10)
+	b = append(b, `,"vertex":`...)
+	b = strconv.AppendUint(b, uint64(v), 10)
+	b = append(b, `,"partition":`...)
+	b = strconv.AppendInt(b, int64(p), 10)
+	b = append(b, `,"replicas":`...)
+	b = strconv.AppendInt(b, int64(n), 10)
+	b = append(b, '}', '\n')
+	writeJSON(w, http.StatusOK, b)
+	sc.buf = b
+	scratchPool.Put(sc)
+}
+
+func (s *Server) handleReplicas(w http.ResponseWriter, r *http.Request) {
+	v, ok := parseVertex(r.PathValue("id"))
+	if !ok {
+		badRequest(w, "bad vertex id")
+		return
+	}
+	snap := s.cur.Load()
+	sc := scratchPool.Get().(*scratch)
+	reps, err := snap.Replicas(v, sc.reps[:0])
+	if err != nil {
+		scratchPool.Put(sc)
+		http.Error(w, err.Error(), http.StatusNotFound)
+		return
+	}
+	b := sc.buf[:0]
+	b = append(b, `{"epoch":`...)
+	b = strconv.AppendUint(b, snap.epoch, 10)
+	b = append(b, `,"vertex":`...)
+	b = strconv.AppendUint(b, uint64(v), 10)
+	b = append(b, `,"partitions":[`...)
+	for i, p := range reps {
+		if i > 0 {
+			b = append(b, ',')
+		}
+		b = strconv.AppendInt(b, int64(p), 10)
+	}
+	b = append(b, ']', '}', '\n')
+	writeJSON(w, http.StatusOK, b)
+	sc.buf, sc.reps = b, reps
+	scratchPool.Put(sc)
+}
+
+func (s *Server) handleEdge(w http.ResponseWriter, r *http.Request) {
+	q := r.URL.Query()
+	src, ok1 := parseVertex(q.Get("src"))
+	dst, ok2 := parseVertex(q.Get("dst"))
+	if !ok1 || !ok2 {
+		badRequest(w, "bad src/dst vertex id")
+		return
+	}
+	snap := s.cur.Load()
+	p, err := snap.RouteEdge(src, dst)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusNotFound)
+		return
+	}
+	sc := scratchPool.Get().(*scratch)
+	b := sc.buf[:0]
+	b = append(b, `{"epoch":`...)
+	b = strconv.AppendUint(b, snap.epoch, 10)
+	b = append(b, `,"src":`...)
+	b = strconv.AppendUint(b, uint64(src), 10)
+	b = append(b, `,"dst":`...)
+	b = strconv.AppendUint(b, uint64(dst), 10)
+	b = append(b, `,"partition":`...)
+	b = strconv.AppendInt(b, int64(p), 10)
+	b = append(b, '}', '\n')
+	writeJSON(w, http.StatusOK, b)
+	sc.buf = b
+	scratchPool.Put(sc)
+}
+
+// Stats is the /v1/stats response shape (also returned by cmd/partsrv's
+// startup log). Stats is cold-path: plain json.Marshal.
+type Stats struct {
+	Epoch     uint64  `json:"epoch"`
+	Algorithm string  `json:"algorithm"`
+	Order     string  `json:"order"`
+	Layout    string  `json:"layout"`
+	K         int     `json:"k"`
+	Vertices  int     `json:"vertices"`
+	Edges     int64   `json:"edges"`
+	Sizes     []int64 `json:"sizes"`
+}
+
+// StatsOf summarises a snapshot.
+func StatsOf(snap *Snapshot) Stats {
+	return Stats{
+		Epoch:     snap.epoch,
+		Algorithm: snap.algorithm,
+		Order:     snap.order,
+		Layout:    snap.layout,
+		K:         snap.k,
+		Vertices:  snap.numVertices,
+		Edges:     snap.numEdges,
+		Sizes:     snap.AppendSizes(nil),
+	}
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
+	b, err := json.Marshal(StatsOf(s.cur.Load()))
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	writeJSON(w, http.StatusOK, append(b, '\n'))
+}
+
+func (s *Server) handleReload(w http.ResponseWriter, _ *http.Request) {
+	s.mu.Lock()
+	hasLoader := s.loader != nil
+	s.mu.Unlock()
+	if !hasLoader {
+		http.Error(w, "no loader configured", http.StatusNotImplemented)
+		return
+	}
+	snap, err := s.Reload()
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	b, _ := json.Marshal(StatsOf(snap))
+	writeJSON(w, http.StatusOK, append(b, '\n'))
+}

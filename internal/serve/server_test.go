@@ -1,0 +1,253 @@
+package serve
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+
+	"repro/internal/graph"
+)
+
+// handSnapshot builds a tiny snapshot whose answers are trivially
+// enumerable: every edge self-loops on vertex v and lands in partition
+// v % k, so Primary(v) = v % k.
+func handSnapshot(t testing.TB, n, k int, algorithm string) *Snapshot {
+	t.Helper()
+	b, err := NewBuilder(n, k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for v := 0; v < n; v++ {
+		err := b.Observe(
+			[]graph.Edge{{Src: graph.VertexID(v), Dst: graph.VertexID(v)}},
+			[]int32{int32(v % k)},
+		)
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	snap, err := NewSnapshot(b.Result(algorithm, "natural"), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return snap
+}
+
+func getJSON(t *testing.T, ts *httptest.Server, path string, wantStatus int) map[string]any {
+	t.Helper()
+	resp, err := ts.Client().Get(ts.URL + path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != wantStatus {
+		t.Fatalf("GET %s = %d (%s), want %d", path, resp.StatusCode, strings.TrimSpace(string(body)), wantStatus)
+	}
+	if wantStatus != http.StatusOK {
+		return nil
+	}
+	var m map[string]any
+	if err := json.Unmarshal(body, &m); err != nil {
+		t.Fatalf("GET %s: bad JSON %q: %v", path, body, err)
+	}
+	return m
+}
+
+func TestServerEndpoints(t *testing.T) {
+	snap := handSnapshot(t, 10, 3, "hand")
+	srv := NewServer(snap)
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	for v := 0; v < 10; v++ {
+		m := getJSON(t, ts, fmt.Sprintf("/v1/vertex/%d", v), http.StatusOK)
+		if got := int(m["partition"].(float64)); got != v%3 {
+			t.Fatalf("vertex %d partition = %d, want %d", v, got, v%3)
+		}
+		if m["epoch"].(float64) != 1 {
+			t.Fatalf("vertex %d epoch = %v, want 1", v, m["epoch"])
+		}
+		if m["replicas"].(float64) != 1 {
+			t.Fatalf("vertex %d replicas = %v, want 1", v, m["replicas"])
+		}
+		m = getJSON(t, ts, fmt.Sprintf("/v1/replicas/%d", v), http.StatusOK)
+		parts := m["partitions"].([]any)
+		if len(parts) != 1 || int(parts[0].(float64)) != v%3 {
+			t.Fatalf("vertex %d partitions = %v, want [%d]", v, parts, v%3)
+		}
+	}
+
+	// Edge routing: vertices 0 and 3 share partition 0.
+	m := getJSON(t, ts, "/v1/edge?src=0&dst=3", http.StatusOK)
+	if got := int(m["partition"].(float64)); got != 0 {
+		t.Fatalf("edge 0-3 routed to %d, want 0", got)
+	}
+
+	// Stats reflect the snapshot.
+	m = getJSON(t, ts, "/v1/stats", http.StatusOK)
+	if m["algorithm"] != "hand" || m["k"].(float64) != 3 || m["vertices"].(float64) != 10 {
+		t.Fatalf("stats = %v", m)
+	}
+	if sizes := m["sizes"].([]any); len(sizes) != 3 || sizes[0].(float64) != 4 {
+		t.Fatalf("stats sizes = %v, want [4 3 3]", m["sizes"])
+	}
+
+	// Error paths: malformed ids are 400, out-of-range 404, unknown 404s.
+	getJSON(t, ts, "/v1/vertex/notanumber", http.StatusBadRequest)
+	getJSON(t, ts, "/v1/vertex/-1", http.StatusBadRequest)
+	getJSON(t, ts, "/v1/vertex/10", http.StatusNotFound)
+	getJSON(t, ts, "/v1/replicas/4294967295", http.StatusNotFound)
+	getJSON(t, ts, "/v1/edge?src=0", http.StatusBadRequest)
+	getJSON(t, ts, "/v1/edge?src=0&dst=10", http.StatusNotFound)
+	getJSON(t, ts, "/v1/nosuch", http.StatusNotFound)
+
+	resp, err := ts.Client().Get(ts.URL + "/healthz")
+	if err != nil || resp.StatusCode != http.StatusOK {
+		t.Fatalf("healthz: %v %v", resp, err)
+	}
+	resp.Body.Close()
+
+	// Reload without a loader is 501 Not Implemented.
+	resp, err = ts.Client().Post(ts.URL+"/v1/reload", "", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotImplemented {
+		t.Fatalf("reload without loader = %d, want 501", resp.StatusCode)
+	}
+}
+
+func TestServerReload(t *testing.T) {
+	a := handSnapshot(t, 10, 3, "A")
+	bSnap := handSnapshot(t, 20, 5, "B")
+	srv := NewServer(a)
+	if got := srv.Current().Epoch(); got != 1 {
+		t.Fatalf("initial epoch = %d, want 1", got)
+	}
+	srv.SetLoader(func() (*Snapshot, error) { return bSnap, nil })
+
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	resp, err := ts.Client().Post(ts.URL+"/v1/reload", "", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("reload = %d (%s)", resp.StatusCode, body)
+	}
+	var st Stats
+	if err := json.Unmarshal(body, &st); err != nil {
+		t.Fatal(err)
+	}
+	if st.Epoch != 2 || st.Algorithm != "B" || st.K != 5 {
+		t.Fatalf("post-reload stats = %+v", st)
+	}
+	// Vertex 15 exists only in the new snapshot.
+	m := getJSON(t, ts, "/v1/vertex/15", http.StatusOK)
+	if m["epoch"].(float64) != 2 || int(m["partition"].(float64)) != 15%5 {
+		t.Fatalf("post-reload vertex 15 = %v", m)
+	}
+	// The prepared snapshot value is untouched by install (shallow copy).
+	if bSnap.Epoch() != 0 {
+		t.Fatalf("installed source snapshot mutated: epoch %d", bSnap.Epoch())
+	}
+	// A failing loader leaves the current snapshot serving.
+	srv.SetLoader(func() (*Snapshot, error) { return nil, fmt.Errorf("boom") })
+	if _, err := srv.Reload(); err == nil {
+		t.Fatal("Reload swallowed loader error")
+	}
+	if srv.Current().Algorithm() != "B" {
+		t.Fatal("failed reload replaced the serving snapshot")
+	}
+}
+
+// TestHotReloadRace is the hot-reload harness the CI race job runs: client
+// goroutines hammer the HTTP query path while the main goroutine swaps
+// snapshots. Two alternating variants are distinguishable by every answer
+// (different k, so Primary differs for most vertices), and each response
+// carries its epoch; a response must match the variant its epoch names -
+// exactly one epoch, no tearing between the tables of one snapshot and the
+// sizes or k of another.
+func TestHotReloadRace(t *testing.T) {
+	const (
+		numVertices = 64
+		clients     = 8
+		queriesEach = 300
+		reloads     = 40
+	)
+	variants := [2]*Snapshot{
+		handSnapshot(t, numVertices, 3, "even"), // installed at even epochs? see below
+		handSnapshot(t, numVertices, 7, "odd"),
+	}
+	// Epoch e serves variants[(e-1)%2]: epoch 1 is variants[0], each
+	// install flips. Install copies, so reusing the two values is safe.
+	srv := NewServer(variants[0])
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	expect := func(epoch uint64, v int) int {
+		k := [2]int{3, 7}[(epoch-1)%2]
+		return v % k
+	}
+
+	var wg sync.WaitGroup
+	errc := make(chan error, clients)
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			for q := 0; q < queriesEach; q++ {
+				v := (c*queriesEach + q) % numVertices
+				resp, err := ts.Client().Get(fmt.Sprintf("%s/v1/vertex/%d", ts.URL, v))
+				if err != nil {
+					errc <- err
+					return
+				}
+				body, err := io.ReadAll(resp.Body)
+				resp.Body.Close()
+				if err != nil || resp.StatusCode != http.StatusOK {
+					errc <- fmt.Errorf("query %d: status %d, err %v", q, resp.StatusCode, err)
+					return
+				}
+				var m struct {
+					Epoch     uint64 `json:"epoch"`
+					Vertex    int    `json:"vertex"`
+					Partition int    `json:"partition"`
+				}
+				if err := json.Unmarshal(body, &m); err != nil {
+					errc <- fmt.Errorf("query %d: bad JSON %q: %v", q, body, err)
+					return
+				}
+				if m.Vertex != v || m.Partition != expect(m.Epoch, v) {
+					errc <- fmt.Errorf("vertex %d at epoch %d answered partition %d, want %d",
+						v, m.Epoch, m.Partition, expect(m.Epoch, v))
+					return
+				}
+			}
+		}(c)
+	}
+	for r := 0; r < reloads; r++ {
+		installed := srv.Install(variants[r%2^1])
+		if got := installed.Epoch(); got != uint64(r+2) {
+			t.Fatalf("install %d produced epoch %d", r, got)
+		}
+	}
+	wg.Wait()
+	close(errc)
+	for err := range errc {
+		t.Error(err)
+	}
+}

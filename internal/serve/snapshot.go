@@ -1,0 +1,319 @@
+// Package serve is the online half of the partitioner: a finished
+// vertex-cut partitioning, frozen into an immutable Snapshot, answers
+// vertex->partition, edge-routing and replica-set queries at high QPS while
+// new partition results land behind an epoch pointer swap (Server).
+//
+// The paper's system (like every production graph engine) partitions
+// offline and serves lookups online; everything else in this repository is
+// the offline half. A Snapshot holds exactly the state a router needs - the
+// per-vertex replica bitsets and the per-partition edge counts - in the
+// word-addressable layout the partitioners already maintain, so the query
+// hot path is a handful of word loads and allocates nothing.
+package serve
+
+import (
+	"fmt"
+	"math/bits"
+
+	"repro/internal/graph"
+	"repro/internal/metrics"
+	"repro/internal/partition"
+	"repro/internal/store"
+	"repro/internal/stream"
+)
+
+// ErrOutOfRange reports a vertex id at or beyond the snapshot's vertex
+// count. It is a sentinel (not wrapped per call) so the query hot path
+// stays allocation-free on the error branch too.
+var ErrOutOfRange = fmt.Errorf("serve: vertex id out of range")
+
+// replicaTable is the read seam between the snapshot and its backing
+// replica bitsets: the flat metrics.ReplicaSets and the vertex-range
+// sharded metrics.ShardedReplicaSets both satisfy it with word-addressable
+// reads, so the two layouts answer queries through identical code.
+type replicaTable interface {
+	K() int
+	Words() int
+	Word(v graph.VertexID, w int) uint64
+	Count(v graph.VertexID) int
+	Partitions(v graph.VertexID, dst []int32) []int32
+}
+
+// Options configure how a Snapshot lays out its lookup table.
+type Options struct {
+	// Shards splits the replica table into vertex-range shards
+	// (metrics.ShardedReplicaSets' span layout): shard s owns the
+	// contiguous vertex range [s*span, (s+1)*span) with its own
+	// independently allocated bitset, so a loader building the next
+	// snapshot never writes into cache lines concurrent readers are
+	// scanning. 0 or 1 keeps the flat single-slab layout; query answers
+	// are bit-identical either way (the conformance matrix holds both).
+	Shards int
+}
+
+// Snapshot is one epoch of serving state: a finished partitioning frozen
+// for lookups. Snapshots are immutable after construction - every field is
+// written before the snapshot is published and only read afterwards - so
+// any number of goroutines may query one concurrently, and a query that
+// captured a snapshot keeps answering from it unaffected by later installs.
+type Snapshot struct {
+	epoch     uint64
+	algorithm string
+	order     string
+	layout    string
+
+	k           int
+	words       int
+	numVertices int
+	numEdges    int64
+	sizes       []int64
+	table       replicaTable
+}
+
+// NewSnapshot freezes a saved partitioning result into serving form.
+// The result's replica table is shared (flat layout) or re-packed into
+// vertex-range shards (Options.Shards > 1); sizes are copied so the
+// snapshot is sealed against later mutation of r.
+func NewSnapshot(r *store.Result, opts Options) (*Snapshot, error) {
+	if r == nil || r.Replicas == nil {
+		return nil, fmt.Errorf("serve: nil result")
+	}
+	if r.K < 1 || len(r.Sizes) != r.K {
+		return nil, fmt.Errorf("serve: result has %d sizes for k=%d", len(r.Sizes), r.K)
+	}
+	if got := r.Replicas.NumVertices(); got != r.NumVertices || r.Replicas.K() != r.K {
+		return nil, fmt.Errorf("serve: replica table geometry %dv/%dk disagrees with result %dv/%dk",
+			got, r.Replicas.K(), r.NumVertices, r.K)
+	}
+	s := &Snapshot{
+		algorithm:   r.Algorithm,
+		order:       r.Order,
+		layout:      "flat",
+		k:           r.K,
+		words:       r.Replicas.Words(),
+		numVertices: r.NumVertices,
+		numEdges:    r.NumEdges,
+		sizes:       append([]int64(nil), r.Sizes...),
+		table:       r.Replicas,
+	}
+	if opts.Shards > 1 {
+		sh := metrics.NewShardedReplicaSets(r.NumVertices, r.K, opts.Shards)
+		for v := 0; v < r.NumVertices; v++ {
+			for w := 0; w < s.words; w++ {
+				word := r.Replicas.Word(graph.VertexID(v), w)
+				for word != 0 {
+					b := bits.TrailingZeros64(word)
+					sh.Add(graph.VertexID(v), w*64+b)
+					word &= word - 1
+				}
+			}
+		}
+		s.table = sh
+		s.layout = "sharded"
+	}
+	return s, nil
+}
+
+// Epoch returns the install generation (0 until a Server installs the
+// snapshot; the Server's copy carries the real epoch).
+func (s *Snapshot) Epoch() uint64 { return s.epoch }
+
+// Algorithm, Order and Layout describe how the snapshot was produced.
+func (s *Snapshot) Algorithm() string { return s.algorithm }
+func (s *Snapshot) Order() string     { return s.order }
+func (s *Snapshot) Layout() string    { return s.layout }
+
+// K returns the partition count.
+func (s *Snapshot) K() int { return s.k }
+
+// NumVertices returns the vertex-id space; ids in [0, NumVertices) are
+// queryable.
+func (s *Snapshot) NumVertices() int { return s.numVertices }
+
+// NumEdges returns the number of edges the partitioning placed.
+func (s *Snapshot) NumEdges() int64 { return s.numEdges }
+
+// Size returns the number of edges in partition p.
+func (s *Snapshot) Size(p int) int64 { return s.sizes[p] }
+
+// AppendSizes appends every partition's edge count to dst and returns it.
+func (s *Snapshot) AppendSizes(dst []int64) []int64 { return append(dst, s.sizes...) }
+
+// Count returns |P(v)|, the number of partitions holding a replica of v.
+func (s *Snapshot) Count(v graph.VertexID) (int, error) {
+	if int(v) >= s.numVertices {
+		return 0, ErrOutOfRange
+	}
+	return s.table.Count(v), nil
+}
+
+// Replicas appends the partitions holding v to dst and returns it. With
+// cap(dst) >= K the call performs no allocation; callers on the hot path
+// pass the same scratch slice every query.
+func (s *Snapshot) Replicas(v graph.VertexID, dst []int32) ([]int32, error) {
+	if int(v) >= s.numVertices {
+		return dst, ErrOutOfRange
+	}
+	return s.table.Partitions(v, dst), nil
+}
+
+// Primary returns v's designated home partition: the lowest partition id
+// holding a replica of v, or -1 for a vertex no edge ever touched. Lowest-id
+// is the canonical deterministic master choice - it depends only on P(v),
+// so every server over the same snapshot data routes identically.
+func (s *Snapshot) Primary(v graph.VertexID) (int32, error) {
+	if int(v) >= s.numVertices {
+		return -1, ErrOutOfRange
+	}
+	base := v
+	for w := 0; w < s.words; w++ {
+		if word := s.table.Word(base, w); word != 0 {
+			return int32(w*64 + bits.TrailingZeros64(word)), nil
+		}
+	}
+	return -1, nil
+}
+
+// RouteEdge answers "which partition should the edge (src, dst) live in"
+// under the vertex-cut placement rule the greedy heuristics stream by,
+// evaluated against the frozen tables:
+//
+//  1. if P(src) and P(dst) intersect, the least-loaded common partition;
+//  2. otherwise the least-loaded partition of P(src) union P(dst) (which is
+//     whichever side is non-empty when only one is known);
+//  3. for two unknown vertices, the globally least-loaded partition.
+//
+// Ties break to the lowest partition id, and "load" is the snapshot's
+// frozen edge counts, so routing is a pure function of the snapshot - every
+// replica of the service answers identically, and answers never tear
+// across a reload (the whole decision reads one snapshot).
+func (s *Snapshot) RouteEdge(src, dst graph.VertexID) (int32, error) {
+	if int(src) >= s.numVertices || int(dst) >= s.numVertices {
+		return -1, ErrOutOfRange
+	}
+	if p := s.bestCommon(src, dst, true); p >= 0 {
+		return p, nil
+	}
+	if p := s.bestCommon(src, dst, false); p >= 0 {
+		return p, nil
+	}
+	return s.leastLoaded(), nil
+}
+
+// bestCommon returns the least-loaded partition in the intersection
+// (intersect=true) or union of P(u) and P(v), or -1 when the combination is
+// empty. Word-at-a-time: no candidate list is ever materialized.
+func (s *Snapshot) bestCommon(u, v graph.VertexID, intersect bool) int32 {
+	best := int32(-1)
+	for w := 0; w < s.words; w++ {
+		wu, wv := s.table.Word(u, w), s.table.Word(v, w)
+		word := wu | wv
+		if intersect {
+			word = wu & wv
+		}
+		for word != 0 {
+			b := bits.TrailingZeros64(word)
+			p := int32(w*64 + b)
+			if best < 0 || s.sizes[p] < s.sizes[best] {
+				best = p
+			}
+			word &= word - 1
+		}
+	}
+	return best
+}
+
+// leastLoaded returns the globally least-loaded partition (ties lowest id).
+func (s *Snapshot) leastLoaded() int32 {
+	best := int32(0)
+	for p := int32(1); p < int32(s.k); p++ {
+		if s.sizes[p] < s.sizes[best] {
+			best = p
+		}
+	}
+	return best
+}
+
+// Builder accumulates a partitioning into result form as assignments
+// stream past - the serving-side twin of metrics.Evaluator, and the hook
+// the out-of-core path uses to save a result without ever materializing
+// the O(|E|) assignment: chain Observe onto the partitioner's Emit.
+type Builder struct {
+	rs    *metrics.ReplicaSets
+	sizes []int64
+	k     int
+	n     int
+	edges int64
+}
+
+// NewBuilder returns a builder for a stream over numVertices vertices and k
+// partitions.
+func NewBuilder(numVertices, k int) (*Builder, error) {
+	if k < 1 {
+		return nil, fmt.Errorf("serve: k must be >= 1, got %d", k)
+	}
+	if numVertices < 0 {
+		return nil, fmt.Errorf("serve: negative vertex count %d", numVertices)
+	}
+	return &Builder{
+		rs:    metrics.NewReplicaSets(numVertices, k),
+		sizes: make([]int64, k),
+		k:     k,
+		n:     numVertices,
+	}, nil
+}
+
+// Observe accumulates one run of streamed edges with their partition
+// assignments (assign[i] is the partition of edges[i]).
+func (b *Builder) Observe(edges []graph.Edge, assign []int32) error {
+	if len(edges) != len(assign) {
+		return fmt.Errorf("serve: observed %d edges with %d assignments", len(edges), len(assign))
+	}
+	for i, e := range edges {
+		p := assign[i]
+		if p < 0 || int(p) >= b.k {
+			return fmt.Errorf("serve: edge %d assigned to invalid partition %d (k=%d)", b.edges+int64(i), p, b.k)
+		}
+		b.sizes[p]++
+		b.rs.Add(e.Src, int(p))
+		b.rs.Add(e.Dst, int(p))
+	}
+	b.edges += int64(len(edges))
+	return nil
+}
+
+// Result seals everything observed into the saveable/serveable form. The
+// builder's tables are handed over, not copied; the builder must not be
+// observed into afterwards.
+func (b *Builder) Result(algorithm, order string) *store.Result {
+	return &store.Result{
+		Algorithm:   algorithm,
+		Order:       order,
+		K:           b.k,
+		NumVertices: b.n,
+		NumEdges:    b.edges,
+		Sizes:       b.sizes,
+		Replicas:    b.rs,
+	}
+}
+
+// FromRun converts a finished in-memory partitioning run into result form
+// by replaying its stream against its assignment. Out-of-core runs have no
+// materialized assignment; they save results by chaining a Builder onto
+// their Emit callback instead.
+func FromRun(res *partition.Result) (*store.Result, error) {
+	if res.Assign == nil {
+		return nil, fmt.Errorf("serve: run has no materialized assignment (out-of-core? chain a Builder onto Emit)")
+	}
+	b, err := NewBuilder(res.NumVertices, res.K)
+	if err != nil {
+		return nil, err
+	}
+	err = stream.ForEach(res.Stream, func(off int, blk []graph.Edge) error {
+		return b.Observe(blk, res.Assign[off:off+len(blk)])
+	})
+	if err != nil {
+		return nil, err
+	}
+	return b.Result(res.Algorithm, res.Order.String()), nil
+}
