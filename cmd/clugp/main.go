@@ -10,11 +10,19 @@
 //	clugp -in graph.cgr -stream -k 32              # out-of-core: O(|V|) heap
 //	clugp -in graph.cgr -stream -backend file      # seek-based source instead of mmap
 //	clugp -in graph.cgr -stream -workers 4         # parallel hot pass, identical results
-//	clugp -in old.cgr -recompress new.cgr          # rewrite as CGR2 (-format cgr1 for v1)
+//	clugp -in old.cgr -recompress new.cgr          # rewrite as CGR3 (-format cgr2/cgr1 for old)
 //	clugp -in graph.cgr -stream -result run.cpr    # save a serveable result for cmd/partsrv
+//	clugp -in graph.cgr -verify -stream -k 32      # checksum-scan the input up front
+//
+// Every file this command writes (-assign, -result, -recompress) goes
+// through an atomic temp-file + rename protocol, so a crash or write error
+// never leaves a truncated artifact at the final path. -verify
+// checksum-scans the input before using it and fails fast on the first
+// corrupt block (CGR3/CPR2 carry checksums; older formats report that
+// there is nothing to verify).
 //
 // With -stream the input must be a .cgr file (see cmd/genweb -binary),
-// CGR1 or CGR2 - the header says which; -backend picks the source: mmap
+// CGR1, CGR2 or CGR3 - the header says which; -backend picks the source: mmap
 // (default; the file is mapped once, repeat passes run at page-cache speed
 // with a portable read-at fallback) or file (seek-based, one handle per
 // segment);
@@ -58,9 +66,25 @@ func main() {
 		backend = flag.String("backend", "mmap", "file source backend for -stream: mmap or file")
 		workers = flag.Int("workers", 1, "decode workers for -stream (>1 enables the parallel hot pass; results are identical for any count)")
 		recomp  = flag.String("recompress", "", "write the loaded graph back out compressed to this file, then exit")
-		formatF = flag.String("format", "cgr2", "compressed format for -recompress: cgr1 or cgr2")
+		formatF = flag.String("format", "cgr3", "compressed format for -recompress: cgr1, cgr2 or cgr3")
+		verifyF = flag.Bool("verify", false, "checksum-scan the -in file before using it (CGR3/CPR2 carry checksums)")
 	)
 	flag.Parse()
+
+	if *verifyF {
+		if *in == "" {
+			fail(fmt.Errorf("-verify needs -in FILE"))
+		}
+		info, err := repro.VerifyFile(*in)
+		if err != nil {
+			fail(err)
+		}
+		if info.Checksummed {
+			fmt.Printf("verified: %s, %d blocks over %d payload bytes\n", info.Kind, info.Blocks, info.PayloadBytes)
+		} else {
+			fmt.Printf("verify: %s carries no checksums; recompress to cgr3 to protect it\n", info.Kind)
+		}
+	}
 
 	if *recomp != "" {
 		if err := recompress(*in, *preset, *scale, *recomp, *formatF); err != nil {
@@ -199,14 +223,14 @@ func runStreaming(p repro.Partitioner, in string, k int, out, resultPath, backen
 		src.NumVertices(), src.Len(), src.Format(), in, mode, bytesPerEdge(src.SizeBytes(), src.Len()))
 
 	var w *bufio.Writer
-	var f *os.File
+	var aw *repro.AtomicWriter
 	if out != "" {
-		f, err = os.Create(out)
+		aw, err = repro.NewAtomicWriter(out)
 		if err != nil {
 			return nil, err
 		}
-		defer f.Close()
-		w = bufio.NewWriterSize(f, 1<<16)
+		defer aw.Abort()
+		w = bufio.NewWriterSize(aw, 1<<16)
 	}
 	// -result chains a serve builder onto the emit callback: the serving
 	// tables (replica bitsets + sizes) accumulate as assignments stream
@@ -247,7 +271,7 @@ func runStreaming(p repro.Partitioner, in string, k int, out, resultPath, backen
 		if err := w.Flush(); err != nil {
 			return nil, err
 		}
-		if err := f.Close(); err != nil {
+		if err := aw.Commit(); err != nil {
 			return nil, err
 		}
 	}
@@ -259,17 +283,17 @@ func runStreaming(p repro.Partitioner, in string, k int, out, resultPath, backen
 	return res, nil
 }
 
-// writeResult saves a serveable partition result (.cpr).
+// writeResult saves a serveable partition result (.cpr) atomically.
 func writeResult(path string, saved *repro.SavedResult) error {
-	f, err := os.Create(path)
+	w, err := repro.NewAtomicWriter(path)
 	if err != nil {
 		return err
 	}
-	if err := repro.WriteSavedResult(f, saved); err != nil {
-		f.Close()
+	defer w.Abort()
+	if err := repro.WriteSavedResult(w, saved); err != nil {
 		return err
 	}
-	return f.Close()
+	return w.Commit()
 }
 
 func load(in, preset string, scale float64) (*repro.Graph, error) {
@@ -298,9 +322,10 @@ func load(in, preset string, scale float64) (*repro.Graph, error) {
 	return repro.ReadEdgeList(br)
 }
 
-// recompress loads a graph (text or either binary format, or a preset) and
-// writes it back compressed in the requested format - the CGR1 -> CGR2
-// migration path for existing files.
+// recompress loads a graph (text or any binary format, or a preset) and
+// writes it back compressed in the requested format - the migration path
+// from existing files to CGR3's checksummed encoding. The output is
+// written atomically, so an existing file at out is never torn.
 func recompress(in, preset string, scale float64, out, format string) error {
 	f, err := repro.ParseCompressedFormat(format)
 	if err != nil {
@@ -310,15 +335,15 @@ func recompress(in, preset string, scale float64, out, format string) error {
 	if err != nil {
 		return err
 	}
-	w, err := os.Create(out)
+	w, err := repro.NewAtomicWriter(out)
 	if err != nil {
 		return err
 	}
+	defer w.Abort()
 	if err := repro.WriteCompressedFormat(w, g, f); err != nil {
-		w.Close()
 		return err
 	}
-	if err := w.Close(); err != nil {
+	if err := w.Commit(); err != nil {
 		return err
 	}
 	fi, err := os.Stat(out)
@@ -339,14 +364,15 @@ func bytesPerEdge(size int64, edges int) float64 {
 }
 
 // writeAssign emits "src dst partition" lines aligned with the stream order
-// actually partitioned, replaying the result's stream.
+// actually partitioned, replaying the result's stream. The file appears at
+// path only once complete.
 func writeAssign(path string, res *repro.PartitionResult) error {
-	f, err := os.Create(path)
+	aw, err := repro.NewAtomicWriter(path)
 	if err != nil {
 		return err
 	}
-	defer f.Close()
-	w := bufio.NewWriterSize(f, 1<<16)
+	defer aw.Abort()
+	w := bufio.NewWriterSize(aw, 1<<16)
 	var buf []byte
 	err = repro.ForEachStreamed(res.Stream, func(off int, edges []repro.Edge) error {
 		for i, e := range edges {
@@ -363,7 +389,7 @@ func writeAssign(path string, res *repro.PartitionResult) error {
 	if err := w.Flush(); err != nil {
 		return err
 	}
-	return f.Close()
+	return aw.Commit()
 }
 
 func appendAssignLine(buf []byte, e repro.Edge, p int32) []byte {

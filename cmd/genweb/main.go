@@ -7,13 +7,17 @@
 //	genweb -preset UK -scale 1.0 -out uk.txt
 //	genweb -model web -n 100000 -outdeg 8 -intrasite 0.88 -out web.txt
 //	genweb -model ba -n 50000 -m 16 -out social.txt
-//	genweb -preset UK -binary -out uk.cgr               # CGR2 (default)
-//	genweb -preset UK -binary -format cgr1 -out uk.cgr  # original format
+//	genweb -preset UK -binary -out uk.cgr               # CGR3, checksummed (default)
+//	genweb -preset UK -binary -format cgr2 -out uk.cgr  # pre-integrity encoding
+//
+// -out is written atomically (temp file + rename), so an interrupted run
+// never leaves a truncated graph at the final path.
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 
 	"repro"
@@ -34,7 +38,7 @@ func main() {
 		seed      = flag.Uint64("seed", 1, "generator seed")
 		out       = flag.String("out", "", "output file (default stdout)")
 		binary    = flag.Bool("binary", false, "write the gap-compressed binary format instead of text")
-		format    = flag.String("format", "cgr2", "binary format to write: cgr1 or cgr2 (with -binary)")
+		format    = flag.String("format", "cgr3", "binary format to write: cgr1, cgr2 or cgr3 (with -binary)")
 		stats     = flag.Bool("stats", false, "print graph statistics to stderr")
 	)
 	flag.Parse()
@@ -55,20 +59,24 @@ func main() {
 		fmt.Fprintf(os.Stderr, "vertices=%d edges=%d maxdeg=%d meandeg=%.2f alpha=%.2f\n",
 			s.NumVertices, s.NumEdges, s.MaxDegree, s.MeanDegree, s.Alpha)
 	}
-	w := os.Stdout
+	var w io.Writer = os.Stdout
+	var aw *repro.AtomicWriter
 	if *out != "" {
-		f, err := os.Create(*out)
+		aw, err = repro.NewAtomicWriter(*out)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "genweb:", err)
 			os.Exit(1)
 		}
-		defer f.Close()
-		w = f
+		defer aw.Abort()
+		w = aw
 	}
 	if *binary {
 		err = repro.WriteCompressedFormat(w, g, bf)
 	} else {
 		err = g.WriteEdgeList(w)
+	}
+	if err == nil && aw != nil {
+		err = aw.Commit()
 	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "genweb:", err)

@@ -19,14 +19,26 @@
 //	GET  /v1/vertex/{id}     primary partition + replica count
 //	GET  /v1/replicas/{id}   full replica set P(v)
 //	GET  /v1/edge?src=&dst=  edge-routing decision (vertex-cut rule)
-//	GET  /v1/stats           snapshot metadata + partition sizes
+//	GET  /v1/stats           snapshot metadata + sizes + reload health
 //	POST /v1/reload          rebuild from the input and swap epochs
-//	GET  /healthz            liveness
+//	GET  /v1/healthz         liveness (also /healthz)
+//	GET  /v1/readyz          readiness; 503 while degraded
 //
 // SIGHUP triggers the same reload as POST /v1/reload: the next snapshot is
 // built off-thread from the input file and swapped in with a single atomic
 // pointer store. In-flight queries keep answering from the epoch they
 // loaded; no request ever blocks on, or tears across, a reload.
+//
+// Reloads degrade gracefully rather than fail the service: if the input
+// file is missing, corrupt (CGR3/CPR2 checksums catch silent bit rot) or
+// changes geometry (vertex or partition count - rejected, since cached
+// partition ids would turn into lies), the serving snapshot stays exactly
+// as it was and queries keep answering from the last good epoch. The
+// failure is counted and surfaced in /v1/stats, and after -max-reload-failures
+// consecutive failures /v1/readyz turns 503 so a load balancer can drain
+// the replica while /v1/healthz keeps reporting the process alive. Failed
+// reloads are retried automatically on a capped exponential backoff with
+// jitter (-reload-retry, -reload-retry-cap) until one succeeds.
 package main
 
 import (
@@ -37,6 +49,7 @@ import (
 	"os"
 	"os/signal"
 	"syscall"
+	"time"
 
 	"repro"
 )
@@ -51,6 +64,10 @@ func main() {
 		addr   = flag.String("addr", ":8080", "listen address")
 		layout = flag.String("layout", "flat", "snapshot table layout: flat or sharded")
 		shards = flag.Int("shards", 0, "shard count for -layout sharded (default GOMAXPROCS)")
+
+		retryBase   = flag.Duration("reload-retry", time.Second, "delay before the first automatic retry of a failed reload (0 disables)")
+		retryCap    = flag.Duration("reload-retry-cap", time.Minute, "upper bound of the reload retry backoff")
+		maxFailures = flag.Int("max-reload-failures", 3, "consecutive reload failures before /v1/readyz reports degraded")
 	)
 	flag.Parse()
 
@@ -68,6 +85,13 @@ func main() {
 	}
 	srv := repro.NewServeServer(snap)
 	srv.SetLoader(loader)
+	stopRetry := srv.AutoRetry(repro.ServeRetryPolicy{
+		Base:        *retryBase,
+		Cap:         *retryCap,
+		Jitter:      0.2,
+		MaxFailures: *maxFailures,
+	})
+	defer stopRetry()
 	logStats(srv.Current())
 
 	hup := make(chan os.Signal, 1)

@@ -65,11 +65,35 @@ const (
 	// FormatCGR2 is the run/interval/residual encoding (30-50% fewer
 	// bytes/edge than CGR1 on crawl-ordered web graphs).
 	FormatCGR2 = store.FormatCGR2
+	// FormatCGR3 is CGR2 plus integrity: the same body encoding under a
+	// CRC32C per-block checksum trailer, so bit rot and torn writes are
+	// detected instead of decoded. The default written format.
+	FormatCGR3 = store.FormatCGR3
 )
 
-// ParseCompressedFormat maps a format name ("cgr1", "cgr2", case-insensitive
-// on the magic spelling) to its CompressedFormat.
+// ParseCompressedFormat maps a format name ("cgr1", "cgr2", "cgr3",
+// case-insensitive on the magic spelling) to its CompressedFormat.
 func ParseCompressedFormat(s string) (CompressedFormat, error) { return store.ParseFormat(s) }
+
+// AtomicWriter writes a file so the final path only ever holds a complete
+// artifact: bytes go to a temp file in the target directory, Commit fsyncs
+// and renames it into place (then fsyncs the directory), and Abort - a
+// no-op after Commit - discards it. Every file-writing command in this
+// repo writes through it.
+type AtomicWriter = store.AtomicWriter
+
+// NewAtomicWriter starts an atomic write of path.
+func NewAtomicWriter(path string) (*AtomicWriter, error) { return store.NewAtomicWriter(path) }
+
+// VerifyInfo describes what VerifyFile found: the detected on-disk kind
+// and, for checksummed formats, the verified geometry.
+type VerifyInfo = store.VerifyInfo
+
+// VerifyFile checksum-scans a .cgr or .cpr file: for checksummed formats
+// (CGR3, CPR2) every payload block is proven in order, so a corruption
+// error names the first corrupt block. Pre-integrity formats return
+// Checksummed=false and a nil error - not corrupt, just unprotected.
+func VerifyFile(path string) (VerifyInfo, error) { return store.VerifyFile(path) }
 
 // WriteCompressed encodes the graph in the package's gap-compressed binary
 // format (CGR1), preserving edge order.
@@ -83,11 +107,12 @@ func WriteCompressedFormat(w io.Writer, g *Graph, f CompressedFormat) error {
 }
 
 // ReadCompressed decodes a graph written by WriteCompressed or
-// WriteCompressedFormat (either format, detected from the header).
+// WriteCompressedFormat (any format, detected from the header; CGR3
+// inputs are checksum-verified as they decode).
 func ReadCompressed(r io.Reader) (*Graph, error) { return store.Read(r) }
 
 // SniffCompressed reports whether head (at least the first 4 bytes of a
-// file) carries either compressed-format magic.
+// file) carries any compressed-format magic.
 func SniffCompressed(head []byte) bool { return store.SniffHeader(head) }
 
 // BuildCSR builds an out-adjacency view.
@@ -183,6 +208,21 @@ func NewStreamSource(g *Graph, order Order, seed uint64) StreamSource {
 
 // StreamOf wraps an edge slice in its natural-order view.
 func StreamOf(edges []Edge) StreamView { return stream.Of(edges) }
+
+// StreamRetryConfig tunes RetryStream: attempts per stream position,
+// backoff before each retry (capped doubling), and which errors count as
+// transient (nil retries everything except end-of-stream).
+type StreamRetryConfig = stream.RetryConfig
+
+// RetryStream wraps a source so transient read failures are survived by
+// replaying: on a retryable error the wrapper resets the underlying
+// source, skips the edges it already delivered, and resumes from the
+// exact next edge, so consumers observe the identical edge sequence a
+// fault-free pass would deliver. Segmentable sources stay segmentable,
+// with every segment retried under the same config.
+func RetryStream(src StreamSource, cfg StreamRetryConfig) StreamSource {
+	return stream.Retry(src, cfg)
+}
 
 // ForEachStreamed replays a source from its first edge, passing each block
 // to fn with its global edge offset (stream-aligned data such as
@@ -483,6 +523,10 @@ type (
 	ServeServer = serve.Server
 	// ServeStats is the /v1/stats response shape.
 	ServeStats = serve.Stats
+	// ServeRetryPolicy tunes the automatic reload retry a ServeServer runs
+	// after a failed reload (capped exponential backoff with jitter) and
+	// the consecutive-failure threshold behind /v1/readyz.
+	ServeRetryPolicy = serve.RetryPolicy
 )
 
 // WriteSavedResult encodes a finished partitioning to w (.cpr file).

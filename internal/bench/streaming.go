@@ -24,7 +24,9 @@ type StreamCell struct {
 	// Backend is the source implementation: "file" (seek-based
 	// store.FileSource) or "mmap" (store.MmapSource).
 	Backend string `json:"backend"`
-	// Format is the on-disk encoding, "CGR1" or "CGR2".
+	// Format is the on-disk encoding: "CGR1", "CGR2" or "CGR3" (CGR2 plus
+	// checksums; its cells price the integrity layer's lazy verification
+	// against plain CGR2 on the same dataset).
 	Format string `json:"format"`
 	K      int    `json:"k"`
 	Seed   uint64 `json:"seed"`
@@ -58,7 +60,7 @@ func (c StreamCell) ID() string {
 }
 
 // streamFormats and streamBackends enumerate the streaming grid axes.
-var streamFormats = []store.Format{store.FormatCGR1, store.FormatCGR2}
+var streamFormats = []store.Format{store.FormatCGR1, store.FormatCGR2, store.FormatCGR3}
 
 const streamK = 32
 

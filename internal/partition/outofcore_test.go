@@ -48,7 +48,7 @@ func fileBackends() []fileBackend {
 	openFile := func(path string) (store.File, error) { return store.Open(path) }
 	openMmap := func(path string) (store.File, error) { return store.OpenMmap(path) }
 	var out []fileBackend
-	for _, f := range []store.Format{store.FormatCGR1, store.FormatCGR2} {
+	for _, f := range []store.Format{store.FormatCGR1, store.FormatCGR2, store.FormatCGR3} {
 		out = append(out,
 			fileBackend{"file/" + f.String(), f, openFile},
 			fileBackend{"mmap/" + f.String(), f, openMmap},

@@ -1,0 +1,258 @@
+package serve
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// TestReloadGeometryGuard: a reload whose snapshot changes nv or k is
+// rejected, counted as a failure, and leaves the serving snapshot - and
+// every in-flight answer - on the last good epoch.
+func TestReloadGeometryGuard(t *testing.T) {
+	srv := NewServer(handSnapshot(t, 10, 3, "good"))
+	for _, bad := range []*Snapshot{
+		handSnapshot(t, 20, 3, "more-vertices"),
+		handSnapshot(t, 10, 5, "more-partitions"),
+	} {
+		srv.SetLoader(func() (*Snapshot, error) { return bad, nil })
+		if _, err := srv.Reload(); err == nil {
+			t.Fatalf("reload accepted geometry change to %s", bad.Algorithm())
+		}
+	}
+	if got := srv.Current().Algorithm(); got != "good" {
+		t.Fatalf("serving %q after rejected reloads, want the original", got)
+	}
+	if srv.ReloadFailures() != 2 {
+		t.Fatalf("failures = %d, want 2", srv.ReloadFailures())
+	}
+	if srv.LastReloadError() == "" {
+		t.Fatal("geometry rejection left no error message")
+	}
+	// A same-geometry reload clears the streak.
+	srv.SetLoader(func() (*Snapshot, error) { return handSnapshot(t, 10, 3, "fresh"), nil })
+	if _, err := srv.Reload(); err != nil {
+		t.Fatal(err)
+	}
+	if srv.ReloadFailures() != 0 || srv.LastReloadError() != "" {
+		t.Fatalf("success did not clear failure state: %d, %q",
+			srv.ReloadFailures(), srv.LastReloadError())
+	}
+}
+
+// TestReadyzDegrades: /v1/healthz stays 200 through any number of reload
+// failures (the process is alive and answering), while /v1/readyz flips to
+// 503 once the consecutive-failure streak reaches the threshold and flips
+// back on the first success. /v1/stats carries the same health fields.
+func TestReadyzDegrades(t *testing.T) {
+	srv := NewServer(handSnapshot(t, 10, 3, "A"))
+	srv.AutoRetry(RetryPolicy{MaxFailures: 2}) // Base 0: no goroutine, threshold only
+	srv.SetLoader(func() (*Snapshot, error) { return nil, fmt.Errorf("disk on fire") })
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	status := func(path string) (int, string) {
+		resp, err := ts.Client().Get(ts.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		body, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		return resp.StatusCode, string(body)
+	}
+
+	if code, _ := status("/v1/readyz"); code != http.StatusOK {
+		t.Fatalf("readyz before any failure = %d", code)
+	}
+	for i := 0; i < 2; i++ {
+		resp, err := ts.Client().Post(ts.URL+"/v1/reload", "", nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusInternalServerError {
+			t.Fatalf("failing reload = %d, want 500", resp.StatusCode)
+		}
+		wantReady := i < 1 // threshold 2: degraded at the second failure
+		code, body := status("/v1/readyz")
+		if ready := code == http.StatusOK; ready != wantReady {
+			t.Fatalf("after %d failures readyz = %d (%s), want ready=%v", i+1, code, body, wantReady)
+		}
+		if code, _ := status("/v1/healthz"); code != http.StatusOK {
+			t.Fatalf("healthz degraded with readiness: %d", code)
+		}
+		if code, _ := status("/healthz"); code != http.StatusOK {
+			t.Fatalf("legacy healthz degraded: %d", code)
+		}
+	}
+
+	_, body := status("/v1/stats")
+	var st Stats
+	if err := json.Unmarshal([]byte(body), &st); err != nil {
+		t.Fatal(err)
+	}
+	if st.Ready || st.ReloadFailures != 2 || st.LastReloadError == "" {
+		t.Fatalf("degraded stats = %+v", st)
+	}
+	// Queries still answer from the last good epoch while degraded.
+	m := getJSON(t, ts, "/v1/vertex/4", http.StatusOK)
+	if m["epoch"].(float64) != 1 || int(m["partition"].(float64)) != 4%3 {
+		t.Fatalf("degraded query = %v, want last-good epoch 1", m)
+	}
+
+	srv.SetLoader(func() (*Snapshot, error) { return handSnapshot(t, 10, 3, "B"), nil })
+	if _, err := srv.Reload(); err != nil {
+		t.Fatal(err)
+	}
+	if code, body := status("/v1/readyz"); code != http.StatusOK {
+		t.Fatalf("readyz after recovery = %d (%s)", code, body)
+	}
+}
+
+// TestAutoRetryRecovers: after a failed reload the retry goroutine keeps
+// trying on its backoff schedule, without any further external kick, until
+// the loader heals - then the new epoch serves and readiness returns.
+func TestAutoRetryRecovers(t *testing.T) {
+	srv := NewServer(handSnapshot(t, 10, 3, "A"))
+	var calls atomic.Int64
+	healAfter := int64(3)
+	srv.SetLoader(func() (*Snapshot, error) {
+		if calls.Add(1) <= healAfter {
+			return nil, fmt.Errorf("still broken")
+		}
+		return handSnapshot(t, 10, 3, "healed"), nil
+	})
+	stop := srv.AutoRetry(RetryPolicy{Base: time.Millisecond, Cap: 4 * time.Millisecond, Jitter: 0.5, MaxFailures: 2})
+	defer stop()
+
+	if _, err := srv.Reload(); err == nil {
+		t.Fatal("first reload should fail")
+	}
+	deadline := time.After(5 * time.Second)
+	for srv.Current().Algorithm() != "healed" {
+		select {
+		case <-deadline:
+			t.Fatalf("auto-retry never recovered (loader calls: %d, failures: %d, last: %s)",
+				calls.Load(), srv.ReloadFailures(), srv.LastReloadError())
+		case <-time.After(5 * time.Millisecond):
+		}
+	}
+	if !srv.Ready() || srv.ReloadFailures() != 0 {
+		t.Fatalf("recovered but not ready: failures=%d", srv.ReloadFailures())
+	}
+	if calls.Load() != healAfter+1 {
+		t.Fatalf("loader called %d times, want %d (1 explicit + %d retries)",
+			calls.Load(), healAfter+1, healAfter)
+	}
+	// Healed and disarmed: no further loader calls while healthy.
+	time.Sleep(20 * time.Millisecond)
+	if calls.Load() != healAfter+1 {
+		t.Fatalf("retry loop kept reloading after success (%d calls)", calls.Load())
+	}
+}
+
+// TestDegradedHotReload is the -race harness for degraded operation: client
+// goroutines hammer queries while reloads alternate between succeeding
+// (same geometry, refreshed epoch) and failing (loader error or geometry
+// mismatch). Every answer must come from a fully consistent installed
+// epoch, failures must never tear or replace the serving tables, and the
+// readiness endpoints must stay responsive throughout.
+func TestDegradedHotReload(t *testing.T) {
+	const (
+		numVertices = 48
+		clients     = 6
+		queriesEach = 200
+		reloads     = 60
+	)
+	srv := NewServer(handSnapshot(t, numVertices, 3, "good"))
+	good := handSnapshot(t, numVertices, 3, "good")
+	bad := handSnapshot(t, numVertices, 7, "bad-geometry")
+	var flip atomic.Int64
+	srv.SetLoader(func() (*Snapshot, error) {
+		switch flip.Add(1) % 3 {
+		case 0:
+			return nil, fmt.Errorf("transient loader failure")
+		case 1:
+			return bad, nil // rejected by the geometry guard
+		default:
+			return good, nil
+		}
+	})
+	stop := srv.AutoRetry(RetryPolicy{Base: time.Millisecond, Cap: 2 * time.Millisecond, MaxFailures: 3})
+	defer stop()
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	var wg sync.WaitGroup
+	errc := make(chan error, clients+1)
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			for q := 0; q < queriesEach; q++ {
+				v := (c*queriesEach + q) % numVertices
+				resp, err := ts.Client().Get(fmt.Sprintf("%s/v1/vertex/%d", ts.URL, v))
+				if err != nil {
+					errc <- err
+					return
+				}
+				body, err := io.ReadAll(resp.Body)
+				resp.Body.Close()
+				if err != nil || resp.StatusCode != http.StatusOK {
+					errc <- fmt.Errorf("query %d: status %d, err %v", q, resp.StatusCode, err)
+					return
+				}
+				var m struct {
+					Vertex    int `json:"vertex"`
+					Partition int `json:"partition"`
+				}
+				if err := json.Unmarshal(body, &m); err != nil {
+					errc <- fmt.Errorf("query %d: bad JSON %q: %v", q, body, err)
+					return
+				}
+				// Every installed snapshot has k=3 (the k=7 one is always
+				// rejected), so the answer is v%3 at every epoch: a v%7
+				// answer would mean the guard let the wrong tables serve.
+				if m.Vertex != v || m.Partition != v%3 {
+					errc <- fmt.Errorf("vertex %d answered partition %d, want %d", v, m.Partition, v%3)
+					return
+				}
+			}
+		}(c)
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for r := 0; r < reloads; r++ {
+			resp, err := ts.Client().Post(ts.URL+"/v1/reload", "", nil)
+			if err != nil {
+				errc <- err
+				return
+			}
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+			// Readiness probes interleave with the reload storm.
+			probe, err := ts.Client().Get(ts.URL + "/v1/readyz")
+			if err != nil {
+				errc <- err
+				return
+			}
+			io.Copy(io.Discard, probe.Body)
+			probe.Body.Close()
+		}
+	}()
+	wg.Wait()
+	close(errc)
+	for err := range errc {
+		t.Error(err)
+	}
+	if got := srv.Current().K(); got != 3 {
+		t.Fatalf("serving k=%d after the storm, want 3 (geometry guard held)", got)
+	}
+}

@@ -3,10 +3,12 @@ package serve
 import (
 	"encoding/json"
 	"fmt"
+	"math/rand/v2"
 	"net/http"
 	"strconv"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"repro/internal/graph"
 )
@@ -19,16 +21,40 @@ import (
 // Install builds the next snapshot off-thread (the caller's goroutine) and
 // publishes it with a single pointer store; readers never block and old
 // epochs die by garbage collection once their in-flight queries return.
+//
+// Reloads degrade gracefully: a loader failure - or a snapshot whose
+// geometry does not match what is serving - never replaces the serving
+// snapshot. The server keeps answering from the last good epoch, counts
+// consecutive failures, exposes the last error via Stats and /v1/readyz
+// (which turns 503 once the failure streak passes the policy threshold),
+// and, with AutoRetry enabled, keeps retrying the reload on a capped
+// exponential backoff until one succeeds.
 type Server struct {
 	cur    atomic.Pointer[Snapshot]
 	epoch  atomic.Uint64
 	mu     sync.Mutex // serializes Reload (loader + install), not queries
 	loader func() (*Snapshot, error)
+
+	// Degradation state. failures counts consecutive reload failures since
+	// the last success; lastErr holds the most recent failure's message
+	// (nil after a success); maxFailures is the readiness threshold.
+	failures    atomic.Int64
+	lastErr     atomic.Pointer[string]
+	maxFailures atomic.Int64
+
+	retryMu sync.Mutex
+	kick    chan struct{} // non-nil while an AutoRetry goroutine runs
 }
+
+// DefaultMaxReloadFailures is the readiness threshold when no RetryPolicy
+// sets one: /v1/readyz reports degraded after this many consecutive reload
+// failures.
+const DefaultMaxReloadFailures = 3
 
 // NewServer returns a server with initial installed as epoch 1.
 func NewServer(initial *Snapshot) *Server {
 	s := &Server{}
+	s.maxFailures.Store(DefaultMaxReloadFailures)
 	s.Install(initial)
 	return s
 }
@@ -60,6 +86,16 @@ func (s *Server) SetLoader(fn func() (*Snapshot, error)) {
 // Reload builds the next snapshot via the registered loader and installs
 // it. Queries keep answering from the old epoch for the whole build; the
 // switch is the single pointer store inside Install.
+//
+// A reload can only refresh the partitioning it is already serving: a
+// snapshot whose vertex count or partition count differs from the current
+// epoch is rejected (clients cache geometry; swapping it under them turns
+// every cached partition id into a lie - changing geometry takes a restart).
+// Any failure - loader error or geometry mismatch - leaves the serving
+// snapshot untouched, increments the consecutive-failure count behind
+// Stats and /v1/readyz, and nudges the AutoRetry loop if one is running.
+// Install bypasses the guard: it is the force-install primitive for boot
+// and for operators who mean it.
 func (s *Server) Reload() (*Snapshot, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -68,9 +104,147 @@ func (s *Server) Reload() (*Snapshot, error) {
 	}
 	snap, err := s.loader()
 	if err != nil {
-		return nil, fmt.Errorf("serve: reload: %w", err)
+		err = fmt.Errorf("serve: reload: %w", err)
+		s.reloadFailed(err)
+		return nil, err
 	}
+	if cur := s.cur.Load(); cur != nil && (snap.numVertices != cur.numVertices || snap.k != cur.k) {
+		err := fmt.Errorf("serve: reload rejected: snapshot geometry %dv/%dk does not match serving %dv/%dk (restart to change geometry)",
+			snap.numVertices, snap.k, cur.numVertices, cur.k)
+		s.reloadFailed(err)
+		return nil, err
+	}
+	s.failures.Store(0)
+	s.lastErr.Store(nil)
 	return s.Install(snap), nil
+}
+
+// reloadFailed records one failed reload and wakes the retry loop.
+func (s *Server) reloadFailed(err error) {
+	msg := err.Error()
+	s.lastErr.Store(&msg)
+	s.failures.Add(1)
+	s.retryMu.Lock()
+	if s.kick != nil {
+		select {
+		case s.kick <- struct{}{}:
+		default:
+		}
+	}
+	s.retryMu.Unlock()
+}
+
+// LastReloadError returns the most recent reload failure, or "" after a
+// success (or before any reload).
+func (s *Server) LastReloadError() string {
+	if p := s.lastErr.Load(); p != nil {
+		return *p
+	}
+	return ""
+}
+
+// ReloadFailures returns the consecutive reload failures since the last
+// successful reload.
+func (s *Server) ReloadFailures() int64 { return s.failures.Load() }
+
+// Ready reports whether the server is within its failure budget: false once
+// the consecutive-failure streak reaches the policy threshold. Queries keep
+// being answered either way - readiness is what load balancers use to drain
+// a replica whose data is going stale.
+func (s *Server) Ready() bool { return s.failures.Load() < s.maxFailures.Load() }
+
+// RetryPolicy tunes the automatic reload retry AutoRetry runs after a
+// failed reload.
+type RetryPolicy struct {
+	// Base is the delay before the first retry. <= 0 disables the retry
+	// goroutine (failures then only recover via the next explicit reload).
+	Base time.Duration
+	// Cap bounds the exponential backoff; <= 0 means 32x Base.
+	Cap time.Duration
+	// Jitter spreads each delay uniformly over [d*(1-Jitter), d*(1+Jitter)]
+	// so a fleet of replicas does not hammer shared storage in lockstep.
+	// Clamped to [0, 1].
+	Jitter float64
+	// MaxFailures is the consecutive-failure count at which Ready() and
+	// /v1/readyz report degraded; <= 0 keeps DefaultMaxReloadFailures.
+	MaxFailures int
+}
+
+// AutoRetry starts a goroutine that retries failed reloads on a capped
+// exponential backoff with jitter: each reload failure arms it, each retry
+// that fails doubles the delay (up to policy.Cap), and the first success
+// disarms it until the next failure. The returned stop function terminates
+// the goroutine (idempotent per call site; call it on shutdown). The
+// policy's MaxFailures takes effect even when Base <= 0 disables retrying.
+func (s *Server) AutoRetry(policy RetryPolicy) (stop func()) {
+	if policy.MaxFailures > 0 {
+		s.maxFailures.Store(int64(policy.MaxFailures))
+	}
+	if policy.Base <= 0 {
+		return func() {}
+	}
+	if policy.Cap <= 0 {
+		policy.Cap = 32 * policy.Base
+	}
+	if policy.Jitter < 0 {
+		policy.Jitter = 0
+	}
+	if policy.Jitter > 1 {
+		policy.Jitter = 1
+	}
+	kick := make(chan struct{}, 1)
+	stopc := make(chan struct{})
+	s.retryMu.Lock()
+	s.kick = kick
+	s.retryMu.Unlock()
+	go func() {
+		for {
+			select {
+			case <-stopc:
+				return
+			case <-kick:
+			}
+			if s.failures.Load() == 0 {
+				continue // already recovered by an explicit reload
+			}
+			delay := policy.Base
+			for {
+				timer := time.NewTimer(jittered(delay, policy.Jitter))
+				select {
+				case <-stopc:
+					timer.Stop()
+					return
+				case <-timer.C:
+				}
+				if _, err := s.Reload(); err == nil {
+					break
+				}
+				if delay *= 2; delay > policy.Cap {
+					delay = policy.Cap
+				}
+			}
+		}
+	}()
+	var once sync.Once
+	return func() {
+		once.Do(func() {
+			close(stopc)
+			s.retryMu.Lock()
+			if s.kick == kick {
+				s.kick = nil
+			}
+			s.retryMu.Unlock()
+		})
+	}
+}
+
+// jittered spreads d uniformly over [d*(1-j), d*(1+j)].
+func jittered(d time.Duration, j float64) time.Duration {
+	if j <= 0 {
+		return d
+	}
+	f := 1 + j*(2*rand.Float64()-1)
+	return time.Duration(float64(d) * f)
 }
 
 // scratch is the per-request working set for the hot endpoints: one
@@ -91,9 +265,12 @@ var scratchPool = sync.Pool{New: func() any {
 //	GET  /v1/vertex/{id}    -> {"epoch":E,"vertex":V,"partition":P,"replicas":N}
 //	GET  /v1/replicas/{id}  -> {"epoch":E,"vertex":V,"partitions":[...]}
 //	GET  /v1/edge?src=&dst= -> {"epoch":E,"src":S,"dst":D,"partition":P}
-//	GET  /v1/stats          -> snapshot metadata + partition sizes
+//	GET  /v1/stats          -> snapshot metadata + sizes + reload health
 //	POST /v1/reload         -> rebuild via the loader, swap epochs
-//	GET  /healthz           -> ok
+//	GET  /v1/healthz        -> liveness: ok while the process serves at all
+//	GET  /v1/readyz         -> readiness: 503 once consecutive reload
+//	                           failures reach the policy threshold
+//	GET  /healthz           -> ok (legacy alias of /v1/healthz)
 //
 // Every response carries the epoch it was answered under, which is what the
 // hot-reload harness asserts consistency against. The three query endpoints
@@ -106,9 +283,12 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /v1/edge", s.handleEdge)
 	mux.HandleFunc("GET /v1/stats", s.handleStats)
 	mux.HandleFunc("POST /v1/reload", s.handleReload)
-	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
+	liveness := func(w http.ResponseWriter, _ *http.Request) {
 		w.Write([]byte("ok\n"))
-	})
+	}
+	mux.HandleFunc("GET /v1/healthz", liveness)
+	mux.HandleFunc("GET /healthz", liveness)
+	mux.HandleFunc("GET /v1/readyz", s.handleReady)
 	return mux
 }
 
@@ -234,6 +414,11 @@ type Stats struct {
 	Vertices  int     `json:"vertices"`
 	Edges     int64   `json:"edges"`
 	Sizes     []int64 `json:"sizes"`
+	// Reload health: whether the replica is within its failure budget, how
+	// many reloads have failed consecutively, and the latest failure.
+	Ready           bool   `json:"ready"`
+	ReloadFailures  int64  `json:"reload_failures"`
+	LastReloadError string `json:"last_reload_error,omitempty"`
 }
 
 // StatsOf summarises a snapshot.
@@ -250,13 +435,45 @@ func StatsOf(snap *Snapshot) Stats {
 	}
 }
 
+// Stats summarises the serving snapshot plus the server's reload health.
+func (s *Server) Stats() Stats {
+	st := StatsOf(s.cur.Load())
+	st.ReloadFailures = s.failures.Load()
+	st.LastReloadError = s.LastReloadError()
+	st.Ready = st.ReloadFailures < s.maxFailures.Load()
+	return st
+}
+
 func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
-	b, err := json.Marshal(StatsOf(s.cur.Load()))
+	b, err := json.Marshal(s.Stats())
 	if err != nil {
 		http.Error(w, err.Error(), http.StatusInternalServerError)
 		return
 	}
 	writeJSON(w, http.StatusOK, append(b, '\n'))
+}
+
+// handleReady answers readiness: 200 while the replica is within its
+// reload-failure budget, 503 once the streak passes the threshold. The
+// body carries the streak and the last error either way, so a probe log
+// explains itself.
+func (s *Server) handleReady(w http.ResponseWriter, _ *http.Request) {
+	type readiness struct {
+		Ready           bool   `json:"ready"`
+		ReloadFailures  int64  `json:"reload_failures"`
+		LastReloadError string `json:"last_reload_error,omitempty"`
+	}
+	r := readiness{
+		Ready:           s.Ready(),
+		ReloadFailures:  s.failures.Load(),
+		LastReloadError: s.LastReloadError(),
+	}
+	b, _ := json.Marshal(r)
+	status := http.StatusOK
+	if !r.Ready {
+		status = http.StatusServiceUnavailable
+	}
+	writeJSON(w, status, append(b, '\n'))
 }
 
 func (s *Server) handleReload(w http.ResponseWriter, _ *http.Request) {
@@ -267,11 +484,10 @@ func (s *Server) handleReload(w http.ResponseWriter, _ *http.Request) {
 		http.Error(w, "no loader configured", http.StatusNotImplemented)
 		return
 	}
-	snap, err := s.Reload()
-	if err != nil {
+	if _, err := s.Reload(); err != nil {
 		http.Error(w, err.Error(), http.StatusInternalServerError)
 		return
 	}
-	b, _ := json.Marshal(StatsOf(snap))
+	b, _ := json.Marshal(s.Stats())
 	writeJSON(w, http.StatusOK, append(b, '\n'))
 }

@@ -129,7 +129,7 @@ func TestServerEndpoints(t *testing.T) {
 
 func TestServerReload(t *testing.T) {
 	a := handSnapshot(t, 10, 3, "A")
-	bSnap := handSnapshot(t, 20, 5, "B")
+	bSnap := handSnapshot(t, 10, 3, "B") // same geometry, refreshed content
 	srv := NewServer(a)
 	if got := srv.Current().Epoch(); got != 1 {
 		t.Fatalf("initial epoch = %d, want 1", got)
@@ -152,13 +152,15 @@ func TestServerReload(t *testing.T) {
 	if err := json.Unmarshal(body, &st); err != nil {
 		t.Fatal(err)
 	}
-	if st.Epoch != 2 || st.Algorithm != "B" || st.K != 5 {
+	if st.Epoch != 2 || st.Algorithm != "B" || st.K != 3 {
 		t.Fatalf("post-reload stats = %+v", st)
 	}
-	// Vertex 15 exists only in the new snapshot.
-	m := getJSON(t, ts, "/v1/vertex/15", http.StatusOK)
-	if m["epoch"].(float64) != 2 || int(m["partition"].(float64)) != 15%5 {
-		t.Fatalf("post-reload vertex 15 = %v", m)
+	if !st.Ready || st.ReloadFailures != 0 || st.LastReloadError != "" {
+		t.Fatalf("post-reload health = %+v, want ready and clean", st)
+	}
+	m := getJSON(t, ts, "/v1/vertex/7", http.StatusOK)
+	if m["epoch"].(float64) != 2 || int(m["partition"].(float64)) != 7%3 {
+		t.Fatalf("post-reload vertex 7 = %v", m)
 	}
 	// The prepared snapshot value is untouched by install (shallow copy).
 	if bSnap.Epoch() != 0 {
@@ -171,6 +173,14 @@ func TestServerReload(t *testing.T) {
 	}
 	if srv.Current().Algorithm() != "B" {
 		t.Fatal("failed reload replaced the serving snapshot")
+	}
+	// Geometry changes go through Install (the force path), never Reload.
+	wide := handSnapshot(t, 20, 5, "C")
+	if got := srv.Install(wide).Epoch(); got != 3 {
+		t.Fatalf("install epoch = %d, want 3", got)
+	}
+	if srv.Current().K() != 5 {
+		t.Fatal("Install did not replace the snapshot")
 	}
 }
 

@@ -1,0 +1,101 @@
+package store
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+)
+
+// AtomicWriter writes a file so that the final path only ever holds a
+// complete artifact: bytes go to a hidden temp file in the target
+// directory, and Commit fsyncs the data, renames the temp file over the
+// final path, and fsyncs the directory so the rename itself is durable. A
+// crash, write error or abort at any earlier point leaves the final path
+// exactly as it was - either the previous complete file or absent - never
+// a truncated one. Every file-writing command in this repo (clugp -result
+// / -assign / -recompress, genweb -out) writes through it.
+//
+// Usage:
+//
+//	w, err := store.NewAtomicWriter(path)
+//	if err != nil { ... }
+//	defer w.Abort() // no-op after a successful Commit
+//	... write to w ...
+//	return w.Commit()
+type AtomicWriter struct {
+	path string
+	f    *os.File
+	done bool
+}
+
+// NewAtomicWriter creates the temp file next to path (same directory, so
+// the rename cannot cross filesystems).
+func NewAtomicWriter(path string) (*AtomicWriter, error) {
+	dir, base := filepath.Split(path)
+	if dir == "" {
+		dir = "."
+	}
+	f, err := os.CreateTemp(dir, "."+base+".tmp*")
+	if err != nil {
+		return nil, err
+	}
+	return &AtomicWriter{path: path, f: f}, nil
+}
+
+// Write implements io.Writer, appending to the temp file.
+func (w *AtomicWriter) Write(p []byte) (int, error) {
+	if w.done {
+		return 0, fmt.Errorf("store: write to finished atomic writer for %s", w.path)
+	}
+	return w.f.Write(p)
+}
+
+// Commit seals the file: fsync the temp file, close it, rename it over the
+// final path, fsync the directory. On any error the temp file is removed
+// and the final path is untouched.
+func (w *AtomicWriter) Commit() error {
+	if w.done {
+		return fmt.Errorf("store: atomic writer for %s already finished", w.path)
+	}
+	w.done = true
+	tmp := w.f.Name()
+	if err := w.f.Sync(); err != nil {
+		w.f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := w.f.Close(); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	if err := os.Rename(tmp, w.path); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	// Make the rename durable. Directory fsync support varies by
+	// filesystem; a failure here cannot un-publish the rename, so it is
+	// reported but nothing is rolled back.
+	dir := filepath.Dir(w.path)
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	serr := d.Sync()
+	if cerr := d.Close(); serr == nil {
+		serr = cerr
+	}
+	return serr
+}
+
+// Abort discards the temp file, leaving the final path untouched. It is a
+// no-op after Commit (so "defer w.Abort()" is the error-path cleanup) and
+// is idempotent.
+func (w *AtomicWriter) Abort() {
+	if w.done {
+		return
+	}
+	w.done = true
+	tmp := w.f.Name()
+	w.f.Close()
+	os.Remove(tmp)
+}

@@ -215,11 +215,11 @@ func TestCGR2CorruptInputsRejected(t *testing.T) {
 	}
 }
 
-// TestWriteFormatDispatch: the two writers produce their own magics and
-// Read auto-detects both; Sniff accepts both.
+// TestWriteFormatDispatch: every writer produces its own magic and Read
+// auto-detects all of them; Sniff accepts all of them.
 func TestWriteFormatDispatch(t *testing.T) {
 	g := gen.Web(gen.WebConfig{N: 500, OutDegree: 4, Seed: 2})
-	for _, f := range []Format{FormatCGR1, FormatCGR2} {
+	for _, f := range []Format{FormatCGR1, FormatCGR2, FormatCGR3} {
 		var buf bytes.Buffer
 		if err := WriteFormat(&buf, g, f); err != nil {
 			t.Fatal(err)
@@ -238,7 +238,7 @@ func TestWriteFormatDispatch(t *testing.T) {
 	if err := WriteFormat(&bytes.Buffer{}, g, Format(9)); err == nil {
 		t.Fatal("unknown format accepted")
 	}
-	if SniffHeader([]byte("CGR3....")) {
+	if SniffHeader([]byte("CGR9....")) {
 		t.Fatal("SniffHeader accepted unknown magic")
 	}
 }

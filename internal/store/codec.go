@@ -26,6 +26,12 @@ const (
 	// graphs it cuts bytes/edge by 30-50% versus CGR1. See DESIGN.md for
 	// the exact bit layout.
 	FormatCGR2
+	// FormatCGR3 is CGR2 plus integrity: the body encoding is bit-for-bit
+	// CGR2, followed by a CRC32C block-checksum trailer and footer (see
+	// integrity.go) that let every backend detect bit flips, torn writes
+	// and truncation instead of decoding garbage. Sources over CGR3 files
+	// verify lazily on the decode path and support Verify().
+	FormatCGR3
 )
 
 // String returns the format's magic name.
@@ -35,33 +41,63 @@ func (f Format) String() string {
 		return "CGR1"
 	case FormatCGR2:
 		return "CGR2"
+	case FormatCGR3:
+		return "CGR3"
 	}
 	return fmt.Sprintf("Format(%d)", uint8(f))
 }
 
-// ParseFormat maps a format name ("cgr1"/"CGR1", "cgr2"/"CGR2") to its
-// Format - the one parser every CLI flag goes through.
+// ParseFormat maps a format name ("cgr1"/"CGR1", "cgr2"/"CGR2",
+// "cgr3"/"CGR3") to its Format - the one parser every CLI flag goes through.
 func ParseFormat(s string) (Format, error) {
 	switch s {
 	case "cgr1", "CGR1":
 		return FormatCGR1, nil
 	case "cgr2", "CGR2":
 		return FormatCGR2, nil
+	case "cgr3", "CGR3":
+		return FormatCGR3, nil
 	}
-	return 0, fmt.Errorf("store: unknown format %q (want cgr1 or cgr2)", s)
+	return 0, fmt.Errorf("store: unknown format %q (want cgr1, cgr2 or cgr3)", s)
 }
 
 var (
 	magic  = [4]byte{'C', 'G', 'R', '1'}
 	magic2 = [4]byte{'C', 'G', 'R', '2'}
+	magic3 = [4]byte{'C', 'G', 'R', '3'}
 )
 
-// SniffHeader reports whether head starts with either format's magic.
+// formatOfMagic maps a graph-file magic to its Format.
+func formatOfMagic(m [4]byte) (Format, bool) {
+	switch m {
+	case magic:
+		return FormatCGR1, true
+	case magic2:
+		return FormatCGR2, true
+	case magic3:
+		return FormatCGR3, true
+	}
+	return 0, false
+}
+
+// magicOf returns the graph-file magic of a format.
+func magicOf(f Format) [4]byte {
+	switch f {
+	case FormatCGR2:
+		return magic2
+	case FormatCGR3:
+		return magic3
+	}
+	return magic
+}
+
+// SniffHeader reports whether head starts with any graph format's magic.
 func SniffHeader(head []byte) bool {
 	if len(head) < 4 {
 		return false
 	}
-	return [4]byte(head[:4]) == magic || [4]byte(head[:4]) == magic2
+	_, ok := formatOfMagic([4]byte(head[:4]))
+	return ok
 }
 
 // readHeader consumes the magic and declared counts from the cursor,
@@ -71,13 +107,8 @@ func readHeader(c *cursor) (Format, int, int, error) {
 	if err := c.readFull(m[:]); err != nil {
 		return 0, 0, 0, fmt.Errorf("store: reading magic: %w", err)
 	}
-	var format Format
-	switch m {
-	case magic:
-		format = FormatCGR1
-	case magic2:
-		format = FormatCGR2
-	default:
+	format, ok := formatOfMagic(m)
+	if !ok {
 		return 0, 0, 0, ErrBadMagic
 	}
 	nv, err := c.uvarint()
@@ -144,12 +175,14 @@ func (d *decoder) seek(off int64, st decState) {
 	d.st = st
 }
 
-// next decodes the edge at stream index i.
+// next decodes the edge at stream index i. CGR3 shares the CGR2 body
+// encoding; only the trailer differs, and the cursor is bounded to the
+// payload so the decoder never sees it.
 func (d *decoder) next(i int) (graph.Edge, error) {
-	if d.format == FormatCGR2 {
-		return d.nextCGR2(i)
+	if d.format == FormatCGR1 {
+		return d.nextCGR1(i)
 	}
-	return d.nextCGR1(i)
+	return d.nextCGR2(i)
 }
 
 func (d *decoder) nextCGR1(i int) (graph.Edge, error) {
@@ -265,10 +298,7 @@ func (w *varintWriter) varint(x int64) error {
 
 // writeHeader emits the magic and counts for g in the given format.
 func (w *varintWriter) writeHeader(f Format, g *graph.Graph) error {
-	m := magic
-	if f == FormatCGR2 {
-		m = magic2
-	}
+	m := magicOf(f)
 	if _, err := w.bw.Write(m[:]); err != nil {
 		return err
 	}

@@ -30,12 +30,20 @@ func backendCases() []backendCase {
 		defer func() { disableMmap = false }()
 		return OpenMmap(path)
 	}
+	openReaderAt := func(path string) (File, error) {
+		data, err := os.ReadFile(path)
+		if err != nil {
+			return nil, err
+		}
+		return OpenReaderAt(byteReaderAt(data), int64(len(data)), path)
+	}
 	var cases []backendCase
-	for _, f := range []Format{FormatCGR1, FormatCGR2} {
+	for _, f := range []Format{FormatCGR1, FormatCGR2, FormatCGR3} {
 		cases = append(cases,
 			backendCase{"file/" + f.String(), f, openFile},
 			backendCase{"mmap/" + f.String(), f, openMmap},
 			backendCase{"fallback/" + f.String(), f, openFallback},
+			backendCase{"readerat/" + f.String(), f, openReaderAt},
 		)
 	}
 	return cases
@@ -296,7 +304,9 @@ func TestSourceMatrixTruncatedBody(t *testing.T) {
 			}
 			src, err := bc.open(path) // header is intact; the body is cut short
 			if err != nil {
-				t.Fatal(err)
+				// Checksummed formats reject the torn file at open (the
+				// trailer is gone); that satisfies the contract too.
+				return
 			}
 			defer src.Close()
 			if _, err := stream.Collect(src); err == nil {

@@ -127,7 +127,9 @@ func mappedCursor(data []byte) cursor {
 
 // readAtCursor returns a cursor windowing r via pread. ReadAt is stateless
 // with respect to any file offset, so any number of cursors can share one
-// *os.File. size bounds the input; reads at or past it report truncation.
+// *os.File. size bounds the input; reads at or past it report truncation,
+// and the window is clamped to size so bytes past the bound (a checksummed
+// file's trailer) never become visible to the decoder.
 func readAtCursor(r io.ReaderAt, size int64) cursor {
 	win := make([]byte, windowLen)
 	return cursor{fill: func(c *cursor) error {
@@ -135,14 +137,18 @@ func readAtCursor(r io.ReaderAt, size int64) cursor {
 		if off >= size {
 			return io.ErrUnexpectedEOF
 		}
-		n, err := r.ReadAt(win, off)
+		w := win
+		if max := size - off; max < int64(len(w)) {
+			w = w[:max]
+		}
+		n, err := r.ReadAt(w, off)
 		if n <= 0 {
 			if err != nil && err != io.EOF {
 				return err
 			}
 			return io.ErrUnexpectedEOF
 		}
-		c.data, c.base, c.i = win[:n], off, 0
+		c.data, c.base, c.i = w[:n], off, 0
 		return nil
 	}}
 }

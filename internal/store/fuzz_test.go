@@ -17,7 +17,7 @@ import (
 func FuzzRead(f *testing.F) {
 	// Seed with valid files of both formats, truncations and junk.
 	g := graph.New(4, []graph.Edge{{Src: 0, Dst: 1}, {Src: 1, Dst: 2}, {Src: 3, Dst: 0}})
-	for _, format := range []Format{FormatCGR1, FormatCGR2} {
+	for _, format := range []Format{FormatCGR1, FormatCGR2, FormatCGR3} {
 		var buf bytes.Buffer
 		if err := WriteFormat(&buf, g, format); err != nil {
 			f.Fatal(err)
@@ -25,9 +25,19 @@ func FuzzRead(f *testing.F) {
 		valid := buf.Bytes()
 		f.Add(valid)
 		f.Add(valid[:len(valid)/2])
+		if format == FormatCGR3 {
+			// Checksum forgeries: payload flip, trailer flip, footer cut.
+			for _, off := range []int{6, len(valid) - 20, len(valid) - 2} {
+				forged := bytes.Clone(valid)
+				forged[off] ^= 1
+				f.Add(forged)
+			}
+			f.Add(valid[:len(valid)-footerLen])
+		}
 	}
 	f.Add([]byte("CGR1"))
 	f.Add([]byte("CGR2"))
+	f.Add([]byte("CGR3"))
 	f.Add([]byte("junk data here"))
 	f.Add([]byte{})
 	f.Fuzz(func(t *testing.T, data []byte) {
@@ -69,6 +79,20 @@ func FuzzReadCGR2(f *testing.F) {
 	f.Add(append(header2(4, 1), 0x80))                              // truncated varint
 	f.Add(append(header2(4, 1), bytes.Repeat([]byte{0x80}, 11)...)) // varint overflow
 	f.Add(append(header2(8, 2), []byte{1<<4 | 1, 0, 0}...))         // zero interval
+	// Checksum-forgery seeds: the same body under the checksummed magic,
+	// with the trailer variously missing, misdeclared or flipped.
+	var b3 bytes.Buffer
+	if err := WriteFormat(&b3, g, FormatCGR3); err != nil {
+		f.Fatal(err)
+	}
+	v3 := b3.Bytes()
+	f.Add(v3)
+	f.Add(append(bytes.Clone(valid[:0]), append([]byte("CGR3"), valid[4:]...)...)) // CGR2 body, no trailer
+	for _, off := range []int{5, len(v3) - footerLen + 2, len(v3) - 10} {
+		forged := bytes.Clone(v3)
+		forged[off] ^= 0x40
+		f.Add(forged)
+	}
 	f.Fuzz(func(t *testing.T, data []byte) {
 		got, err := Read(bytes.NewReader(data))
 		if err != nil {
@@ -104,8 +128,21 @@ func FuzzReadResult(f *testing.F) {
 		f.Add(valid)
 		f.Add(valid[:len(valid)-1])
 		f.Add(valid[:len(valid)/2])
+		// The legacy CPR1 framing of the same result, and checksum
+		// forgeries of the CPR2 file: payload flip, trailer flip, footer cut.
+		var legacy bytes.Buffer
+		if err := writeResultPayload(&legacy, r, resultMagic); err != nil {
+			f.Fatal(err)
+		}
+		f.Add(legacy.Bytes())
+		for _, off := range []int{5, len(valid) - footerLen + 1, len(valid) - 3} {
+			forged := bytes.Clone(valid)
+			forged[off] ^= 1
+			f.Add(forged)
+		}
 	}
 	f.Add([]byte("CPR1"))
+	f.Add([]byte("CPR2"))
 	f.Add(append([]byte("CPR1"), 0xff, 0xff, 0xff, 0xff, 0xff, 0x7f))
 	f.Add([]byte("CGR1junk"))
 	f.Add([]byte{})
@@ -144,15 +181,21 @@ func FuzzSourcesAgree(f *testing.F) {
 	g := graph.New(6, []graph.Edge{
 		{Src: 0, Dst: 1}, {Src: 0, Dst: 2}, {Src: 0, Dst: 3}, {Src: 4, Dst: 0},
 	})
-	for _, format := range []Format{FormatCGR1, FormatCGR2} {
+	for _, format := range []Format{FormatCGR1, FormatCGR2, FormatCGR3} {
 		var buf bytes.Buffer
 		if err := WriteFormat(&buf, g, format); err != nil {
 			f.Fatal(err)
 		}
 		f.Add(buf.Bytes())
 		f.Add(buf.Bytes()[:buf.Len()-2])
+		if format == FormatCGR3 {
+			forged := bytes.Clone(buf.Bytes())
+			forged[7] ^= 1 // payload flip under an intact trailer
+			f.Add(forged)
+		}
 	}
 	f.Add([]byte("CGR2junk"))
+	f.Add([]byte("CGR3junk"))
 	f.Fuzz(func(t *testing.T, data []byte) {
 		fromReader, readerErr := Read(bytes.NewReader(data))
 
@@ -170,21 +213,64 @@ func FuzzSourcesAgree(f *testing.F) {
 		}
 		fromFile, fileErr := collectFile(func(p string) (File, error) { return Open(p) })
 		fromMmap, mmapErr := collectFile(func(p string) (File, error) { return OpenMmap(p) })
+		fromRA, raErr := collectFile(func(p string) (File, error) {
+			return OpenReaderAt(byteReaderAt(data), int64(len(data)), p)
+		})
 
-		if (readerErr == nil) != (fileErr == nil) || (readerErr == nil) != (mmapErr == nil) {
-			t.Fatalf("backends disagree on acceptance: reader=%v file=%v mmap=%v", readerErr, fileErr, mmapErr)
+		if (readerErr == nil) != (fileErr == nil) || (readerErr == nil) != (mmapErr == nil) ||
+			(readerErr == nil) != (raErr == nil) {
+			t.Fatalf("backends disagree on acceptance: reader=%v file=%v mmap=%v readerat=%v",
+				readerErr, fileErr, mmapErr, raErr)
 		}
 		if readerErr != nil {
 			return
 		}
-		if len(fromFile) != len(fromReader.Edges) || len(fromMmap) != len(fromReader.Edges) {
-			t.Fatalf("edge counts disagree: reader=%d file=%d mmap=%d",
-				len(fromReader.Edges), len(fromFile), len(fromMmap))
+		if len(fromFile) != len(fromReader.Edges) || len(fromMmap) != len(fromReader.Edges) ||
+			len(fromRA) != len(fromReader.Edges) {
+			t.Fatalf("edge counts disagree: reader=%d file=%d mmap=%d readerat=%d",
+				len(fromReader.Edges), len(fromFile), len(fromMmap), len(fromRA))
 		}
 		for i := range fromReader.Edges {
-			if fromFile[i] != fromReader.Edges[i] || fromMmap[i] != fromReader.Edges[i] {
-				t.Fatalf("edge %d disagrees: reader=%v file=%v mmap=%v",
-					i, fromReader.Edges[i], fromFile[i], fromMmap[i])
+			if fromFile[i] != fromReader.Edges[i] || fromMmap[i] != fromReader.Edges[i] ||
+				fromRA[i] != fromReader.Edges[i] {
+				t.Fatalf("edge %d disagrees: reader=%v file=%v mmap=%v readerat=%v",
+					i, fromReader.Edges[i], fromFile[i], fromMmap[i], fromRA[i])
+			}
+		}
+	})
+}
+
+// FuzzReadCGR3 drives the checksummed graph path end to end on disk: Open,
+// stream, Verify. Nothing may panic, and the integrity contract must hold -
+// a CGR3 stream that completes successfully has proven every payload block,
+// so Verify on the same source must also succeed.
+func FuzzReadCGR3(f *testing.F) {
+	g := graph.New(8, []graph.Edge{
+		{Src: 0, Dst: 1}, {Src: 0, Dst: 2}, {Src: 0, Dst: 3}, {Src: 5, Dst: 4},
+	})
+	var buf bytes.Buffer
+	if err := WriteFormat(&buf, g, FormatCGR3); err != nil {
+		f.Fatal(err)
+	}
+	valid := buf.Bytes()
+	f.Add(valid)
+	for _, off := range []int{4, 9, len(valid) - footerLen - 1, len(valid) - footerLen + 3, len(valid) - 1} {
+		forged := bytes.Clone(valid)
+		forged[off] ^= 0x20
+		f.Add(forged)
+	}
+	f.Add(valid[:len(valid)-footerLen])
+	f.Add(valid[:len(valid)-1])
+	f.Fuzz(func(t *testing.T, data []byte) {
+		src, err := OpenReaderAt(byteReaderAt(data), int64(len(data)), "fuzz")
+		if err != nil {
+			return
+		}
+		defer src.Close()
+		_, collectErr := stream.Collect(src)
+		if collectErr == nil && src.Format() == FormatCGR3 {
+			if err := src.Verify(); err != nil {
+				t.Fatalf("stream completed but Verify fails: %v", err)
 			}
 		}
 	})

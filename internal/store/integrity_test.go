@@ -1,0 +1,294 @@
+package store
+
+import (
+	"bytes"
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/gen"
+	"repro/internal/graph"
+	"repro/internal/stream"
+)
+
+// multiBlockGraph is sized so its CGR3 payload spans several checksum
+// blocks (>64 KiB per block), exercising the block grid rather than the
+// single-block degenerate case.
+func multiBlockGraph() *graph.Graph {
+	return gen.Web(gen.WebConfig{N: 60000, OutDegree: 6, IntraSite: 0.7, Seed: 21})
+}
+
+// TestChecksummedVerify: Verify proves a clean CGR3 file on every backend,
+// reports ErrNoChecksums on pre-integrity formats, and the decoded stream
+// matches the written edges exactly.
+func TestChecksummedVerify(t *testing.T) {
+	g := multiBlockGraph()
+	for _, bc := range backendCases() {
+		t.Run(bc.name, func(t *testing.T) {
+			src, err := bc.open(writeTempFormat(t, g, bc.format))
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer src.Close()
+			err = src.Verify()
+			if bc.format == FormatCGR3 {
+				if err != nil {
+					t.Fatalf("Verify on a clean file: %v", err)
+				}
+			} else if !errors.Is(err, ErrNoChecksums) {
+				t.Fatalf("Verify on %s: got %v, want ErrNoChecksums", bc.format, err)
+			}
+			got := collect(t, src)
+			if len(got) != len(g.Edges) {
+				t.Fatalf("decoded %d edges, wrote %d", len(got), len(g.Edges))
+			}
+			for i := range got {
+				if got[i] != g.Edges[i] {
+					t.Fatalf("edge %d: got %v, want %v", i, got[i], g.Edges[i])
+				}
+			}
+		})
+	}
+}
+
+// TestBitFlipDetected: flipping any single bit - header, early payload,
+// late payload, trailer, footer - makes every backend fail the open or the
+// stream; no flipped file ever streams to completion successfully.
+func TestBitFlipDetected(t *testing.T) {
+	g := multiBlockGraph()
+	ref := writeTempFormat(t, g, FormatCGR3)
+	clean, err := os.ReadFile(ref)
+	if err != nil {
+		t.Fatal(err)
+	}
+	offsets := []int{
+		5,                                  // header counts
+		100,                                // first payload block
+		len(clean) / 2,                     // middle payload block
+		int(cleanPayloadLen(t, clean)) - 2, // last payload bytes
+		int(cleanPayloadLen(t, clean)) + 6, // trailer
+		len(clean) - 3,                     // footer
+	}
+	for _, bc := range backendCases() {
+		if bc.format != FormatCGR3 {
+			continue
+		}
+		for _, off := range offsets {
+			flipped := bytes.Clone(clean)
+			flipped[off] ^= 0x10
+			path := filepath.Join(t.TempDir(), "flip.cgr")
+			if err := os.WriteFile(path, flipped, 0o644); err != nil {
+				t.Fatal(err)
+			}
+			src, err := bc.open(path)
+			if err != nil {
+				continue // rejected at open: detected
+			}
+			if _, err := stream.Collect(src); err == nil {
+				t.Errorf("%s: bit flip at byte %d streamed without error", bc.name, off)
+			}
+			src.Close()
+		}
+	}
+}
+
+// cleanPayloadLen parses the payload length out of a checksummed file's
+// footer.
+func cleanPayloadLen(t *testing.T, data []byte) int64 {
+	t.Helper()
+	g, err := parseTrailer(byteReaderAt(data), int64(len(data)), "clean")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g.payloadLen
+}
+
+// TestVerifyFileReportsFirstCorruptBlock: a deliberately bit-flipped
+// fixture is reported as corrupt with the exact block the first flipped
+// byte lives in - the contract graphstat -verify exposes to operators.
+func TestVerifyFileReportsFirstCorruptBlock(t *testing.T) {
+	g := multiBlockGraph()
+	path := writeTempFormat(t, g, FormatCGR3)
+	clean, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	info, err := VerifyFile(path)
+	if err != nil {
+		t.Fatalf("clean file: %v", err)
+	}
+	if !info.Checksummed || info.Kind != "CGR3" || info.Blocks < 2 {
+		t.Fatalf("clean file info = %+v, want checksummed CGR3 with >=2 blocks", info)
+	}
+
+	// Flip one byte in block 1 and one in a later block: the report must
+	// name block 1.
+	flipped := bytes.Clone(clean)
+	flipped[checksumBlockSize+123] ^= 1
+	flipped[2*checksumBlockSize+45] ^= 1
+	if err := os.WriteFile(path, flipped, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	_, err = VerifyFile(path)
+	var ce *CorruptError
+	if !errors.As(err, &ce) {
+		t.Fatalf("flipped file: got %v, want *CorruptError", err)
+	}
+	if ce.Block != 1 {
+		t.Fatalf("first corrupt block reported as %d, want 1", ce.Block)
+	}
+
+	// Pre-integrity formats scan as unprotected, not corrupt.
+	p2 := writeTempFormat(t, g, FormatCGR2)
+	info, err = VerifyFile(p2)
+	if err != nil || info.Checksummed {
+		t.Fatalf("CGR2 scan = %+v, %v; want unchecksummed, nil error", info, err)
+	}
+}
+
+// TestEveryPrefixTruncationRejected: the torn-write matrix. Every proper
+// prefix of a valid graph file must be rejected - at open or by the time
+// the stream completes - on both seek-based backends and the sequential
+// reader, for every format; and every proper prefix of a valid result file
+// must be rejected by ReadResult, for both result versions.
+func TestEveryPrefixTruncationRejected(t *testing.T) {
+	g := gen.Web(gen.WebConfig{N: 200, OutDegree: 3, Seed: 8})
+	for _, f := range []Format{FormatCGR1, FormatCGR2, FormatCGR3} {
+		var buf bytes.Buffer
+		if err := WriteFormat(&buf, g, f); err != nil {
+			t.Fatal(err)
+		}
+		full := buf.Bytes()
+		t.Run(f.String(), func(t *testing.T) {
+			dir := t.TempDir()
+			for cut := 0; cut < len(full); cut++ {
+				path := filepath.Join(dir, "cut.cgr")
+				if err := os.WriteFile(path, full[:cut], 0o644); err != nil {
+					t.Fatal(err)
+				}
+				for _, open := range []func(string) (File, error){
+					func(p string) (File, error) { return Open(p) },
+					func(p string) (File, error) { return OpenMmap(p) },
+				} {
+					src, err := open(path)
+					if err != nil {
+						continue
+					}
+					if _, err := stream.Collect(src); err == nil {
+						t.Fatalf("prefix of %d/%d bytes streamed without error", cut, len(full))
+					}
+					src.Close()
+				}
+				if _, err := Read(bytes.NewReader(full[:cut])); err == nil {
+					t.Fatalf("prefix of %d/%d bytes Read without error", cut, len(full))
+				}
+			}
+		})
+	}
+
+	res := buildResult(t, 32)
+	for name, enc := range map[string][]byte{"CPR2": encodeResult(t, res), "CPR1": encodeLegacyResult(t, res)} {
+		t.Run(name, func(t *testing.T) {
+			for cut := 0; cut < len(enc); cut++ {
+				if _, err := ReadResult(bytes.NewReader(enc[:cut])); err == nil {
+					t.Fatalf("result prefix of %d/%d bytes accepted", cut, len(enc))
+				}
+			}
+		})
+	}
+}
+
+// encodeLegacyResult writes r in the pre-integrity CPR1 framing, the
+// fixture for backward-compatibility tests.
+func encodeLegacyResult(t testing.TB, r *Result) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := writeResultPayload(&buf, r, resultMagic); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// TestResultChecksums: CPR2 round-trips and self-verifies, legacy CPR1
+// files still read, and a bit flip anywhere in a CPR2 file rejects.
+func TestResultChecksums(t *testing.T) {
+	r := buildResult(t, 64)
+	enc := encodeResult(t, r)
+
+	got, err := ReadResult(bytes.NewReader(enc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := got.Verify(); err != nil {
+		t.Fatalf("Verify on a decoded result: %v", err)
+	}
+
+	legacy := encodeLegacyResult(t, r)
+	if bytes.Equal(legacy, enc) {
+		t.Fatal("CPR1 and CPR2 encodings are identical; trailer missing")
+	}
+	if _, err := ReadResult(bytes.NewReader(legacy)); err != nil {
+		t.Fatalf("legacy CPR1 file rejected: %v", err)
+	}
+
+	for off := 0; off < len(enc); off += 7 {
+		flipped := bytes.Clone(enc)
+		flipped[off] ^= 0x08
+		if _, err := ReadResult(bytes.NewReader(flipped)); err == nil {
+			t.Fatalf("bit flip at byte %d of a CPR2 result accepted", off)
+		}
+	}
+}
+
+// TestAtomicWriter: Commit publishes the full content and cleans up the
+// temp file; Abort leaves the final path exactly as it was; a writer
+// abandoned mid-write never disturbs the final path.
+func TestAtomicWriter(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "out.bin")
+
+	w, err := NewAtomicWriter(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := w.Write([]byte("hello ")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := w.Write([]byte("world")); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	w.Abort() // post-Commit Abort is a no-op
+	got, err := os.ReadFile(path)
+	if err != nil || string(got) != "hello world" {
+		t.Fatalf("committed file = %q, %v", got, err)
+	}
+
+	// Abort: the previous content survives, and no temp files linger.
+	w2, err := NewAtomicWriter(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := w2.Write([]byte("partial garbage")); err != nil {
+		t.Fatal(err)
+	}
+	w2.Abort()
+	if _, err := w2.Write([]byte("more")); err == nil {
+		t.Fatal("write after Abort accepted")
+	}
+	got, err = os.ReadFile(path)
+	if err != nil || string(got) != "hello world" {
+		t.Fatalf("after abort, file = %q, %v; want previous content", got, err)
+	}
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ents) != 1 {
+		t.Fatalf("directory holds %d entries after commit+abort, want 1", len(ents))
+	}
+}

@@ -1,6 +1,7 @@
 package store
 
 import (
+	"io"
 	"os"
 	"sync/atomic"
 
@@ -39,14 +40,31 @@ func (m *mapping) release() error {
 	return err
 }
 
-// cursor returns a fresh decode cursor over the mapping: the mapped bytes
+// cursor returns a fresh decode cursor over the first limit bytes of the
+// mapping (the checksummed payload, or the whole file): the mapped bytes
 // directly (zero-copy; every seek is a pointer rewind) or, in fallback
 // mode, a private read window over the shared handle via pread.
-func (m *mapping) cursor() cursor {
+func (m *mapping) cursor(limit int64) cursor {
 	if m.data != nil {
-		return mappedCursor(m.data)
+		return mappedCursor(m.data[:limit])
 	}
-	return readAtCursor(m.f, m.size)
+	return readAtCursor(m.f, limit)
+}
+
+// ReadAt serves raw file bytes from the mapping (or the shared handle in
+// fallback mode) - the verification reader of checksummed files.
+func (m *mapping) ReadAt(p []byte, off int64) (int, error) {
+	if m.data == nil {
+		return m.f.ReadAt(p, off)
+	}
+	if off < 0 || off >= int64(len(m.data)) {
+		return 0, io.EOF
+	}
+	n := copy(p, m.data[off:])
+	if n < len(p) {
+		return n, io.EOF
+	}
+	return n, nil
 }
 
 // MmapSource streams a CGR file (either format) as a stream.Source by
@@ -98,11 +116,16 @@ func OpenMmap(path string) (*MmapSource, error) {
 	s := &MmapSource{m: m}
 	m.retain()
 	s.path, s.size = path, m.size
-	s.dec.cur = m.cursor()
+	if err := s.initIntegrity(m); err != nil {
+		s.Close()
+		return nil, err
+	}
+	pay := s.payLimit()
+	s.dec.cur = m.cursor(pay)
 	// Index scans decode through their own cursor over the shared mapping;
 	// segments keep the mapping alive, so the scan needs no reopen.
 	s.newScanCursor = func() (cursor, func(), error) {
-		return m.cursor(), nil, nil
+		return m.cursor(pay), nil, nil
 	}
 	if err := s.initHeader(); err != nil {
 		s.Close()
@@ -124,7 +147,8 @@ func (s *MmapSource) Mapped() bool { return s.m.data != nil }
 func (s *MmapSource) Segment(lo, hi int) (stream.Source, error) {
 	root := s.rootSource()
 	seg := &MmapSource{m: s.m, root: root}
-	seg.dec.cur = s.m.cursor()
+	seg.raw = s.m
+	seg.dec.cur = s.m.cursor(s.payLimit())
 	if err := s.segmentWindow(&root.segCore, &seg.segCore, lo, hi); err != nil {
 		return nil, err
 	}

@@ -34,6 +34,13 @@ type segCore struct {
 	pos int // global index of the next edge to decode
 	buf *[]graph.Edge
 
+	// Integrity state of a checksummed (CGR3) file: integ is the parsed
+	// trailer plus the verified-block bitmap, shared by the root and every
+	// segment so each block is proven once; raw is this handle's own raw
+	// byte access for verification reads. Both are nil for CGR1/CGR2.
+	integ *integrity
+	raw   io.ReaderAt
+
 	// Checkpoint index, owned by the root and shared by all segments.
 	// idx[i] is the decoder state before edge i*indexStride. newScanCursor
 	// returns a private cursor for extending it (plus optional cleanup);
@@ -56,6 +63,29 @@ type checkpoint struct {
 	st  decState
 }
 
+// initIntegrity sniffs the magic through r and, when the file is in a
+// checksummed format, eagerly parses and validates the integrity trailer
+// (footer magic, trailer CRC, block geometry); the payload blocks verify
+// lazily on the decode path. r becomes the handle's verification reader.
+// Must run before the decode cursor is built: the cursor's byte bound
+// (payLimit) depends on whether a trailer exists. A file too short for a
+// magic is left for initHeader to reject.
+func (s *segCore) initIntegrity(r io.ReaderAt) error {
+	var head [4]byte
+	if err := readFullAt(r, head[:], 0); err != nil {
+		return nil
+	}
+	if head != magic3 {
+		return nil
+	}
+	g, err := parseTrailer(r, s.size, s.path)
+	if err != nil {
+		return err
+	}
+	s.integ, s.raw = g, r
+	return nil
+}
+
 // initHeader reads and validates the header through the core's cursor and
 // primes the root state (full range, first checkpoint).
 func (s *segCore) initHeader() error {
@@ -71,6 +101,30 @@ func (s *segCore) initHeader() error {
 	s.startOff = s.dec.cur.abs()
 	s.idx = append(s.idx, checkpoint{off: s.startOff})
 	return nil
+}
+
+// payLimit is the byte bound decode cursors run under: the checksummed
+// payload for CGR3 (the trailer must never enter a decode window), the
+// whole file otherwise.
+func (s *segCore) payLimit() int64 {
+	if s.integ != nil {
+		return s.integ.payloadLen
+	}
+	return s.size
+}
+
+// Verify proves every payload block of a checksummed file against its
+// recorded CRC32C, in order, reporting the first corrupt block. Files in
+// pre-integrity formats return ErrNoChecksums. Blocks already proven by
+// the lazy decode path are not re-read.
+func (s *segCore) Verify() error {
+	if s.closed {
+		return fmt.Errorf("store: %s: %w", s.path, os.ErrClosed)
+	}
+	if s.integ == nil {
+		return ErrNoChecksums
+	}
+	return s.integ.verifyAll(s.raw)
 }
 
 // NumVertices implements stream.Source.
@@ -101,9 +155,18 @@ func (s *segCore) Reset() error {
 }
 
 // NextBlock implements stream.Source, decoding up to stream.BlockLen edges
-// into a pooled buffer.
+// into a pooled buffer. On a checksummed file the byte range the block
+// decoded from is proven against its CRCs before the block is returned, and
+// a stream that ends at the file's last edge proves every remaining block
+// at EOF - so completing the stream certifies the whole payload, and no
+// block built from corrupt bytes is ever handed out.
 func (s *segCore) NextBlock() ([]graph.Edge, error) {
 	if s.pos >= s.hi {
+		if s.integ != nil && s.hi == s.ne && !s.closed {
+			if err := s.integ.verifyAll(s.raw); err != nil {
+				return nil, err
+			}
+		}
 		return nil, io.EOF
 	}
 	if s.closed {
@@ -117,12 +180,18 @@ func (s *segCore) NextBlock() ([]graph.Edge, error) {
 	if n > stream.BlockLen {
 		n = stream.BlockLen
 	}
+	from := s.dec.cur.abs()
 	for j := 0; j < n; j++ {
 		e, err := s.dec.next(s.pos + j)
 		if err != nil {
 			return nil, err
 		}
 		buf[j] = e
+	}
+	if s.integ != nil {
+		if err := s.integ.verifyRange(s.raw, from, s.dec.cur.abs()); err != nil {
+			return nil, err
+		}
 	}
 	s.pos += n
 	return buf[:n], nil
@@ -148,12 +217,20 @@ func (s *segCore) segmentWindow(root, seg *segCore, lo, hi int) error {
 	seg.path, seg.size = s.path, s.size
 	seg.nv, seg.ne = s.nv, s.ne
 	seg.lo, seg.hi = glo, ghi
+	seg.integ = s.integ
 	seg.dec.format, seg.dec.nv, seg.dec.ne = s.dec.format, s.dec.nv, s.dec.ne
 	seg.dec.seek(cp.off, cp.st)
 	// Roll forward from the checkpoint to the segment's first edge so Reset
 	// becomes a plain seek afterwards.
 	for i := cpEdge; i < glo; i++ {
 		if _, err := seg.dec.next(i); err != nil {
+			return err
+		}
+	}
+	// The roll-forward fixed the segment's resume point from these bytes;
+	// prove them before any edge positioned by them is served.
+	if seg.integ != nil {
+		if err := seg.integ.verifyRange(seg.raw, cp.off, seg.dec.cur.abs()); err != nil {
 			return err
 		}
 	}

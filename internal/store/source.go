@@ -10,23 +10,30 @@ import (
 )
 
 // File is a compressed graph file opened as a replayable, segmentable edge
-// source. Both backends satisfy it: FileSource (seek-based, one private
-// file handle per segment) and MmapSource (one shared mapping, free
-// Reset/Segment). Close releases the handle's resources; segments are
-// themselves Files and must be closed independently.
+// source. All backends satisfy it: FileSource (seek-based, one private
+// file handle per segment), MmapSource (one shared mapping, free
+// Reset/Segment) and ReaderAtSource (any io.ReaderAt - the seam the
+// fault-injection harness plugs into). Close releases the handle's
+// resources; segments are themselves Files and must be closed
+// independently.
 type File interface {
 	stream.Segmenter
 	io.Closer
 	// Path returns the file the source streams from.
 	Path() string
-	// Format returns the on-disk encoding (CGR1 or CGR2).
+	// Format returns the on-disk encoding (CGR1, CGR2 or CGR3).
 	Format() Format
 	// SizeBytes returns the file size - with Len, the on-disk bytes/edge.
 	SizeBytes() int64
+	// Verify proves a checksummed (CGR3) file's payload against its
+	// recorded block CRCs, reporting the first corrupt block as a
+	// *CorruptError; pre-integrity formats return ErrNoChecksums.
+	Verify() error
 }
 
 var _ File = (*FileSource)(nil)
 var _ File = (*MmapSource)(nil)
+var _ File = (*ReaderAtSource)(nil)
 
 // OpenAuto opens path with the fastest available backend: the mmap-backed
 // source, which itself falls back to portable read-at decoding where the
@@ -92,7 +99,12 @@ func Open(path string) (*FileSource, error) {
 	}
 	s := &FileSource{f: f}
 	s.path, s.size = path, fi.Size()
-	s.dec.cur = readAtCursor(f, s.size)
+	if err := s.initIntegrity(f); err != nil {
+		f.Close()
+		return nil, err
+	}
+	pay := s.payLimit()
+	s.dec.cur = readAtCursor(f, pay)
 	// Index scans read through a private handle, so they never perturb any
 	// streaming cursor and work even after the root is closed.
 	s.newScanCursor = func() (cursor, func(), error) {
@@ -100,7 +112,7 @@ func Open(path string) (*FileSource, error) {
 		if err != nil {
 			return cursor{}, nil, err
 		}
-		return readAtCursor(sf, s.size), func() { sf.Close() }, nil
+		return readAtCursor(sf, pay), func() { sf.Close() }, nil
 	}
 	if err := s.initHeader(); err != nil {
 		f.Close()
@@ -121,7 +133,8 @@ func (s *FileSource) Segment(lo, hi int) (stream.Source, error) {
 	}
 	root := s.rootSource()
 	seg := &FileSource{f: f, root: root}
-	seg.dec.cur = readAtCursor(f, s.size)
+	seg.raw = f
+	seg.dec.cur = readAtCursor(f, s.payLimit())
 	if err := s.segmentWindow(&root.segCore, &seg.segCore, lo, hi); err != nil {
 		f.Close()
 		return nil, err
