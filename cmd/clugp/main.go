@@ -10,6 +10,9 @@
 //	clugp -in graph.cgr -stream -k 32              # out-of-core: O(|V|) heap
 //	clugp -in graph.cgr -stream -backend file      # seek-based source instead of mmap
 //	clugp -in graph.cgr -stream -workers 4         # parallel hot pass, identical results
+//	clugp -in graph.cgr -stream -score-workers 4   # sharded scoring, identical results
+//	clugp -in graph.cgr -stream -trace             # pipeline + per-shard score-state report
+//	clugp -in graph.cgr -stream -cpuprofile cpu.pb # pprof profiles (-memprofile heap.pb)
 //	clugp -in old.cgr -recompress new.cgr          # rewrite as CGR3 (-format cgr2/cgr1 for old)
 //	clugp -in graph.cgr -stream -result run.cpr    # save a serveable result for cmd/partsrv
 //	clugp -in graph.cgr -verify -stream -k 32      # checksum-scan the input up front
@@ -41,7 +44,9 @@ import (
 	"fmt"
 	"os"
 	"runtime"
+	"runtime/pprof"
 	"strconv"
+	"sync"
 	"time"
 
 	"repro"
@@ -65,11 +70,21 @@ func main() {
 		streamF = flag.Bool("stream", false, "out-of-core mode: partition a .cgr file without loading it")
 		backend = flag.String("backend", "mmap", "file source backend for -stream: mmap or file")
 		workers = flag.Int("workers", 1, "decode workers for -stream (>1 enables the parallel hot pass; results are identical for any count)")
+		scoreW  = flag.Int("score-workers", 1, "score workers for -stream (>1 shards HDRF/Greedy/CLUGP scoring state; results are identical for any count)")
+		cpuprof = flag.String("cpuprofile", "", "write a pprof CPU profile to this file")
+		memprof = flag.String("memprofile", "", "write a pprof heap profile to this file on exit")
 		recomp  = flag.String("recompress", "", "write the loaded graph back out compressed to this file, then exit")
 		formatF = flag.String("format", "cgr3", "compressed format for -recompress: cgr1, cgr2 or cgr3")
 		verifyF = flag.Bool("verify", false, "checksum-scan the -in file before using it (CGR3/CPR2 carry checksums)")
 	)
 	flag.Parse()
+
+	stop, err := startProfiles(*cpuprof, *memprof)
+	if err != nil {
+		fail(err)
+	}
+	stopProfiles = stop
+	defer stop()
 
 	if *verifyF {
 		if *in == "" {
@@ -108,7 +123,7 @@ func main() {
 
 	var res *repro.PartitionResult
 	if *streamF {
-		res, err = runStreaming(p, *in, *k, *out, *resultF, *backend, *workers, heap)
+		res, err = runStreaming(p, *in, *k, *out, *resultF, *backend, *workers, *scoreW, heap)
 	} else {
 		res, err = runInMemory(p, *in, *preset, *scale, *k, *seed, *out, *resultF, heap)
 	}
@@ -133,6 +148,27 @@ func main() {
 			fmt.Printf("game:               %d rounds, %d moves, %d batches (healed %.3f)\n",
 				t.GameRounds, t.GameMoves, t.GameBatches, t.HealedFraction)
 			fmt.Printf("overflow reroutes:  %d\n", t.Overflowed)
+		}
+		if *streamF {
+			pl := res.Pipeline
+			fmt.Printf("pipeline:           %d decode workers, %d score workers\n", pl.DecodeWorkers, pl.ScoreWorkers)
+			if pl.SerialFallback != "" {
+				fmt.Printf("serial fallback:    %s\n", pl.SerialFallback)
+			}
+			if st, ok := p.(repro.ScoreTracer); ok {
+				if tr := st.LastScoreTrace(); tr != nil {
+					fmt.Printf("score state:        %.2f MB replica tables, %.2f MB degree tables, %d shards\n",
+						float64(tr.ReplicaBytes)/(1<<20), float64(tr.DegreeBytes)/(1<<20), tr.Workers)
+					for i, s := range tr.Shards {
+						occ := 0.0
+						if s.Hi > s.Lo {
+							occ = float64(s.Occupied) / float64(s.Hi-s.Lo)
+						}
+						fmt.Printf("  shard %d: vertices [%d,%d), occupied %d (%.1f%%), %d replicas, %.2f MB\n",
+							i, s.Lo, s.Hi, s.Occupied, 100*occ, s.Replicas, float64(s.Bytes)/(1<<20))
+					}
+				}
+			}
 		}
 		// The paper's Figure 6 claim is about partitioner memory; report what
 		// the process actually held so the bounded-memory mode is observable.
@@ -192,9 +228,10 @@ func runInMemory(p repro.Partitioner, in, preset string, scale float64, k int, s
 
 // runStreaming is the out-of-core path: the .cgr file is the stream; the
 // assignment is emitted as it is produced and never materialized. With
-// workers > 1 decode and quality accounting run on worker fleets; the
-// emitted assignment and quality are identical to the serial pass.
-func runStreaming(p repro.Partitioner, in string, k int, out, resultPath, backend string, workers int, heap *heapWatermark) (*repro.PartitionResult, error) {
+// workers > 1 decode and quality accounting run on worker fleets; with
+// scoreWorkers > 1 the partitioner's own scoring state is sharded too. The
+// emitted assignment and quality are identical to the serial pass either way.
+func runStreaming(p repro.Partitioner, in string, k int, out, resultPath, backend string, workers, scoreWorkers int, heap *heapWatermark) (*repro.PartitionResult, error) {
 	if in == "" {
 		return nil, fmt.Errorf("-stream needs -in FILE.cgr")
 	}
@@ -262,7 +299,7 @@ func runStreaming(p repro.Partitioner, in string, k int, out, resultPath, backen
 		return nil
 	}
 	stop := heap.watch()
-	res, err := repro.RunOutOfCoreOpts(p, src, k, emit, repro.OutOfCoreOptions{Workers: workers})
+	res, err := repro.RunOutOfCoreOpts(p, src, k, emit, repro.OutOfCoreOptions{Workers: workers, ScoreWorkers: scoreWorkers})
 	stop()
 	if err != nil {
 		return nil, err
@@ -467,7 +504,51 @@ func (h *heapWatermark) report() (peak, live, total uint64) {
 	return h.peak, m.HeapAlloc, m.TotalAlloc
 }
 
+// stopProfiles flushes any active -cpuprofile/-memprofile collection; fail
+// routes through it so profiles survive error exits.
+var stopProfiles = func() {}
+
+// startProfiles begins CPU profiling and/or arranges a heap snapshot. The
+// returned stop is idempotent: it ends the CPU profile and writes the heap
+// profile after a GC, so the snapshot shows live memory.
+func startProfiles(cpu, mem string) (func(), error) {
+	var cpuF *os.File
+	if cpu != "" {
+		f, err := os.Create(cpu)
+		if err != nil {
+			return nil, err
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			f.Close()
+			return nil, err
+		}
+		cpuF = f
+	}
+	var once sync.Once
+	return func() {
+		once.Do(func() {
+			if cpuF != nil {
+				pprof.StopCPUProfile()
+				cpuF.Close()
+			}
+			if mem != "" {
+				f, err := os.Create(mem)
+				if err != nil {
+					fmt.Fprintln(os.Stderr, "clugp: -memprofile:", err)
+					return
+				}
+				runtime.GC()
+				if err := pprof.WriteHeapProfile(f); err != nil {
+					fmt.Fprintln(os.Stderr, "clugp: -memprofile:", err)
+				}
+				f.Close()
+			}
+		})
+	}, nil
+}
+
 func fail(err error) {
 	fmt.Fprintln(os.Stderr, "clugp:", err)
+	stopProfiles()
 	os.Exit(1)
 }

@@ -24,8 +24,11 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strconv"
 	"strings"
+	"sync"
 	"time"
 
 	"repro"
@@ -44,12 +47,22 @@ func main() {
 		name     = flag.String("name", "suite", "experiment name for the JSON report filename")
 		seeds    = flag.Int("seeds", 1, "number of seed replicates per suite cell (seed, seed+1, ...)")
 		rtol     = flag.Float64("rtol", 0, "runtime regression tolerance for -baseline (0 = default 0.5; CI on unmatched hardware should raise it)")
-		streamC  = flag.Bool("streamcells", true, "measure the out-of-core streaming grids (backend x format, plus parallel decode-worker scaling) in suite mode")
+		streamC  = flag.Bool("streamcells", true, "measure the out-of-core streaming grids (backend x format, plus decode-worker and score-worker scaling) in suite mode")
+		cpuprof  = flag.String("cpuprofile", "", "write a pprof CPU profile to this file")
+		memprof  = flag.String("memprofile", "", "write a pprof heap profile to this file on exit")
 		algoList = flag.String("algos", "", "comma-separated algorithms for the suite (default: the paper's six)")
 		dsList   = flag.String("datasets", "", "comma-separated datasets for the suite (default: all five)")
 		ksList   = flag.String("ks", "", "comma-separated partition counts for the suite (default: 4..256)")
 	)
 	flag.Parse()
+
+	stop, err := startProfiles(*cpuprof, *memprof)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "experiments:", err)
+		exit(1)
+	}
+	stopProfiles = stop
+	defer stop()
 
 	// The suite (-json/-baseline) and figure (-fig/-all) modes are
 	// mutually exclusive; several flags only apply to the suite. Surface
@@ -59,7 +72,7 @@ func main() {
 	if *jsonOut || *baseline != "" {
 		if *fig != "" || *all {
 			fmt.Fprintln(os.Stderr, "experiments: -json/-baseline run the benchmark suite and cannot be combined with -fig or -all")
-			os.Exit(2)
+			exit(2)
 		}
 		runSuite(*name, *scale, *seed, *seeds, *workers, *algoList, *dsList, *ksList, *jsonOut, *baseline, *quiet, *rtol, *streamC)
 		return
@@ -79,7 +92,7 @@ func main() {
 	if !*all {
 		if *fig == "" {
 			fmt.Fprintln(os.Stderr, "experiments: need -fig NAME, -all or -json; valid names:", strings.Join(names, ", "))
-			os.Exit(2)
+			exit(2)
 		}
 		names = []string{*fig}
 	}
@@ -89,12 +102,12 @@ func main() {
 		tables, err := repro.RunExperiment(name, cfg)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "experiments:", err)
-			os.Exit(1)
+			exit(1)
 		}
 		for i := range tables {
 			if err := tables[i].Render(os.Stdout); err != nil {
 				fmt.Fprintln(os.Stderr, "experiments:", err)
-				os.Exit(1)
+				exit(1)
 			}
 		}
 	}
@@ -123,7 +136,7 @@ func runSuite(name string, scale float64, seed uint64, seeds, workers int, algoL
 		k, err := strconv.Atoi(s)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "experiments: bad -ks entry %q: %v\n", s, err)
-			os.Exit(2)
+			exit(2)
 		}
 		cfg.Ks = append(cfg.Ks, k)
 	}
@@ -131,20 +144,20 @@ func runSuite(name string, scale float64, seed uint64, seeds, workers int, algoL
 	report, err := repro.RunSuiteParallel(cfg)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "experiments:", err)
-		os.Exit(1)
+		exit(1)
 	}
 	report.Experiment = name
 	for _, t := range report.Table() {
 		if err := t.Render(os.Stdout); err != nil {
 			fmt.Fprintln(os.Stderr, "experiments:", err)
-			os.Exit(1)
+			exit(1)
 		}
 	}
 	if writeJSON {
 		path := report.Filename()
 		if err := report.WriteFile(path); err != nil {
 			fmt.Fprintln(os.Stderr, "experiments:", err)
-			os.Exit(1)
+			exit(1)
 		}
 		if !quiet {
 			fmt.Fprintf(os.Stderr, "wrote %s (%d cells in %v)\n",
@@ -155,19 +168,69 @@ func runSuite(name string, scale float64, seed uint64, seeds, workers int, algoL
 		prior, err := repro.LoadReport(baseline)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "experiments:", err)
-			os.Exit(1)
+			exit(1)
 		}
 		diff := repro.DiffReports(prior, report, repro.DiffOptions{RuntimeTolerance: rtol})
 		t := diff.Table()
 		if err := t.Render(os.Stdout); err != nil {
 			fmt.Fprintln(os.Stderr, "experiments:", err)
-			os.Exit(1)
+			exit(1)
 		}
 		if diff.HasRegressions() {
 			fmt.Fprintf(os.Stderr, "experiments: %d regression(s) against %s\n", len(diff.Regressions), baseline)
-			os.Exit(2)
+			exit(2)
 		}
 	}
+}
+
+// stopProfiles flushes any active -cpuprofile/-memprofile collection; exit
+// routes through it so profiles survive error exits.
+var stopProfiles = func() {}
+
+// exit flushes profiles before terminating - the suite's regression gate
+// (exit 2) is exactly when a CPU profile of the run is most wanted.
+func exit(code int) {
+	stopProfiles()
+	os.Exit(code)
+}
+
+// startProfiles begins CPU profiling and/or arranges a heap snapshot. The
+// returned stop is idempotent: it ends the CPU profile and writes the heap
+// profile after a GC, so the snapshot shows live memory.
+func startProfiles(cpu, mem string) (func(), error) {
+	var cpuF *os.File
+	if cpu != "" {
+		f, err := os.Create(cpu)
+		if err != nil {
+			return nil, err
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			f.Close()
+			return nil, err
+		}
+		cpuF = f
+	}
+	var once sync.Once
+	return func() {
+		once.Do(func() {
+			if cpuF != nil {
+				pprof.StopCPUProfile()
+				cpuF.Close()
+			}
+			if mem != "" {
+				f, err := os.Create(mem)
+				if err != nil {
+					fmt.Fprintln(os.Stderr, "experiments: -memprofile:", err)
+					return
+				}
+				runtime.GC()
+				if err := pprof.WriteHeapProfile(f); err != nil {
+					fmt.Fprintln(os.Stderr, "experiments: -memprofile:", err)
+				}
+				f.Close()
+			}
+		})
+	}, nil
 }
 
 // splitList parses a comma-separated flag value, trimming blanks.

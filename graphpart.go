@@ -348,6 +348,23 @@ func RunOutOfCoreOpts(p Partitioner, src StreamSource, k int, emit Emit, opts Ou
 	return partition.RunOutOfCoreOpts(p, src, k, emit, opts)
 }
 
+// Parallel-scoring introspection (clugp -trace surfaces these).
+type (
+	// PipelineInfo records how the out-of-core pipeline actually resolved:
+	// the decode and score worker counts that ran, and any silent downgrade
+	// to serial with its reason. Found on PartitionResult.Pipeline.
+	PipelineInfo = partition.PipelineInfo
+	// ScoreTrace describes the sharded scoring state of a partitioner's
+	// most recent run: resolved worker count, table footprints, and
+	// per-shard occupancy.
+	ScoreTrace = partition.ScoreTrace
+	// ScoreTracer is implemented by partitioners that shard their scoring
+	// state (HDRF, Greedy); LastScoreTrace returns nil after serial runs.
+	ScoreTracer = partition.ScoreTracer
+	// ShardStat is one shard's occupancy summary inside a ScoreTrace.
+	ShardStat = metrics.ShardStat
+)
+
 // ParallelStreamConfig sizes a parallel decode pipeline; the zero value
 // picks sensible defaults (GOMAXPROCS workers). Every knob affects
 // scheduling only, never which edges appear in which position.

@@ -90,6 +90,11 @@ type Report struct {
 	// The single-client cells' allocs/op is gated to exactly zero at
 	// measurement time.
 	ServeCells []ServeCell `json:"serve_cells,omitempty"`
+	// ScoreCells holds the parallel-scoring scaling grid (dataset x
+	// algorithm x score workers), when the suite ran with Streaming
+	// enabled. Quality is gated against the score-workers=1 cell at
+	// measurement time, so the column is bit-identical by construction.
+	ScoreCells []ScoreCell `json:"score_cells,omitempty"`
 }
 
 // Filename is the canonical on-disk name for the report.
@@ -231,6 +236,22 @@ func (r *Report) Table() []Table {
 		}
 		tables = append(tables, t)
 	}
+	if len(r.ScoreCells) > 0 {
+		t := Table{
+			ID:     fmt.Sprintf("%s-score", r.Experiment),
+			Title:  fmt.Sprintf("Parallel scoring scaling (scale %.2f, mmap/CGR3, k=%d)", r.Scale, streamK),
+			Header: []string{"dataset", "algorithm", "score-workers", "runtime(ms)", "speedup", "efficiency", "RF"},
+			Note:   "decode serial; quality is gated bit-identical to score-workers=1 when measured; efficiency = speedup/score-workers",
+		}
+		for _, c := range r.ScoreCells {
+			t.AddRow(c.Dataset, c.Algorithm, fmt.Sprintf("%d", c.ScoreWorkers),
+				fmt.Sprintf("%.1f", float64(c.PartitionNS)/1e6),
+				fmt.Sprintf("%.2fx", c.Speedup),
+				fmt.Sprintf("%.2f", c.Efficiency),
+				f3(c.ReplicationFactor))
+		}
+		tables = append(tables, t)
+	}
 	return tables
 }
 
@@ -323,6 +344,9 @@ type DiffResult struct {
 	// ServeSkipped is non-empty when the placement-service grid was not
 	// compared (either report lacks serve cells).
 	ServeSkipped string `json:"serve_skipped,omitempty"`
+	// ScoreSkipped is non-empty when the parallel-scoring grid was not
+	// compared (either report lacks score cells).
+	ScoreSkipped string `json:"score_skipped,omitempty"`
 	// OnlyBaseline and OnlyCurrent list cells without a counterpart.
 	OnlyBaseline []string `json:"only_baseline,omitempty"`
 	OnlyCurrent  []string `json:"only_current,omitempty"`
@@ -412,6 +436,7 @@ func Diff(baseline, current *Report, opts DiffOptions) *DiffResult {
 	d.diffStreamCells(baseline, current, opts)
 	d.diffParallelCells(baseline, current, opts)
 	d.diffServeCells(baseline, current, opts)
+	d.diffScoreCells(baseline, current, opts)
 	sort.Slice(d.Regressions, func(i, j int) bool { return d.Regressions[i].Relative > d.Regressions[j].Relative })
 	sort.Slice(d.Improvements, func(i, j int) bool { return d.Improvements[i].Relative < d.Improvements[j].Relative })
 	return d
@@ -566,6 +591,53 @@ func (d *DiffResult) diffServeCells(baseline, current *Report, opts DiffOptions)
 	}
 }
 
+// diffScoreCells joins the parallel-scoring scaling grids, with the same
+// policy as the parallel grid: quality is gated exactly (sharded scoring is
+// bit-identical to serial by construction, so any drift is a determinism
+// break), wall clock uses the runtime tolerance, and the derived speedup
+// and efficiency columns are never diffed themselves.
+func (d *DiffResult) diffScoreCells(baseline, current *Report, opts DiffOptions) {
+	switch {
+	case len(baseline.ScoreCells) == 0 && len(current.ScoreCells) == 0:
+		return
+	case len(baseline.ScoreCells) == 0:
+		d.ScoreSkipped = "baseline has no score cells"
+		return
+	case len(current.ScoreCells) == 0:
+		d.ScoreSkipped = "current report has no score cells"
+		return
+	}
+	base := make(map[string]ScoreCell, len(baseline.ScoreCells))
+	for _, c := range baseline.ScoreCells {
+		base[c.ID()] = c
+	}
+	seen := make(map[string]bool, len(current.ScoreCells))
+	for _, cur := range current.ScoreCells {
+		id := cur.ID()
+		seen[id] = true
+		old, ok := base[id]
+		if !ok {
+			d.OnlyCurrent = append(d.OnlyCurrent, id)
+			continue
+		}
+		d.Matched++
+		if old.Vertices != cur.Vertices || old.Edges != cur.Edges {
+			d.Incomparable = append(d.Incomparable, id)
+			continue
+		}
+		d.classify(id, "replication_factor", old.ReplicationFactor, cur.ReplicationFactor, opts.QualityTolerance)
+		d.classify(id, "relative_balance", old.RelativeBalance, cur.RelativeBalance, opts.QualityTolerance)
+		if d.RuntimeSkipped == "" && abs64(cur.PartitionNS-old.PartitionNS) >= opts.RuntimeFloorNS {
+			d.classify(id, "partition", float64(old.PartitionNS), float64(cur.PartitionNS), opts.RuntimeTolerance)
+		}
+	}
+	for _, c := range baseline.ScoreCells {
+		if !seen[c.ID()] {
+			d.OnlyBaseline = append(d.OnlyBaseline, c.ID())
+		}
+	}
+}
+
 func abs64(x int64) int64 {
 	if x < 0 {
 		return -x
@@ -644,6 +716,9 @@ func (d *DiffResult) Table() Table {
 	}
 	if d.ServeSkipped != "" {
 		notes = append(notes, "serve cells not compared: "+d.ServeSkipped)
+	}
+	if d.ScoreSkipped != "" {
+		notes = append(notes, "score cells not compared: "+d.ScoreSkipped)
 	}
 	if n := len(d.OnlyBaseline) + len(d.OnlyCurrent); n > 0 {
 		notes = append(notes, fmt.Sprintf("%d cells without a counterpart (grid changed): baseline-only %d, current-only %d",

@@ -1,0 +1,138 @@
+package bench
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"time"
+
+	"repro/internal/partition"
+	"repro/internal/store"
+)
+
+// ScoreCell is one grid point of the parallel-scoring benchmark: one
+// algorithm streaming one dataset out-of-core (mmap backend, CGR3 format)
+// with one score worker count and decode left serial, so the scaling
+// column isolates the gather -> score -> apply pipeline rather than the
+// decode fleet. Like ParallelCell, quality is gated at run time against
+// the score-workers=1 cell of the same (dataset, algorithm): sharded
+// scoring is bit-identical by construction, so any drift is a bug, not
+// noise, and fails the suite.
+type ScoreCell struct {
+	Dataset   string `json:"dataset"`
+	Algorithm string `json:"algorithm"`
+	// ScoreWorkers is the scoring shard count (1 = the serial reference
+	// the scaling column is measured against).
+	ScoreWorkers int    `json:"score_workers"`
+	K            int    `json:"k"`
+	Seed         uint64 `json:"seed"`
+	// Vertices and Edges describe the built graph (after scaling).
+	Vertices int `json:"vertices"`
+	Edges    int `json:"edges"`
+	// PartitionNS is the full out-of-core run at this score worker count.
+	PartitionNS int64 `json:"partition_ns"`
+	// Speedup is the score-workers=1 cell's runtime divided by this
+	// cell's; Efficiency is Speedup/ScoreWorkers. Both are hardware- and
+	// load-dependent and are never diffed against baselines; PartitionNS
+	// carries the runtime comparison.
+	Speedup    float64 `json:"speedup"`
+	Efficiency float64 `json:"efficiency"`
+	// ReplicationFactor and RelativeBalance must be bit-identical across
+	// the whole score-workers column (enforced when the cells are measured).
+	ReplicationFactor float64 `json:"replication_factor"`
+	RelativeBalance   float64 `json:"relative_balance"`
+}
+
+// ID names the cell's grid coordinates, the join key for baseline diffs.
+func (c ScoreCell) ID() string {
+	return fmt.Sprintf("score/%s/%s sw=%d k=%d seed=%d", c.Dataset, c.Algorithm, c.ScoreWorkers, c.K, c.Seed)
+}
+
+// scoreWorkerCol is the scaling column; scoreAlgos pairs the flat-bitset
+// heuristic whose score loop dominates (HDRF scans all k partitions per
+// edge) with the paper's restreaming partitioner (sharded pass 3).
+var (
+	scoreWorkerCol = []int{1, 2, 4}
+	scoreAlgos     = []string{"HDRF", "CLUGP"}
+)
+
+// runScoreCells measures the parallel-scoring grid serially (each cell
+// times wall clock over its own shard fleet). Graphs are encoded once into
+// a temp directory (mmap + CGR3, the checksummed production pairing the
+// CLI defaults to), decode stays single-threaded.
+func runScoreCells(cfg SuiteConfig) ([]ScoreCell, error) {
+	datasets := cfg.StreamDatasets
+	if len(datasets) == 0 {
+		datasets = defaultStreamDatasets
+	}
+	seed := cfg.Seeds[0]
+	dir, err := os.MkdirTemp("", "bench-score-*")
+	if err != nil {
+		return nil, err
+	}
+	defer os.RemoveAll(dir)
+
+	var cells []ScoreCell
+	for _, name := range datasets {
+		ds, err := DatasetByName(name)
+		if err != nil {
+			return nil, fmt.Errorf("bench: score cells: %w", err)
+		}
+		g := ds.Build(cfg.Scale)
+		suiteLogf(cfg, "score: built %s (%d vertices, %d edges)", name, g.NumVertices, g.NumEdges())
+		path := filepath.Join(dir, name+".cgr")
+		if err := writeEncoded(path, g, store.FormatCGR3); err != nil {
+			return nil, err
+		}
+		src, err := store.OpenMmap(path)
+		if err != nil {
+			return nil, err
+		}
+		for _, alg := range scoreAlgos {
+			var ref ScoreCell
+			for _, sw := range scoreWorkerCol {
+				p, err := partition.New(alg, seed)
+				if err != nil {
+					src.Close()
+					return nil, err
+				}
+				start := time.Now()
+				res, err := partition.RunOutOfCoreOpts(p, src, streamK, nil, partition.OutOfCoreOptions{ScoreWorkers: sw})
+				if err != nil {
+					src.Close()
+					return nil, fmt.Errorf("bench: score cell %s/%s sw=%d: %w", name, alg, sw, err)
+				}
+				elapsed := time.Since(start)
+				cell := ScoreCell{
+					Dataset: name, Algorithm: alg, ScoreWorkers: sw,
+					K: streamK, Seed: seed,
+					Vertices: g.NumVertices, Edges: g.NumEdges(),
+					PartitionNS:       elapsed.Nanoseconds(),
+					ReplicationFactor: res.Quality.ReplicationFactor,
+					RelativeBalance:   res.Quality.RelativeBalance,
+				}
+				if sw == 1 {
+					ref = cell
+					cell.Speedup, cell.Efficiency = 1, 1
+				} else {
+					// The bit-identity gate: sharded-scoring quality must equal
+					// the serial cell exactly, not within tolerance.
+					if cell.ReplicationFactor != ref.ReplicationFactor || cell.RelativeBalance != ref.RelativeBalance {
+						src.Close()
+						return nil, fmt.Errorf("bench: score cell %s/%s sw=%d: quality diverges from serial (RF %v vs %v, bal %v vs %v)",
+							name, alg, sw, cell.ReplicationFactor, ref.ReplicationFactor, cell.RelativeBalance, ref.RelativeBalance)
+					}
+					if cell.PartitionNS > 0 {
+						cell.Speedup = float64(ref.PartitionNS) / float64(cell.PartitionNS)
+						cell.Efficiency = cell.Speedup / float64(sw)
+					}
+				}
+				cells = append(cells, cell)
+				suiteLogf(cfg, "  score %-4s %-5s sw=%d  %v  speedup %.2fx (eff %.2f)",
+					name, alg, sw, elapsed.Round(time.Millisecond), cell.Speedup, cell.Efficiency)
+			}
+		}
+		src.Close()
+	}
+	return cells, nil
+}

@@ -1,0 +1,326 @@
+package metrics
+
+import (
+	"math/bits"
+
+	"repro/internal/graph"
+)
+
+// This file is the sharded half of the gather -> score -> apply scoring
+// pipeline (DESIGN.md "Parallel scoring"): per-batch slot tables that shard
+// workers fill and drain, so partitioner scoring loops read contiguous
+// batch-local scratch instead of random-walking the flat replica bitset.
+
+// ShardGeometry resolves the effective vertex-range shard layout for n
+// vertices split into the requested number of shards: the shard count is
+// clamped to n so no shard is empty, span is ceil(n/shards), and the count
+// shrinks to the number of spans actually needed (n=257 requested as 64
+// shards gives span=5 and 52 shards). It is the single layout rule shared
+// by ShardedReplicaSets, ShardedDegrees and the partition scoring pipeline,
+// so "shard of v" agrees across all of them: ShardOf(v) = v/span.
+// The result is idempotent: ShardGeometry(n, eff) returns (eff, span) again.
+func ShardGeometry(n, shards int) (eff, span int) {
+	if shards < 1 {
+		shards = 1
+	}
+	if shards > n && n > 0 {
+		shards = n
+	}
+	span = (n + shards - 1) / shards
+	if span < 1 {
+		span = 1
+	}
+	if n > 0 {
+		eff = (n + span - 1) / span
+	} else {
+		eff = 1
+	}
+	return eff, span
+}
+
+// GatherTable is the per-batch scratch of the scoring pipeline: a slot-major
+// copy of the replica words, cached replica counts and partial degrees of
+// one edge batch's distinct vertices. During the gather phase one worker per
+// shard fills the slots of the vertices it owns (disjoint slots, so no
+// locks); the serial score phase then reads AND writes slots exactly as the
+// flat algorithms read and write the authoritative tables - which is what
+// preserves intra-batch sequential semantics bit-for-bit - and the apply
+// phase stores the mutated slots back to their owning shards.
+//
+// The table is scratch in the same sense as ReplicaSets: Reset reuses
+// storage, and nothing is cleared because the gather phase overwrites every
+// word of every live slot (each slot belongs to exactly one shard list).
+type GatherTable struct {
+	words int
+	slots int
+	bits  []uint64 // slots x words, slot-major
+	cnt   []int32  // |P(v)| per slot, maintained by Load and Set
+	deg   []uint32 // partial degree per slot (when tracked)
+}
+
+// Reset sizes the table for the given slot count and k partitions,
+// reusing storage. withDegrees additionally sizes the degree lane.
+// Contents are undefined until gathered - see the type comment.
+func (t *GatherTable) Reset(slots, k int, withDegrees bool) {
+	t.words = (k + 63) / 64
+	t.slots = slots
+	if need := slots * t.words; cap(t.bits) < need {
+		t.bits = make([]uint64, need)
+	} else {
+		t.bits = t.bits[:need]
+	}
+	if cap(t.cnt) < slots {
+		t.cnt = make([]int32, slots)
+	} else {
+		t.cnt = t.cnt[:slots]
+	}
+	if withDegrees {
+		if cap(t.deg) < slots {
+			t.deg = make([]uint32, slots)
+		} else {
+			t.deg = t.deg[:slots]
+		}
+	}
+}
+
+// Words returns the number of 64-bit words per slot, (k+63)/64.
+func (t *GatherTable) Words() int { return t.words }
+
+// Slots returns the number of live slots.
+func (t *GatherTable) Slots() int { return t.slots }
+
+// Load copies src (one vertex's replica words) into the slot and caches its
+// popcount. Called by shard workers on disjoint slots.
+func (t *GatherTable) Load(slot int32, src []uint64) {
+	dst := t.bits[int(slot)*t.words : (int(slot)+1)*t.words]
+	n := 0
+	for w, x := range src {
+		dst[w] = x
+		n += bits.OnesCount64(x)
+	}
+	t.cnt[slot] = int32(n)
+}
+
+// Store copies the slot's replica words into dst (one vertex's words in its
+// owning shard). Called by shard workers on disjoint slots.
+func (t *GatherTable) Store(slot int32, dst []uint64) {
+	copy(dst, t.bits[int(slot)*t.words:(int(slot)+1)*t.words])
+}
+
+// Word returns the w-th 64-bit word of the slot's partition set.
+func (t *GatherTable) Word(slot int32, w int) uint64 {
+	return t.bits[int(slot)*t.words+w]
+}
+
+// Has reports whether partition p holds the slot's vertex.
+func (t *GatherTable) Has(slot int32, p int) bool {
+	return t.bits[int(slot)*t.words+p/64]&(1<<uint(p%64)) != 0
+}
+
+// Count returns |P(v)| for the slot's vertex (cached, O(1)).
+func (t *GatherTable) Count(slot int32) int { return int(t.cnt[slot]) }
+
+// Set records that partition p holds the slot's vertex, keeping the cached
+// count in step. Score-phase only (single goroutine).
+func (t *GatherTable) Set(slot int32, p int) {
+	i := int(slot)*t.words + p/64
+	bit := uint64(1) << uint(p%64)
+	if t.bits[i]&bit == 0 {
+		t.bits[i] |= bit
+		t.cnt[slot]++
+	}
+}
+
+// Degree returns the slot's partial degree.
+func (t *GatherTable) Degree(slot int32) uint32 { return t.deg[slot] }
+
+// SetDegree overwrites the slot's partial degree (gather phase).
+func (t *GatherTable) SetDegree(slot int32, d uint32) { t.deg[slot] = d }
+
+// Bump increments the slot's partial degree (score phase).
+func (t *GatherTable) Bump(slot int32) { t.deg[slot]++ }
+
+// Partitions appends the partitions holding the slot's vertex to dst.
+func (t *GatherTable) Partitions(slot int32, dst []int32) []int32 {
+	base := int(slot) * t.words
+	for w := 0; w < t.words; w++ {
+		word := t.bits[base+w]
+		for word != 0 {
+			b := bits.TrailingZeros64(word)
+			dst = append(dst, int32(w*64+b))
+			word &= word - 1
+		}
+	}
+	return dst
+}
+
+// Intersect appends the partitions holding both slots' vertices to dst.
+func (t *GatherTable) Intersect(su, sv int32, dst []int32) []int32 {
+	bu, bv := int(su)*t.words, int(sv)*t.words
+	for w := 0; w < t.words; w++ {
+		word := t.bits[bu+w] & t.bits[bv+w]
+		for word != 0 {
+			b := bits.TrailingZeros64(word)
+			dst = append(dst, int32(w*64+b))
+			word &= word - 1
+		}
+	}
+	return dst
+}
+
+// Union appends the partitions holding either slot's vertex to dst.
+func (t *GatherTable) Union(su, sv int32, dst []int32) []int32 {
+	bu, bv := int(su)*t.words, int(sv)*t.words
+	for w := 0; w < t.words; w++ {
+		word := t.bits[bu+w] | t.bits[bv+w]
+		for word != 0 {
+			b := bits.TrailingZeros64(word)
+			dst = append(dst, int32(w*64+b))
+			word &= word - 1
+		}
+	}
+	return dst
+}
+
+// GatherSlots copies each listed vertex's replica words (and cached
+// popcount) into its slot of t. All vertices must belong to shard sh;
+// workers that own disjoint shards fill disjoint slots, so a one-worker-
+// per-shard gather needs no synchronization beyond the phase barrier.
+func (s *ShardedReplicaSets) GatherSlots(sh int, verts []graph.VertexID, slots []int32, t *GatherTable) {
+	tab := &s.tabs[sh]
+	lo := graph.VertexID(sh * s.span)
+	w := tab.words
+	for i, v := range verts {
+		base := int(v-lo) * w
+		t.Load(slots[i], tab.bits[base:base+w])
+	}
+}
+
+// ApplySlots stores each listed slot's (possibly score-mutated) replica
+// words back to the vertices shard sh owns - the inverse of GatherSlots.
+func (s *ShardedReplicaSets) ApplySlots(sh int, verts []graph.VertexID, slots []int32, t *GatherTable) {
+	tab := &s.tabs[sh]
+	lo := graph.VertexID(sh * s.span)
+	w := tab.words
+	for i, v := range verts {
+		base := int(v-lo) * w
+		t.Store(slots[i], tab.bits[base:base+w])
+	}
+}
+
+// ShardStat describes one vertex-range shard of a sharded replica table:
+// its range, how many of its vertices hold at least one replica bit,
+// the total bits set, and the bytes the shard's bitset owns. The skew
+// view behind clugp -trace.
+type ShardStat struct {
+	// Lo and Hi bound the vertex range [Lo, Hi) the shard owns.
+	Lo, Hi int
+	// Occupied is the number of vertices in the range with |P(v)| > 0.
+	Occupied int
+	// Replicas is sum |P(v)| over the shard's vertices.
+	Replicas int64
+	// Bytes is the shard's bitset footprint.
+	Bytes int64
+}
+
+// ShardStats walks every shard's bitset and returns per-shard occupancy -
+// an O(|V|·k/64) scan, for diagnostics, not hot paths.
+func (s *ShardedReplicaSets) ShardStats() []ShardStat {
+	out := make([]ShardStat, s.shards)
+	for i := range s.tabs {
+		tab := &s.tabs[i]
+		st := &out[i]
+		st.Lo, st.Hi = s.ShardRange(i)
+		st.Bytes = tab.Bytes()
+		for v := 0; v < st.Hi-st.Lo; v++ {
+			n := 0
+			for _, w := range tab.bits[v*tab.words : (v+1)*tab.words] {
+				n += bits.OnesCount64(w)
+			}
+			if n > 0 {
+				st.Occupied++
+				st.Replicas += int64(n)
+			}
+		}
+	}
+	return out
+}
+
+// ShardedDegrees is a per-vertex degree table split by vertex range with
+// the same layout rule as ShardedReplicaSets (ShardGeometry), so one
+// worker fleet owns matching shards of both. It backs HDRF's partial
+// degrees in the scoring pipeline.
+type ShardedDegrees struct {
+	n, shards, span int
+	tabs            [][]uint32
+}
+
+// Reset clears and resizes the table for n vertices in the given number of
+// vertex-range shards, reusing per-shard storage when large enough.
+func (d *ShardedDegrees) Reset(n, shards int) {
+	d.shards, d.span = ShardGeometry(n, shards)
+	d.n = n
+	if cap(d.tabs) < d.shards {
+		tabs := make([][]uint32, d.shards)
+		copy(tabs, d.tabs)
+		d.tabs = tabs
+	}
+	d.tabs = d.tabs[:d.shards]
+	for i := 0; i < d.shards; i++ {
+		lo, hi := d.ShardRange(i)
+		need := hi - lo
+		if cap(d.tabs[i]) < need {
+			d.tabs[i] = make([]uint32, need)
+		} else {
+			d.tabs[i] = d.tabs[i][:need]
+			clear(d.tabs[i])
+		}
+	}
+}
+
+// NumShards returns the shard count.
+func (d *ShardedDegrees) NumShards() int { return d.shards }
+
+// ShardRange returns the vertex range [lo, hi) shard i owns.
+func (d *ShardedDegrees) ShardRange(i int) (lo, hi int) {
+	lo = i * d.span
+	hi = lo + d.span
+	if hi > d.n {
+		hi = d.n
+	}
+	return lo, hi
+}
+
+// Degree returns vertex v's accumulated degree.
+func (d *ShardedDegrees) Degree(v graph.VertexID) uint32 {
+	sh := int(v) / d.span
+	return d.tabs[sh][int(v)-sh*d.span]
+}
+
+// GatherSlots copies each listed vertex's degree into its slot's degree
+// lane. All vertices must belong to shard sh.
+func (d *ShardedDegrees) GatherSlots(sh int, verts []graph.VertexID, slots []int32, t *GatherTable) {
+	tab := d.tabs[sh]
+	lo := graph.VertexID(sh * d.span)
+	for i, v := range verts {
+		t.SetDegree(slots[i], tab[v-lo])
+	}
+}
+
+// ApplySlots stores each listed slot's degree back to shard sh.
+func (d *ShardedDegrees) ApplySlots(sh int, verts []graph.VertexID, slots []int32, t *GatherTable) {
+	tab := d.tabs[sh]
+	lo := graph.VertexID(sh * d.span)
+	for i, v := range verts {
+		tab[v-lo] = t.Degree(slots[i])
+	}
+}
+
+// Bytes returns the memory footprint of the table (all shards).
+func (d *ShardedDegrees) Bytes() int64 {
+	var b int64
+	for i := range d.tabs {
+		b += int64(len(d.tabs[i])) * 4
+	}
+	return b
+}

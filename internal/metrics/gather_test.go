@@ -1,0 +1,250 @@
+package metrics
+
+import (
+	"math/rand/v2"
+	"testing"
+
+	"repro/internal/graph"
+)
+
+// TestShardGeometry pins the layout rule: shards clamp to n, spans cover
+// exactly [0, n), no shard is empty, and the result is idempotent (feeding
+// the effective count back yields the same layout) - the property that lets
+// ShardedReplicaSets, ShardedDegrees and the scoring pipeline agree on
+// "shard of v" when each resolves the requested count independently.
+func TestShardGeometry(t *testing.T) {
+	for _, n := range []int{0, 1, 2, 7, 64, 100, 257, 1000} {
+		for _, req := range []int{0, 1, 2, 3, 7, 52, 64, 1000} {
+			eff, span := ShardGeometry(n, req)
+			if eff < 1 || span < 1 {
+				t.Fatalf("n=%d req=%d: eff=%d span=%d", n, req, eff, span)
+			}
+			if n > 0 {
+				if (eff-1)*span >= n || eff*span < n {
+					t.Fatalf("n=%d req=%d: %d shards of span %d do not tile [0,%d)", n, req, eff, span, n)
+				}
+				if eff > n {
+					t.Fatalf("n=%d req=%d: %d shards exceed vertex count", n, req, eff)
+				}
+			}
+			if eff2, span2 := ShardGeometry(n, eff); eff2 != eff || span2 != span {
+				t.Fatalf("n=%d req=%d: not idempotent: (%d,%d) -> (%d,%d)", n, req, eff, span, eff2, span2)
+			}
+		}
+	}
+}
+
+// TestGatherApplyMatchesFlat is the differential criterion of the pipeline's
+// state half: driving a sharded table through batched gather -> mutate ->
+// apply cycles must leave it bit-identical to a flat table that received
+// the same Adds directly, for shard counts around the boundary cases.
+func TestGatherApplyMatchesFlat(t *testing.T) {
+	rng := rand.New(rand.NewPCG(17, 19))
+	for _, n := range []int{1, 5, 257, 500} {
+		for _, k := range []int{3, 64, 65, 128} {
+			for _, shards := range []int{1, 2, 7, 52} {
+				flat := NewReplicaSets(n, k)
+				srs := NewShardedReplicaSets(n, k, shards)
+				fdeg := make([]uint32, n)
+				var sdeg ShardedDegrees
+				sdeg.Reset(n, shards)
+				if sdeg.NumShards() != srs.NumShards() {
+					t.Fatalf("n=%d shards=%d: degree table resolved %d shards, replica table %d",
+						n, shards, sdeg.NumShards(), srs.NumShards())
+				}
+				var gt GatherTable
+
+				for batch := 0; batch < 8; batch++ {
+					// One batch: a few distinct vertices, slots in pick order.
+					nv := 1 + rng.IntN(6)
+					if nv > n {
+						nv = n
+					}
+					verts := make([]graph.VertexID, 0, nv)
+					seen := map[graph.VertexID]bool{}
+					for len(verts) < nv {
+						v := graph.VertexID(rng.IntN(n))
+						if !seen[v] {
+							seen[v] = true
+							verts = append(verts, v)
+						}
+					}
+					gt.Reset(len(verts), k, true)
+					perShard := map[int][][2]int32{} // shard -> (local index into verts, slot)
+					for i, v := range verts {
+						sh := srs.ShardOf(v)
+						perShard[sh] = append(perShard[sh], [2]int32{int32(i), int32(i)})
+					}
+					for sh, list := range perShard {
+						vs := make([]graph.VertexID, len(list))
+						ss := make([]int32, len(list))
+						for i, e := range list {
+							vs[i] = verts[e[0]]
+							ss[i] = e[1]
+						}
+						srs.GatherSlots(sh, vs, ss, &gt)
+						sdeg.GatherSlots(sh, vs, ss, &gt)
+					}
+					// The gathered view must equal the authoritative state.
+					for i, v := range verts {
+						if gt.Count(int32(i)) != flat.Count(v) {
+							t.Fatalf("n=%d k=%d shards=%d: gathered count %d != flat %d for v=%d",
+								n, k, shards, gt.Count(int32(i)), flat.Count(v), v)
+						}
+						if gt.Degree(int32(i)) != fdeg[v] {
+							t.Fatalf("gathered degree mismatch for v=%d", v)
+						}
+						for w := 0; w < srs.Words(); w++ {
+							if gt.Word(int32(i), w) != flat.Word(v, w) {
+								t.Fatalf("gathered word mismatch for v=%d w=%d", v, w)
+							}
+						}
+					}
+					// Mutate slots as a score loop would, mirroring into flat.
+					for i, v := range verts {
+						for m := 0; m < 3; m++ {
+							p := rng.IntN(k)
+							gt.Set(int32(i), p)
+							flat.Add(v, p)
+							gt.Bump(int32(i))
+							fdeg[v]++
+						}
+						if gt.Count(int32(i)) != flat.Count(v) {
+							t.Fatalf("count cache diverged for v=%d: %d != %d", v, gt.Count(int32(i)), flat.Count(v))
+						}
+					}
+					for sh, list := range perShard {
+						vs := make([]graph.VertexID, len(list))
+						ss := make([]int32, len(list))
+						for i, e := range list {
+							vs[i] = verts[e[0]]
+							ss[i] = e[1]
+						}
+						srs.ApplySlots(sh, vs, ss, &gt)
+						sdeg.ApplySlots(sh, vs, ss, &gt)
+					}
+				}
+				// Final differential: every vertex, every word, every degree.
+				for v := 0; v < n; v++ {
+					vid := graph.VertexID(v)
+					for w := 0; w < srs.Words(); w++ {
+						if srs.Word(vid, w) != flat.Word(vid, w) {
+							t.Fatalf("n=%d k=%d shards=%d: applied word diverges at v=%d w=%d", n, k, shards, v, w)
+						}
+					}
+					if sdeg.Degree(vid) != fdeg[v] {
+						t.Fatalf("n=%d shards=%d: applied degree diverges at v=%d: %d != %d",
+							n, shards, v, sdeg.Degree(vid), fdeg[v])
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestGatherTableSlotOps pins the slot-level query ops against the flat
+// table's vertex-level ops on identical contents.
+func TestGatherTableSlotOps(t *testing.T) {
+	const n, k = 40, 70
+	rng := rand.New(rand.NewPCG(23, 29))
+	flat := NewReplicaSets(n, k)
+	for i := 0; i < 300; i++ {
+		flat.Add(graph.VertexID(rng.IntN(n)), rng.IntN(k))
+	}
+	srs := NewShardedReplicaSets(n, k, 4)
+	for v := 0; v < n; v++ {
+		for p := 0; p < k; p++ {
+			if flat.Has(graph.VertexID(v), p) {
+				srs.Add(graph.VertexID(v), p)
+			}
+		}
+	}
+	var gt GatherTable
+	gt.Reset(n, k, false)
+	for sh := 0; sh < srs.NumShards(); sh++ {
+		lo, hi := srs.ShardRange(sh)
+		var vs []graph.VertexID
+		var ss []int32
+		for v := lo; v < hi; v++ {
+			vs = append(vs, graph.VertexID(v))
+			ss = append(ss, int32(v))
+		}
+		srs.GatherSlots(sh, vs, ss, &gt)
+	}
+	var a, b []int32
+	for u := 0; u < n; u++ {
+		for v := 0; v < n; v++ {
+			uu, vv := graph.VertexID(u), graph.VertexID(v)
+			a = flat.Intersect(uu, vv, a[:0])
+			b = gt.Intersect(int32(u), int32(v), b[:0])
+			if len(a) != len(b) {
+				t.Fatalf("Intersect(%d,%d): %v != %v", u, v, a, b)
+			}
+			for i := range a {
+				if a[i] != b[i] {
+					t.Fatalf("Intersect(%d,%d): %v != %v", u, v, a, b)
+				}
+			}
+			a = flat.Union(uu, vv, a[:0])
+			b = gt.Union(int32(u), int32(v), b[:0])
+			if len(a) != len(b) {
+				t.Fatalf("Union(%d,%d): %v != %v", u, v, a, b)
+			}
+		}
+		a = flat.Partitions(graph.VertexID(u), a[:0])
+		b = gt.Partitions(int32(u), b[:0])
+		if len(a) != len(b) {
+			t.Fatalf("Partitions(%d): %v != %v", u, a, b)
+		}
+		for p := 0; p < k; p++ {
+			if flat.Has(graph.VertexID(u), p) != gt.Has(int32(u), p) {
+				t.Fatalf("Has(%d,%d) diverges", u, p)
+			}
+		}
+	}
+}
+
+// TestShardStats checks the occupancy summary against a direct count.
+func TestShardStats(t *testing.T) {
+	const n, k = 257, 65
+	srs := NewShardedReplicaSets(n, k, 7)
+	rng := rand.New(rand.NewPCG(31, 37))
+	occupied := map[int]bool{}
+	replicas := 0
+	for i := 0; i < 500; i++ {
+		v, p := rng.IntN(n), rng.IntN(k)
+		if !srs.Has(graph.VertexID(v), p) {
+			replicas++
+		}
+		srs.Add(graph.VertexID(v), p)
+		occupied[v] = true
+	}
+	stats := srs.ShardStats()
+	if len(stats) != srs.NumShards() {
+		t.Fatalf("%d stats for %d shards", len(stats), srs.NumShards())
+	}
+	var totOcc int
+	var totRep, totBytes int64
+	prevHi := 0
+	for i, st := range stats {
+		if st.Lo != prevHi {
+			t.Fatalf("shard %d starts at %d, previous ended at %d", i, st.Lo, prevHi)
+		}
+		prevHi = st.Hi
+		totOcc += st.Occupied
+		totRep += st.Replicas
+		totBytes += st.Bytes
+	}
+	if prevHi != n {
+		t.Fatalf("shards cover [0,%d), want [0,%d)", prevHi, n)
+	}
+	if totOcc != len(occupied) {
+		t.Fatalf("occupied %d, want %d", totOcc, len(occupied))
+	}
+	if totRep != int64(replicas) {
+		t.Fatalf("replicas %d, want %d", totRep, replicas)
+	}
+	if totBytes != srs.Bytes() {
+		t.Fatalf("bytes %d, want %d", totBytes, srs.Bytes())
+	}
+}

@@ -38,27 +38,10 @@ func NewShardedReplicaSets(n, k, shards int) *ShardedReplicaSets {
 // shards < 1 means one shard; shards is clamped to n so no shard is empty
 // (except on an empty vertex set).
 func (s *ShardedReplicaSets) Reset(n, k, shards int) {
-	if shards < 1 {
-		shards = 1
-	}
-	if shards > n && n > 0 {
-		shards = n
-	}
-	span := 1
-	if shards > 0 {
-		span = (n + shards - 1) / shards
-	}
-	if span < 1 {
-		span = 1
-	}
-	// Ceil division twice can leave trailing shards past n (n=257, shards=64
-	// gives span=5, but 52 spans already cover 257 vertices); shrink to the
-	// number of spans actually needed so no shard starts beyond the range.
-	if n > 0 {
-		shards = (n + span - 1) / span
-	} else {
-		shards = 1 // one empty shard; ShardRange(0) = [0, 0)
-	}
+	// ShardGeometry clamps shards to n and shrinks trailing empty spans
+	// (n=257, shards=64 gives span=5 and 52 shards); on an empty vertex set
+	// it yields one empty shard, so ShardRange(0) = [0, 0).
+	shards, span := ShardGeometry(n, shards)
 	s.n, s.k, s.shards, s.span = n, k, shards, span
 	if cap(s.tabs) < shards {
 		tabs := make([]ReplicaSets, shards)

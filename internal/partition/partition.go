@@ -91,6 +91,9 @@ type Result struct {
 	Quality    *metrics.Quality
 	Runtime    time.Duration
 	StateBytes int64
+	// Pipeline describes how the out-of-core hot pass executed (decode and
+	// score worker counts, serial fallbacks). Zero for in-memory runs.
+	Pipeline PipelineInfo
 }
 
 // Run orders the graph's edges per the partitioner's preference, times the
@@ -181,6 +184,32 @@ type OutOfCoreOptions struct {
 	// stream.ParallelConfig default). Affects scheduling only, never
 	// results.
 	BatchEdges int
+	// ScoreWorkers routes the partitioner's per-edge scoring state through
+	// vertex-range-sharded tables and runs the gather -> score -> apply
+	// batch pipeline with one worker per shard when > 1 (HDRF, Greedy,
+	// CLUGP and CLUGP-D implement it; other algorithms fall back to serial
+	// scoring, recorded in Result.Pipeline). Orthogonal to Workers: decode
+	// workers need a Segmenter, score workers run over any source (batches
+	// are cut by stream.Rebatch at fixed offsets). Assignments are
+	// bit-identical for every value - the pipeline preserves exact
+	// sequential scoring semantics - held by TestScoreWorkerInvariance.
+	// 0 leaves the partitioner's own setting; 1 forces serial scoring.
+	ScoreWorkers int
+}
+
+// PipelineInfo records how the out-of-core hot pass actually executed,
+// including downgrades that used to be silent: a non-Segmenter source
+// demotes -workers to serial decode, and an algorithm without sharded
+// scoring demotes -score-workers to serial scoring. clugp -trace prints it.
+type PipelineInfo struct {
+	// DecodeWorkers is the resolved decode-fleet size (1 = serial decode).
+	DecodeWorkers int
+	// ScoreWorkers is the resolved scoring-pipeline worker count
+	// (1 = serial scoring).
+	ScoreWorkers int
+	// SerialFallback explains every requested parallel mode that ran
+	// serially anyway; empty when nothing was demoted.
+	SerialFallback string
 }
 
 // RunOutOfCore partitions a source in its stored (natural) order without
@@ -220,6 +249,7 @@ func RunOutOfCoreOpts(p Partitioner, src stream.Source, k int, emit Emit, opts O
 	}
 	orig := src
 	parallel := false
+	info := PipelineInfo{DecodeWorkers: 1, ScoreWorkers: 1}
 	if opts.Workers > 1 {
 		if seg, isSeg := src.(stream.Segmenter); isSeg {
 			par, err := stream.Parallel(seg, stream.ParallelConfig{
@@ -232,6 +262,27 @@ func RunOutOfCoreOpts(p Partitioner, src stream.Source, k int, emit Emit, opts O
 			defer par.Close()
 			src = par
 			parallel = true
+			info.DecodeWorkers = opts.Workers
+		} else {
+			// Not an error - the serial pass produces identical results -
+			// but no longer silent: the caller asked for parallel decode
+			// and did not get it.
+			info.SerialFallback = fmt.Sprintf("source %T cannot segment into ranges, decode runs serially", src)
+		}
+	}
+	if opts.ScoreWorkers > 0 {
+		if sw, ok := p.(scoreParallel); ok {
+			sw.setScoreWorkers(opts.ScoreWorkers)
+			if opts.ScoreWorkers > 1 {
+				info.ScoreWorkers = opts.ScoreWorkers
+			}
+		} else if opts.ScoreWorkers > 1 {
+			note := fmt.Sprintf("%s does not shard its scoring state, scoring runs serially", p.Name())
+			if info.SerialFallback != "" {
+				info.SerialFallback += "; " + note
+			} else {
+				info.SerialFallback = note
+			}
 		}
 	}
 	var ev qualityObserver
@@ -266,9 +317,10 @@ func RunOutOfCoreOpts(p Partitioner, src stream.Source, k int, emit Emit, opts O
 		NumVertices: src.NumVertices(),
 		// The caller's source, not the parallel wrapper: the wrapper's
 		// fleet is released when this function returns.
-		Stream:  orig,
-		Quality: ev.Finish(),
-		Runtime: elapsed,
+		Stream:   orig,
+		Quality:  ev.Finish(),
+		Runtime:  elapsed,
+		Pipeline: info,
 	}
 	if sz, ok := p.(StateSizer); ok {
 		res.StateBytes = sz.StateBytes(src.NumVertices(), src.Len(), k)

@@ -1,0 +1,212 @@
+package partition
+
+import (
+	"repro/internal/graph"
+	"repro/internal/metrics"
+)
+
+// This file implements the gather -> score -> apply scoring pipeline
+// (DESIGN.md "Parallel scoring"): the per-edge replica/degree state of the
+// one-pass partitioners lives in vertex-range-sharded tables
+// (metrics.ShardedReplicaSets / ShardedDegrees), and per-batch shard
+// workers pre-gather each batch's words into a slot table the serial score
+// loop reads and writes - so scoring stops random-walking the flat bitset
+// while staying bit-identical to the serial algorithms for every worker
+// count.
+
+// ScoreTrace reports how a sharded-scoring run laid out its state: the
+// resolved worker/shard count, the sharded tables' footprint, and per-shard
+// occupancy (the skew view clugp -trace prints).
+type ScoreTrace struct {
+	// Workers is the resolved shard and worker count (the requested count
+	// clamped by metrics.ShardGeometry).
+	Workers int
+	// ReplicaBytes and DegreeBytes are the sharded tables' footprints
+	// (DegreeBytes is zero for algorithms without a degree table).
+	ReplicaBytes int64
+	DegreeBytes  int64
+	// Shards is the per-shard replica-table occupancy after the run.
+	Shards []metrics.ShardStat
+}
+
+// ScoreTracer is implemented by partitioners that can report their most
+// recent sharded-scoring run (HDRF, Greedy). LastScoreTrace returns nil
+// when the last run scored serially.
+type ScoreTracer interface {
+	LastScoreTrace() *ScoreTrace
+}
+
+// scoreParallel is the internal knob RunOutOfCoreOpts turns: partitioners
+// whose scoring state can shard implement it (HDRF, Greedy, CLUGP and
+// CLUGP-D forwarding to its per-node pipelines).
+type scoreParallel interface {
+	setScoreWorkers(n int)
+}
+
+// scoreShardFn is one pipeline phase's work for one shard: verts lists the
+// current batch's distinct vertices that the shard owns, slots their
+// positions in the batch's gather table.
+type scoreShardFn func(sh int, verts []graph.VertexID, slots []int32)
+
+// scorePipe runs the phases of the pipeline over one worker per shard.
+// prepare (serial) deduplicates a batch's endpoints into gather-table slots
+// in first-appearance order and splits them into per-shard lists; do runs
+// one phase - every worker executes the phase function over its own list,
+// and do returns only when all have finished (the phase barrier). Workers
+// touch disjoint vertex ranges and disjoint slots, so phases need no locks;
+// determinism needs no more than that slot numbering depends only on the
+// batch's edges (it does: first appearance order), since batch boundaries
+// are fixed stream offsets (stream.Rebatch).
+//
+// A scorePipe is scratch reused across runs like the tables it feeds;
+// begin spawns the fleet, stop (deferred by every user) releases it.
+type scorePipe struct {
+	workers int
+	span    int
+
+	// Batch-local vertex -> slot map: open addressing with epoch stamps so
+	// clearing between batches is one counter bump, not an O(table) wipe.
+	// The probe sequence is a fixed function of the vertex id, never of
+	// worker count or timing, which keeps slot order deterministic.
+	keys  []graph.VertexID
+	vals  []int32
+	stamp []uint32
+	epoch uint32
+	mask  uint32
+
+	nslots int
+	su, sv []int32 // gather-table slot of each edge endpoint, batch-aligned
+
+	verts [][]graph.VertexID // per-shard distinct vertices, gather order
+	slots [][]int32          // their gather-table slots
+
+	in   []chan scoreShardFn
+	done chan struct{}
+}
+
+// begin resolves the shard layout for n vertices and spawns one worker per
+// shard. The layout rule is metrics.ShardGeometry, so it matches sharded
+// tables Reset with the same requested count.
+func (sp *scorePipe) begin(n, shards int) {
+	sp.workers, sp.span = metrics.ShardGeometry(n, shards)
+	if cap(sp.verts) < sp.workers {
+		verts := make([][]graph.VertexID, sp.workers)
+		copy(verts, sp.verts)
+		sp.verts = verts
+		slots := make([][]int32, sp.workers)
+		copy(slots, sp.slots)
+		sp.slots = slots
+	}
+	sp.verts = sp.verts[:sp.workers]
+	sp.slots = sp.slots[:sp.workers]
+	sp.in = make([]chan scoreShardFn, sp.workers)
+	sp.done = make(chan struct{}, sp.workers)
+	for sh := range sp.in {
+		sp.in[sh] = make(chan scoreShardFn)
+		go func(sh int, in chan scoreShardFn) {
+			for fn := range in {
+				fn(sh, sp.verts[sh], sp.slots[sh])
+				sp.done <- struct{}{}
+			}
+		}(sh, sp.in[sh])
+	}
+}
+
+// stop releases the worker fleet. No phase is ever in flight outside do,
+// so closing the inboxes is sufficient. Idempotent.
+func (sp *scorePipe) stop() {
+	for _, in := range sp.in {
+		close(in)
+	}
+	sp.in = nil
+}
+
+// do runs one phase to completion across all shard workers.
+func (sp *scorePipe) do(fn scoreShardFn) {
+	for _, in := range sp.in {
+		in <- fn
+	}
+	for i := 0; i < sp.workers; i++ {
+		<-sp.done
+	}
+}
+
+// prepare deduplicates blk's endpoints into slots 0..nslots-1 in first-
+// appearance order, filling su/sv and the per-shard gather lists. Serial;
+// runs between the previous batch's apply barrier and this batch's gather.
+func (sp *scorePipe) prepare(blk []graph.Edge) {
+	// Size the map for <= 2*len(blk) distinct keys at load factor <= 1/2.
+	if need := nextPow2(4 * len(blk)); need > len(sp.keys) {
+		sp.keys = make([]graph.VertexID, need)
+		sp.vals = make([]int32, need)
+		sp.stamp = make([]uint32, need)
+		sp.mask = uint32(need - 1)
+		sp.epoch = 0
+	}
+	sp.epoch++
+	if sp.epoch == 0 { // wrapped: hard-clear so stale stamps cannot collide
+		clear(sp.stamp)
+		sp.epoch = 1
+	}
+	sp.nslots = 0
+	for sh := 0; sh < sp.workers; sh++ {
+		sp.verts[sh] = sp.verts[sh][:0]
+		sp.slots[sh] = sp.slots[sh][:0]
+	}
+	sp.su = growInt32(sp.su, len(blk))
+	sp.sv = growInt32(sp.sv, len(blk))
+	for j, e := range blk {
+		sp.su[j] = sp.slot(e.Src)
+		sp.sv[j] = sp.slot(e.Dst)
+	}
+}
+
+// slot returns v's gather-table slot, assigning the next free one (and
+// appending v to its shard's gather list) on first appearance.
+func (sp *scorePipe) slot(v graph.VertexID) int32 {
+	h := (uint32(v) * 0x9E3779B1) // Fibonacci hashing, fixed multiplier
+	h ^= h >> 15
+	h &= sp.mask
+	for {
+		if sp.stamp[h] != sp.epoch {
+			sp.stamp[h] = sp.epoch
+			sp.keys[h] = v
+			s := int32(sp.nslots)
+			sp.nslots++
+			sp.vals[h] = s
+			sh := int(v) / sp.span
+			sp.verts[sh] = append(sp.verts[sh], v)
+			sp.slots[sh] = append(sp.slots[sh], s)
+			return s
+		}
+		if sp.keys[h] == v {
+			return sp.vals[h]
+		}
+		h = (h + 1) & sp.mask
+	}
+}
+
+func nextPow2(n int) int {
+	p := 64
+	for p < n {
+		p <<= 1
+	}
+	return p
+}
+
+// growInt32 returns a length-n int32 slice reusing buf's storage when
+// possible; contents are undefined (callers overwrite every entry).
+func growInt32(buf []int32, n int) []int32 {
+	if cap(buf) < n {
+		return make([]int32, n)
+	}
+	return buf[:n]
+}
+
+// growUint32 is growInt32 for uint32 slices.
+func growUint32(buf []uint32, n int) []uint32 {
+	if cap(buf) < n {
+		return make([]uint32, n)
+	}
+	return buf[:n]
+}

@@ -1,0 +1,225 @@
+package partition
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/gen"
+	"repro/internal/store"
+	"repro/internal/stream"
+)
+
+// scoreMatrixPartitioners are the algorithms with sharded scoring: the two
+// flat-bitset heuristics and the paper's restreaming partitioner (whose
+// pass 3 is the sharded part).
+func scoreMatrixPartitioners() []Partitioner {
+	return []Partitioner{&HDRF{}, &Greedy{}, &CLUGP{Seed: 3}}
+}
+
+// TestScoreWorkerInvariance is the bit-identity criterion of the scoring
+// pipeline: for score workers {1, 2, 4, 7} x decode workers {1, 4} x
+// k in {3, 64, 65, 128} (k chosen around the 64-bit word boundary of the
+// replica bitsets), the emitted per-edge assignment and the quality
+// accounting must equal the serial reference exactly. Decode batches are
+// forced small so score batches (fixed at stream.BlockLen offsets by
+// stream.Rebatch) never align with decode parcels - the case that would
+// expose any batch-boundary dependence.
+func TestScoreWorkerInvariance(t *testing.T) {
+	g := gen.Web(gen.WebConfig{N: 1200, OutDegree: 5, IntraSite: 0.85, Seed: 61})
+	src := stream.Of(g.Edges).Source(g.NumVertices)
+	for _, k := range []int{3, 64, 65, 128} {
+		for _, p := range scoreMatrixPartitioners() {
+			serial, serialRes := collectOutOfCore(t, p, src, k, OutOfCoreOptions{})
+			for _, scoreW := range []int{1, 2, 4, 7} {
+				for _, decodeW := range []int{1, 4} {
+					par, parRes := collectOutOfCore(t, p, src, k, OutOfCoreOptions{
+						Workers:      decodeW,
+						BatchEdges:   512,
+						ScoreWorkers: scoreW,
+					})
+					if len(par) != len(serial) {
+						t.Fatalf("%s k=%d score=%d decode=%d: emitted %d assignments, serial %d",
+							p.Name(), k, scoreW, decodeW, len(par), len(serial))
+					}
+					for i := range par {
+						if par[i] != serial[i] {
+							t.Fatalf("%s k=%d score=%d decode=%d: assignment diverges from serial at edge %d (%d vs %d)",
+								p.Name(), k, scoreW, decodeW, i, par[i], serial[i])
+						}
+					}
+					if parRes.Quality.ReplicationFactor != serialRes.Quality.ReplicationFactor ||
+						parRes.Quality.RelativeBalance != serialRes.Quality.RelativeBalance ||
+						parRes.Quality.Replicas != serialRes.Quality.Replicas ||
+						parRes.Quality.Vertices != serialRes.Quality.Vertices {
+						t.Fatalf("%s k=%d score=%d decode=%d: quality diverges from serial",
+							p.Name(), k, scoreW, decodeW)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestScoreWorkerInvarianceFile covers the file path the CLI uses:
+// mmap + CGR3 (checksummed decode), score and decode fleets together.
+func TestScoreWorkerInvarianceFile(t *testing.T) {
+	g := gen.Web(gen.WebConfig{N: 2000, OutDegree: 6, IntraSite: 0.85, Seed: 62})
+	path := writeCGRFormat(t, g, store.FormatCGR3)
+	src, err := store.OpenMmap(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer src.Close()
+	k := 16
+	for _, p := range scoreMatrixPartitioners() {
+		serial, serialRes := collectOutOfCore(t, p, src, k, OutOfCoreOptions{})
+		for _, scoreW := range []int{2, 7} {
+			par, parRes := collectOutOfCore(t, p, src, k, OutOfCoreOptions{
+				Workers:      4,
+				BatchEdges:   512,
+				ScoreWorkers: scoreW,
+			})
+			for i := range par {
+				if par[i] != serial[i] {
+					t.Fatalf("%s score=%d: diverges from serial at edge %d", p.Name(), scoreW, i)
+				}
+			}
+			if parRes.Quality.ReplicationFactor != serialRes.Quality.ReplicationFactor {
+				t.Fatalf("%s score=%d: RF diverges", p.Name(), scoreW)
+			}
+		}
+	}
+}
+
+// TestScoreWorkersDirectField: setting the partitioner's own field (the
+// non-RunOutOfCore path: Partition / PartitionInto) shards scoring too,
+// and the in-memory assignment equals the serial one.
+func TestScoreWorkersDirectField(t *testing.T) {
+	g := gen.Web(gen.WebConfig{N: 900, OutDegree: 5, Seed: 63})
+	src := stream.Of(g.Edges).Source(g.NumVertices)
+	ref, err := (&HDRF{}).Partition(src, 12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := &HDRF{ScoreWorkers: 5}
+	got, err := h.Partition(src, 12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range got {
+		if got[i] != ref[i] {
+			t.Fatalf("diverges at edge %d", i)
+		}
+	}
+	if h.LastScoreTrace() == nil {
+		t.Fatal("sharded run left no score trace")
+	}
+}
+
+// TestScoreTrace pins the diagnostics surfaced through clugp -trace: a
+// sharded run reports its resolved layout with shard stats covering the
+// vertex range and the table footprint; a serial run reports nil.
+func TestScoreTrace(t *testing.T) {
+	g := gen.Web(gen.WebConfig{N: 700, OutDegree: 5, Seed: 64})
+	src := stream.Of(g.Edges).Source(g.NumVertices)
+	h := &HDRF{}
+	if _, err := RunOutOfCoreOpts(h, src, 8, nil, OutOfCoreOptions{ScoreWorkers: 4}); err != nil {
+		t.Fatal(err)
+	}
+	tr := h.LastScoreTrace()
+	if tr == nil {
+		t.Fatal("no trace after sharded run")
+	}
+	if tr.Workers != 4 || len(tr.Shards) != 4 {
+		t.Fatalf("trace has %d workers, %d shards, want 4", tr.Workers, len(tr.Shards))
+	}
+	if tr.ReplicaBytes <= 0 || tr.DegreeBytes <= 0 {
+		t.Fatalf("trace bytes not populated: %+v", tr)
+	}
+	var occ int
+	hi := 0
+	for _, st := range tr.Shards {
+		if st.Lo != hi {
+			t.Fatalf("shard ranges do not tile: %+v", tr.Shards)
+		}
+		hi = st.Hi
+		occ += st.Occupied
+	}
+	if hi != g.NumVertices || occ == 0 {
+		t.Fatalf("shard stats cover [0,%d) with %d occupied, want [0,%d) and > 0", hi, occ, g.NumVertices)
+	}
+	// A serial run clears the trace.
+	if _, err := RunOutOfCoreOpts(h, src, 8, nil, OutOfCoreOptions{ScoreWorkers: 1}); err != nil {
+		t.Fatal(err)
+	}
+	if h.LastScoreTrace() != nil {
+		t.Fatal("serial run left a stale score trace")
+	}
+}
+
+// TestPipelineFallbackReported: the silent downgrades are now recorded in
+// Result.Pipeline - a non-Segmenter source demotes decode workers, an
+// algorithm without sharded scoring demotes score workers - and the
+// results still equal the serial run.
+func TestPipelineFallbackReported(t *testing.T) {
+	g := gen.Web(gen.WebConfig{N: 500, OutDegree: 4, Seed: 65})
+	src := stream.Of(g.Edges).Source(g.NumVertices)
+
+	serial, _ := collectOutOfCore(t, &DBH{}, src, 4, OutOfCoreOptions{})
+	fell, res := collectOutOfCore(t, &DBH{}, unsegmentable{src}, 4, OutOfCoreOptions{Workers: 8, ScoreWorkers: 4})
+	for i := range fell {
+		if fell[i] != serial[i] {
+			t.Fatalf("fallback diverges at edge %d", i)
+		}
+	}
+	if res.Pipeline.DecodeWorkers != 1 || res.Pipeline.ScoreWorkers != 1 {
+		t.Fatalf("fallback pipeline resolved to %+v, want serial", res.Pipeline)
+	}
+	if !strings.Contains(res.Pipeline.SerialFallback, "cannot segment") {
+		t.Fatalf("decode fallback not reported: %q", res.Pipeline.SerialFallback)
+	}
+	if !strings.Contains(res.Pipeline.SerialFallback, "DBH does not shard") {
+		t.Fatalf("score fallback not reported: %q", res.Pipeline.SerialFallback)
+	}
+
+	// The happy path records the resolved fleets and no fallback.
+	_, res = collectOutOfCore(t, &HDRF{}, src, 4, OutOfCoreOptions{Workers: 2, ScoreWorkers: 3})
+	if res.Pipeline.DecodeWorkers != 2 || res.Pipeline.ScoreWorkers != 3 || res.Pipeline.SerialFallback != "" {
+		t.Fatalf("pipeline info %+v, want decode=2 score=3 no fallback", res.Pipeline)
+	}
+}
+
+// TestScorePipelineRace is the scoring-pipeline race workload: decode and
+// score fleets together over the shared mmap backend, with shifting batch
+// boundaries between rounds. Run under -race in CI; value assertions are
+// minimal (TestScoreWorkerInvariance pins those).
+func TestScorePipelineRace(t *testing.T) {
+	g := gen.Web(gen.WebConfig{N: 1500, OutDegree: 8, IntraSite: 0.8, Seed: 66})
+	path := writeCGRFormat(t, g, store.FormatCGR3)
+	src, err := store.OpenMmap(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer src.Close()
+	for round := 0; round < 2; round++ {
+		for _, scoreW := range []int{2, 5} {
+			for _, p := range []Partitioner{&HDRF{}, &Greedy{}, &CLUGP{Seed: 1}, &DistributedCLUGP{Nodes: 3, Seed: 1}} {
+				res, err := RunOutOfCoreOpts(p, src, 8, nil, OutOfCoreOptions{
+					Workers:      3,
+					BatchEdges:   256 + 64*round,
+					ScoreWorkers: scoreW,
+				})
+				if err != nil {
+					t.Fatalf("%s score=%d round=%d: %v", p.Name(), scoreW, round, err)
+				}
+				var sum int64
+				for _, s := range res.Quality.Sizes {
+					sum += s
+				}
+				if sum != int64(g.NumEdges()) {
+					t.Fatalf("%s score=%d: sizes sum %d, want %d", p.Name(), scoreW, sum, g.NumEdges())
+				}
+			}
+		}
+	}
+}
