@@ -16,6 +16,17 @@
 //	clugp -in old.cgr -recompress new.cgr          # rewrite as CGR3 (-format cgr2/cgr1 for old)
 //	clugp -in graph.cgr -stream -result run.cpr    # save a serveable result for cmd/partsrv
 //	clugp -in graph.cgr -verify -stream -k 32      # checksum-scan the input up front
+//	clugp -in g.cgr -stream -checkpoint run.cpk    # crash-tolerant: snapshot state as it runs
+//	clugp -in g.cgr -stream -checkpoint run.cpk -resume   # continue an interrupted run
+//	clugp -in g.cgr -stream -retry 5               # survive transient read faults by replaying
+//
+// With -checkpoint the run snapshots its algorithm state (CPK1 format,
+// CRC-protected, atomically rotated with a .prev fallback) at batch
+// boundaries; -resume restores the newest intact checkpoint, truncates the
+// -assign file to the checkpointed watermark, fast-forwards the stream and
+// continues - the resumed run's assignment and quality are bit-identical
+// to an uninterrupted one. A corrupt checkpoint is detected by its CRC and
+// skipped in favor of the previous one, never resumed from.
 //
 // Every file this command writes (-assign, -result, -recompress) goes
 // through an atomic temp-file + rename protocol, so a crash or write error
@@ -42,11 +53,14 @@ import (
 	"bufio"
 	"flag"
 	"fmt"
+	"io"
 	"os"
+	"os/signal"
 	"runtime"
 	"runtime/pprof"
 	"strconv"
 	"sync"
+	"syscall"
 	"time"
 
 	"repro"
@@ -76,8 +90,38 @@ func main() {
 		recomp  = flag.String("recompress", "", "write the loaded graph back out compressed to this file, then exit")
 		formatF = flag.String("format", "cgr3", "compressed format for -recompress: cgr1, cgr2 or cgr3")
 		verifyF = flag.Bool("verify", false, "checksum-scan the -in file before using it (CGR3/CPR2 carry checksums)")
+		ckPath  = flag.String("checkpoint", "", "write crash-recovery checkpoints to this file during -stream (the previous one rotates to .prev)")
+		ckEvery = flag.Int("checkpoint-every", 0, "checkpoint cadence in edges (default: ~1/16 of the stream)")
+		resumeF = flag.Bool("resume", false, "resume an interrupted -stream run from -checkpoint (falls back to .prev if the newest is corrupt)")
+		retryF  = flag.Int("retry", 0, "survive transient read faults: attempt each stream position up to N times (0 = no retry wrapper)")
 	)
 	flag.Parse()
+
+	// An interrupt mid-write must not litter temp files next to the outputs:
+	// sweep every pending atomic write on the way out. Checkpointed runs are
+	// the exception that survives the kill - their state is already on disk.
+	sigc := make(chan os.Signal, 1)
+	signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)
+	go func() {
+		s := <-sigc
+		if n := repro.AbortPendingWrites(); n > 0 {
+			fmt.Fprintf(os.Stderr, "clugp: %v: swept %d pending write(s)\n", s, n)
+		} else {
+			fmt.Fprintf(os.Stderr, "clugp: %v\n", s)
+		}
+		stopProfiles()
+		os.Exit(1)
+	}()
+
+	if (*ckPath != "" || *resumeF) && !*streamF {
+		fail(fmt.Errorf("-checkpoint/-resume need -stream (checkpoints snapshot the out-of-core pass)"))
+	}
+	if *resumeF && *ckPath == "" {
+		fail(fmt.Errorf("-resume needs -checkpoint FILE to resume from"))
+	}
+	if *resumeF && *resultF != "" {
+		fail(fmt.Errorf("-resume cannot rebuild -result: the serve tables need the full stream; rerun without -resume or without -result"))
+	}
 
 	stop, err := startProfiles(*cpuprof, *memprof)
 	if err != nil {
@@ -123,7 +167,18 @@ func main() {
 
 	var res *repro.PartitionResult
 	if *streamF {
-		res, err = runStreaming(p, *in, *k, *out, *resultF, *backend, *workers, *scoreW, heap)
+		res, err = runStreaming(p, *in, streamOpts{
+			k:            *k,
+			out:          *out,
+			resultPath:   *resultF,
+			backend:      *backend,
+			workers:      *workers,
+			scoreWorkers: *scoreW,
+			ckPath:       *ckPath,
+			ckEvery:      *ckEvery,
+			resume:       *resumeF,
+			retry:        *retryF,
+		}, heap)
 	} else {
 		res, err = runInMemory(p, *in, *preset, *scale, *k, *seed, *out, *resultF, heap)
 	}
@@ -154,6 +209,12 @@ func main() {
 			fmt.Printf("pipeline:           %d decode workers, %d score workers\n", pl.DecodeWorkers, pl.ScoreWorkers)
 			if pl.SerialFallback != "" {
 				fmt.Printf("serial fallback:    %s\n", pl.SerialFallback)
+			}
+			if cks := pl.Checkpoints; cks.Enabled || cks.Resumed {
+				fmt.Printf("checkpoints:        %s\n", cks)
+			}
+			if *retryF > 0 || pl.RetryAttempts > 0 {
+				fmt.Printf("stream retries:     %d attempt(s) fired\n", pl.RetryAttempts)
 			}
 			if st, ok := p.(repro.ScoreTracer); ok {
 				if tr := st.LastScoreTrace(); tr != nil {
@@ -226,15 +287,36 @@ func runInMemory(p repro.Partitioner, in, preset string, scale float64, k int, s
 	return res, nil
 }
 
+// streamOpts bundles the -stream run configuration.
+type streamOpts struct {
+	k            int
+	out          string
+	resultPath   string
+	backend      string
+	workers      int
+	scoreWorkers int
+	ckPath       string
+	ckEvery      int
+	resume       bool
+	retry        int
+}
+
 // runStreaming is the out-of-core path: the .cgr file is the stream; the
 // assignment is emitted as it is produced and never materialized. With
 // workers > 1 decode and quality accounting run on worker fleets; with
 // scoreWorkers > 1 the partitioner's own scoring state is sharded too. The
 // emitted assignment and quality are identical to the serial pass either way.
-func runStreaming(p repro.Partitioner, in string, k int, out, resultPath, backend string, workers, scoreWorkers int, heap *heapWatermark) (*repro.PartitionResult, error) {
+//
+// With checkpointing the -assign file is written as a plain persistent file
+// instead of an atomic temp+rename: a resume must be able to truncate the
+// interrupted run's partial output back to the checkpointed watermark, which
+// a temp file that died with the process cannot offer.
+func runStreaming(p repro.Partitioner, in string, o streamOpts, heap *heapWatermark) (*repro.PartitionResult, error) {
 	if in == "" {
 		return nil, fmt.Errorf("-stream needs -in FILE.cgr")
 	}
+	k, out, resultPath, backend := o.k, o.out, o.resultPath, o.backend
+	workers, scoreWorkers := o.workers, o.scoreWorkers
 	var src repro.GraphFile
 	var err error
 	var mode string
@@ -259,15 +341,72 @@ func runStreaming(p repro.Partitioner, in string, k int, out, resultPath, backen
 	fmt.Printf("graph: %d vertices, %d edges (streaming %s from %s, %s backend, %.2f bytes/edge)\n",
 		src.NumVertices(), src.Len(), src.Format(), in, mode, bytesPerEdge(src.SizeBytes(), src.Len()))
 
+	var source repro.StreamSource = src
+	if o.retry > 0 {
+		source = repro.RetryStream(source, repro.StreamRetryConfig{MaxAttempts: o.retry})
+	}
+
+	var ck *repro.CheckpointOptions
+	var resumeMark int64
+	if o.ckPath != "" {
+		ck = &repro.CheckpointOptions{Path: o.ckPath, EveryEdges: o.ckEvery}
+		if o.resume {
+			c, from, err := repro.LoadCheckpoint(o.ckPath)
+			if err != nil {
+				return nil, fmt.Errorf("resume: %w", err)
+			}
+			ck.Resume = c
+			resumeMark = c.EmitMark
+			fmt.Printf("resuming: %s from offset %d/%d edges (batch %d, %s)\n",
+				c.Algorithm, c.Offset, c.NumEdges, c.Batch, from)
+		}
+	}
+
 	var w *bufio.Writer
 	var aw *repro.AtomicWriter
+	var pf *os.File
+	var cw *countingWriter
 	if out != "" {
-		aw, err = repro.NewAtomicWriter(out)
-		if err != nil {
-			return nil, err
+		if ck != nil {
+			flags := os.O_RDWR | os.O_CREATE
+			if !o.resume {
+				flags |= os.O_TRUNC
+			}
+			pf, err = os.OpenFile(out, flags, 0o644)
+			if err != nil {
+				return nil, err
+			}
+			defer pf.Close()
+			if o.resume {
+				// Drop everything past the checkpointed watermark: the edges
+				// after it were emitted by the interrupted run but are not
+				// covered by the snapshot, and will be re-emitted.
+				if err := pf.Truncate(resumeMark); err != nil {
+					return nil, err
+				}
+				if _, err := pf.Seek(resumeMark, io.SeekStart); err != nil {
+					return nil, err
+				}
+			}
+			cw = &countingWriter{w: pf, n: resumeMark}
+			w = bufio.NewWriterSize(cw, 1<<16)
+			ck.EmitMark = func() (int64, error) {
+				if err := w.Flush(); err != nil {
+					return 0, err
+				}
+				if err := pf.Sync(); err != nil {
+					return 0, err
+				}
+				return cw.n, nil
+			}
+		} else {
+			aw, err = repro.NewAtomicWriter(out)
+			if err != nil {
+				return nil, err
+			}
+			defer aw.Abort()
+			w = bufio.NewWriterSize(aw, 1<<16)
 		}
-		defer aw.Abort()
-		w = bufio.NewWriterSize(aw, 1<<16)
 	}
 	// -result chains a serve builder onto the emit callback: the serving
 	// tables (replica bitsets + sizes) accumulate as assignments stream
@@ -299,7 +438,11 @@ func runStreaming(p repro.Partitioner, in string, k int, out, resultPath, backen
 		return nil
 	}
 	stop := heap.watch()
-	res, err := repro.RunOutOfCoreOpts(p, src, k, emit, repro.OutOfCoreOptions{Workers: workers, ScoreWorkers: scoreWorkers})
+	res, err := repro.RunOutOfCoreOpts(p, source, k, emit, repro.OutOfCoreOptions{
+		Workers:      workers,
+		ScoreWorkers: scoreWorkers,
+		Checkpoint:   ck,
+	})
 	stop()
 	if err != nil {
 		return nil, err
@@ -308,8 +451,17 @@ func runStreaming(p repro.Partitioner, in string, k int, out, resultPath, backen
 		if err := w.Flush(); err != nil {
 			return nil, err
 		}
-		if err := aw.Commit(); err != nil {
-			return nil, err
+		if aw != nil {
+			if err := aw.Commit(); err != nil {
+				return nil, err
+			}
+		} else {
+			if err := pf.Sync(); err != nil {
+				return nil, err
+			}
+			if err := pf.Close(); err != nil {
+				return nil, err
+			}
 		}
 	}
 	if builder != nil {
@@ -317,7 +469,26 @@ func runStreaming(p repro.Partitioner, in string, k int, out, resultPath, backen
 			return nil, err
 		}
 	}
+	if ck != nil {
+		// The run completed, so its checkpoints are obsolete; a later
+		// -resume against them would truncate the finished output.
+		os.Remove(o.ckPath)
+		os.Remove(o.ckPath + repro.CheckpointPrevSuffix)
+	}
 	return res, nil
+}
+
+// countingWriter tracks the byte offset of the persistent assign stream, so
+// checkpoints can record the emit watermark a resume truncates to.
+type countingWriter struct {
+	w io.Writer
+	n int64
+}
+
+func (c *countingWriter) Write(p []byte) (int, error) {
+	n, err := c.w.Write(p)
+	c.n += int64(n)
+	return n, err
 }
 
 // writeResult saves a serveable partition result (.cpr) atomically.

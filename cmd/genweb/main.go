@@ -19,6 +19,8 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"os/signal"
+	"syscall"
 
 	"repro"
 )
@@ -42,6 +44,20 @@ func main() {
 		stats     = flag.Bool("stats", false, "print graph statistics to stderr")
 	)
 	flag.Parse()
+
+	// An interrupt between the temp-file create and the commit must not
+	// leave a stray .tmp next to -out: sweep pending atomic writes on exit.
+	sigc := make(chan os.Signal, 1)
+	signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)
+	go func() {
+		s := <-sigc
+		if n := repro.AbortPendingWrites(); n > 0 {
+			fmt.Fprintf(os.Stderr, "genweb: %v: swept %d pending write(s)\n", s, n)
+		} else {
+			fmt.Fprintf(os.Stderr, "genweb: %v\n", s)
+		}
+		os.Exit(1)
+	}()
 
 	bf, err := repro.ParseCompressedFormat(*format)
 	if err != nil {

@@ -29,6 +29,11 @@
 // pointer store. In-flight queries keep answering from the epoch they
 // loaded; no request ever blocks on, or tears across, a reload.
 //
+// SIGTERM/SIGINT shut down gracefully: the listener stops accepting,
+// in-flight queries drain for up to -drain-timeout, the reload-retry loop
+// stops, and the process exits 0 - the contract a rolling restart or an
+// orchestrator's preStop expects. A second signal aborts immediately.
+//
 // Reloads degrade gracefully rather than fail the service: if the input
 // file is missing, corrupt (CGR3/CPR2 checksums catch silent bit rot) or
 // changes geometry (vertex or partition count - rejected, since cached
@@ -43,6 +48,7 @@ package main
 
 import (
 	"bufio"
+	"context"
 	"flag"
 	"fmt"
 	"net/http"
@@ -68,6 +74,7 @@ func main() {
 		retryBase   = flag.Duration("reload-retry", time.Second, "delay before the first automatic retry of a failed reload (0 disables)")
 		retryCap    = flag.Duration("reload-retry-cap", time.Minute, "upper bound of the reload retry backoff")
 		maxFailures = flag.Int("max-reload-failures", 3, "consecutive reload failures before /v1/readyz reports degraded")
+		drain       = flag.Duration("drain-timeout", 10*time.Second, "how long SIGTERM/SIGINT waits for in-flight queries before exiting anyway")
 	)
 	flag.Parse()
 
@@ -108,8 +115,40 @@ func main() {
 		}
 	}()
 
+	server := &http.Server{Addr: *addr, Handler: srv.Handler()}
+
+	// Graceful shutdown: Shutdown stops the listener and waits for in-flight
+	// requests; ListenAndServe then returns ErrServerClosed, and main waits
+	// for the drain to finish before exiting 0. A second signal skips the
+	// drain.
+	done := make(chan struct{})
+	term := make(chan os.Signal, 2)
+	signal.Notify(term, syscall.SIGTERM, os.Interrupt)
+	go func() {
+		defer close(done)
+		s := <-term
+		fmt.Printf("partsrv: %v: draining (up to %v; signal again to abort)\n", s, *drain)
+		go func() {
+			<-term
+			fmt.Fprintln(os.Stderr, "partsrv: second signal, aborting drain")
+			os.Exit(1)
+		}()
+		ctx, cancel := context.WithTimeout(context.Background(), *drain)
+		defer cancel()
+		if err := server.Shutdown(ctx); err != nil {
+			fmt.Fprintln(os.Stderr, "partsrv: drain timed out, closing:", err)
+			server.Close()
+		}
+	}()
+
 	fmt.Printf("partsrv: listening on %s\n", *addr)
-	fail(http.ListenAndServe(*addr, srv.Handler()))
+	err = server.ListenAndServe()
+	if err != nil && err != http.ErrServerClosed {
+		fail(err)
+	}
+	<-done
+	// stopRetry runs via its defer on return, ending the reload-retry loop.
+	fmt.Println("partsrv: drained, exiting")
 }
 
 func layoutOptions(layout string, shards int) (repro.ServeOptions, error) {

@@ -348,6 +348,42 @@ func RunOutOfCoreOpts(p Partitioner, src StreamSource, k int, emit Emit, opts Ou
 	return partition.RunOutOfCoreOpts(p, src, k, emit, opts)
 }
 
+// Checkpoint/resume of out-of-core runs (clugp -checkpoint/-resume).
+type (
+	// Checkpoint is a decoded CPK1 snapshot of an out-of-core run: the
+	// stream offset it covers, the emit watermark, and the algorithm's
+	// state sections, CRC-protected on disk.
+	Checkpoint = store.Checkpoint
+	// CheckpointOptions configures checkpoint writing and resume for
+	// RunOutOfCoreOpts (OutOfCoreOptions.Checkpoint).
+	CheckpointOptions = partition.CheckpointOptions
+	// CheckpointStats reports checkpoint/resume activity of a run
+	// (PartitionResult.Pipeline.Checkpoints).
+	CheckpointStats = partition.CheckpointStats
+	// Checkpointer is the snapshot/restore seam streaming partitioners
+	// implement to support checkpointing (HDRF, Greedy, CLUGP family).
+	Checkpointer = partition.Checkpointer
+	// StreamRetryStats counts fired retry attempts across a retry-wrapped
+	// source and all its segments (StreamRetryConfig.Stats).
+	StreamRetryStats = stream.RetryStats
+)
+
+// LoadCheckpoint reads and integrity-verifies the checkpoint at path,
+// falling back to the rotated previous checkpoint (path+".prev") when the
+// newest one is corrupt or torn; it returns the checkpoint and which file
+// it came from. A checkpoint that fails its CRC is never returned.
+func LoadCheckpoint(path string) (*Checkpoint, string, error) { return store.LoadCheckpoint(path) }
+
+// CheckpointPrevSuffix is appended to a checkpoint path to name the rotated
+// previous checkpoint LoadCheckpoint falls back to.
+const CheckpointPrevSuffix = store.CheckpointPrevSuffix
+
+// AbortPendingWrites aborts every atomic file write that has neither
+// committed nor aborted, removing the temp files, and returns how many were
+// swept. Commands call it from signal handlers so an interrupt never
+// litters temp files next to their outputs.
+func AbortPendingWrites() int { return store.AbortPending() }
+
 // Parallel-scoring introspection (clugp -trace surfaces these).
 type (
 	// PipelineInfo records how the out-of-core pipeline actually resolved:

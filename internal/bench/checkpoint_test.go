@@ -1,0 +1,130 @@
+package bench
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/stream"
+)
+
+// checkpointSuite is the smallest grid whose streamed dataset clears the
+// checkpoint floor (>= 3 blocks), so both checkpoint cells actually write
+// and exercise the kill+resume gate.
+func checkpointSuite() SuiteConfig {
+	return SuiteConfig{
+		Scale:          0.15,
+		Seeds:          []uint64{42},
+		StreamDatasets: []string{"UK"},
+	}
+}
+
+// TestCheckpointCells runs the checkpoint grid directly: one cell per
+// algorithm, each having passed its measurement-time gates (equal quality,
+// bit-identical assignments, kill+resume round trip), with the overhead
+// bookkeeping filled in.
+func TestCheckpointCells(t *testing.T) {
+	cells, err := runCheckpointCells(checkpointSuite())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cells) != len(checkpointAlgos) {
+		t.Fatalf("got %d cells, want %d (one per algorithm)", len(cells), len(checkpointAlgos))
+	}
+	for i, c := range cells {
+		if c.Algorithm != checkpointAlgos[i] {
+			t.Fatalf("cell %d is %s, want %s", i, c.Algorithm, checkpointAlgos[i])
+		}
+		if c.Written == 0 || c.CheckpointBytes == 0 {
+			t.Fatalf("%s: wrote %d checkpoints, %d bytes - the cell measured nothing", c.ID(), c.Written, c.CheckpointBytes)
+		}
+		if c.EveryEdges < int64(stream.BlockLen) {
+			t.Fatalf("%s: cadence %d below a block", c.ID(), c.EveryEdges)
+		}
+		if c.BaselineNS <= 0 || c.CheckpointNS <= 0 {
+			t.Fatalf("%s: runtimes %d/%d not measured", c.ID(), c.BaselineNS, c.CheckpointNS)
+		}
+		if c.ReplicationFactor < 1 {
+			t.Fatalf("%s: replication factor %v", c.ID(), c.ReplicationFactor)
+		}
+		if !strings.Contains(c.ID(), c.Dataset) || !strings.Contains(c.ID(), c.Algorithm) {
+			t.Fatalf("ID %q does not name the cell's coordinates", c.ID())
+		}
+	}
+}
+
+// TestCheckpointCellsSkipSmall: below the block floor the grid skips the
+// dataset instead of failing the whole suite - the regime every small-scale
+// streaming test runs in.
+func TestCheckpointCellsSkipSmall(t *testing.T) {
+	cfg := checkpointSuite()
+	cfg.Scale = 0.02
+	cells, err := runCheckpointCells(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cells) != 0 {
+		t.Fatalf("got %d cells from a sub-block dataset, want 0", len(cells))
+	}
+}
+
+// TestCheckpointCellsDiff pins the baseline comparison: identical reports
+// match, a quality drift past tolerance fails, and runtime-only drift obeys
+// the runtime tolerance gates.
+func TestCheckpointCellsDiff(t *testing.T) {
+	cell := CheckpointCell{
+		Dataset: "UK", Algorithm: "HDRF", K: streamK, Seed: 42,
+		Vertices: 4500, Edges: 36000, EveryEdges: 8192,
+		BaselineNS: 100e6, CheckpointNS: 105e6, OverheadPct: 5,
+		Written: 3, CheckpointBytes: 30000,
+		ReplicationFactor: 1.8, RelativeBalance: 1.02,
+	}
+	base := &Report{Experiment: "suite", Scale: 1, CheckpointCells: []CheckpointCell{cell}}
+
+	same := *base
+	d := Diff(base, &same, DiffOptions{})
+	if len(d.Regressions) != 0 || d.Matched == 0 {
+		t.Fatalf("identical reports diffed: %+v", d)
+	}
+
+	worse := cell
+	worse.ReplicationFactor = 2.4
+	d = Diff(base, &Report{Experiment: "suite", Scale: 1, CheckpointCells: []CheckpointCell{worse}}, DiffOptions{})
+	if len(d.Regressions) == 0 {
+		t.Fatal("replication-factor regression not flagged")
+	}
+
+	slower := cell
+	slower.CheckpointNS = 300e6
+	d = Diff(base, &Report{Experiment: "suite", Scale: 1, CheckpointCells: []CheckpointCell{slower}},
+		DiffOptions{RuntimeTolerance: 0.5, RuntimeFloorNS: 1e6})
+	if len(d.Regressions) == 0 {
+		t.Fatal("checkpoint-runtime regression not flagged")
+	}
+
+	empty := Diff(base, &Report{Experiment: "suite", Scale: 1}, DiffOptions{})
+	if empty.CheckpointSkipped == "" {
+		t.Fatal("missing checkpoint cells not noted")
+	}
+}
+
+// TestCheckpointTable: a report with checkpoint cells renders them as a
+// table.
+func TestCheckpointTable(t *testing.T) {
+	rep := &Report{Experiment: "suite", Scale: 1, CheckpointCells: []CheckpointCell{{
+		Dataset: "UK", Algorithm: "HDRF", K: streamK, Seed: 42,
+		BaselineNS: 100e6, CheckpointNS: 105e6, OverheadPct: 5,
+		Written: 3, CheckpointBytes: 30000, ReplicationFactor: 1.8,
+	}}}
+	var found bool
+	for _, tb := range rep.Table() {
+		if strings.Contains(tb.ID, "checkpoint") {
+			found = true
+			if len(tb.Rows) != 1 {
+				t.Fatalf("checkpoint table has %d rows, want 1", len(tb.Rows))
+			}
+		}
+	}
+	if !found {
+		t.Fatal("no checkpoint table rendered")
+	}
+}

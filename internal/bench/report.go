@@ -95,6 +95,11 @@ type Report struct {
 	// enabled. Quality is gated against the score-workers=1 cell at
 	// measurement time, so the column is bit-identical by construction.
 	ScoreCells []ScoreCell `json:"score_cells,omitempty"`
+	// CheckpointCells holds the checkpoint-overhead grid (dataset x
+	// algorithm, bare vs default-cadence checkpointing), when the suite ran
+	// with Streaming enabled. Quality and kill+resume bit-identity are
+	// gated at measurement time.
+	CheckpointCells []CheckpointCell `json:"checkpoint_cells,omitempty"`
 }
 
 // Filename is the canonical on-disk name for the report.
@@ -252,6 +257,24 @@ func (r *Report) Table() []Table {
 		}
 		tables = append(tables, t)
 	}
+	if len(r.CheckpointCells) > 0 {
+		t := Table{
+			ID:     fmt.Sprintf("%s-checkpoint", r.Experiment),
+			Title:  fmt.Sprintf("Checkpoint overhead (scale %.2f, mmap/CGR3, k=%d, default cadence)", r.Scale, streamK),
+			Header: []string{"dataset", "algorithm", "bare(ms)", "ckpt(ms)", "overhead", "written", "bytes", "RF"},
+			Note:   "quality and kill+resume bit-identity are gated when measured; overhead = (ckpt-bare)/bare",
+		}
+		for _, c := range r.CheckpointCells {
+			t.AddRow(c.Dataset, c.Algorithm,
+				fmt.Sprintf("%.1f", float64(c.BaselineNS)/1e6),
+				fmt.Sprintf("%.1f", float64(c.CheckpointNS)/1e6),
+				fmt.Sprintf("%+.1f%%", c.OverheadPct),
+				fmt.Sprintf("%d", c.Written),
+				fmt.Sprintf("%d", c.CheckpointBytes),
+				f3(c.ReplicationFactor))
+		}
+		tables = append(tables, t)
+	}
 	return tables
 }
 
@@ -347,6 +370,9 @@ type DiffResult struct {
 	// ScoreSkipped is non-empty when the parallel-scoring grid was not
 	// compared (either report lacks score cells).
 	ScoreSkipped string `json:"score_skipped,omitempty"`
+	// CheckpointSkipped is non-empty when the checkpoint-overhead grid was
+	// not compared (either report lacks checkpoint cells).
+	CheckpointSkipped string `json:"checkpoint_skipped,omitempty"`
 	// OnlyBaseline and OnlyCurrent list cells without a counterpart.
 	OnlyBaseline []string `json:"only_baseline,omitempty"`
 	OnlyCurrent  []string `json:"only_current,omitempty"`
@@ -437,6 +463,7 @@ func Diff(baseline, current *Report, opts DiffOptions) *DiffResult {
 	d.diffParallelCells(baseline, current, opts)
 	d.diffServeCells(baseline, current, opts)
 	d.diffScoreCells(baseline, current, opts)
+	d.diffCheckpointCells(baseline, current, opts)
 	sort.Slice(d.Regressions, func(i, j int) bool { return d.Regressions[i].Relative > d.Regressions[j].Relative })
 	sort.Slice(d.Improvements, func(i, j int) bool { return d.Improvements[i].Relative < d.Improvements[j].Relative })
 	return d
@@ -638,6 +665,60 @@ func (d *DiffResult) diffScoreCells(baseline, current *Report, opts DiffOptions)
 	}
 }
 
+// diffCheckpointCells joins the checkpoint-overhead grids: quality is gated
+// exactly (the checkpointed run is bit-identical to the bare one by
+// construction), both wall clocks use the runtime tolerance - a regression
+// in checkpoint_ns with a flat baseline_ns means the checkpoint write path
+// itself got slower - and the derived overhead percentage, the written
+// count and the checkpoint sizes are informational, never diffed (cadence
+// and state-format changes move them legitimately).
+func (d *DiffResult) diffCheckpointCells(baseline, current *Report, opts DiffOptions) {
+	switch {
+	case len(baseline.CheckpointCells) == 0 && len(current.CheckpointCells) == 0:
+		return
+	case len(baseline.CheckpointCells) == 0:
+		d.CheckpointSkipped = "baseline has no checkpoint cells"
+		return
+	case len(current.CheckpointCells) == 0:
+		d.CheckpointSkipped = "current report has no checkpoint cells"
+		return
+	}
+	base := make(map[string]CheckpointCell, len(baseline.CheckpointCells))
+	for _, c := range baseline.CheckpointCells {
+		base[c.ID()] = c
+	}
+	seen := make(map[string]bool, len(current.CheckpointCells))
+	for _, cur := range current.CheckpointCells {
+		id := cur.ID()
+		seen[id] = true
+		old, ok := base[id]
+		if !ok {
+			d.OnlyCurrent = append(d.OnlyCurrent, id)
+			continue
+		}
+		d.Matched++
+		if old.Vertices != cur.Vertices || old.Edges != cur.Edges {
+			d.Incomparable = append(d.Incomparable, id)
+			continue
+		}
+		d.classify(id, "replication_factor", old.ReplicationFactor, cur.ReplicationFactor, opts.QualityTolerance)
+		d.classify(id, "relative_balance", old.RelativeBalance, cur.RelativeBalance, opts.QualityTolerance)
+		if d.RuntimeSkipped == "" {
+			if abs64(cur.BaselineNS-old.BaselineNS) >= opts.RuntimeFloorNS {
+				d.classify(id, "baseline", float64(old.BaselineNS), float64(cur.BaselineNS), opts.RuntimeTolerance)
+			}
+			if abs64(cur.CheckpointNS-old.CheckpointNS) >= opts.RuntimeFloorNS {
+				d.classify(id, "checkpoint", float64(old.CheckpointNS), float64(cur.CheckpointNS), opts.RuntimeTolerance)
+			}
+		}
+	}
+	for _, c := range baseline.CheckpointCells {
+		if !seen[c.ID()] {
+			d.OnlyBaseline = append(d.OnlyBaseline, c.ID())
+		}
+	}
+}
+
 func abs64(x int64) int64 {
 	if x < 0 {
 		return -x
@@ -719,6 +800,9 @@ func (d *DiffResult) Table() Table {
 	}
 	if d.ScoreSkipped != "" {
 		notes = append(notes, "score cells not compared: "+d.ScoreSkipped)
+	}
+	if d.CheckpointSkipped != "" {
+		notes = append(notes, "checkpoint cells not compared: "+d.CheckpointSkipped)
 	}
 	if n := len(d.OnlyBaseline) + len(d.OnlyCurrent); n > 0 {
 		notes = append(notes, fmt.Sprintf("%d cells without a counterpart (grid changed): baseline-only %d, current-only %d",

@@ -181,6 +181,7 @@ func RunSuiteParallel(cfg SuiteConfig) (*Report, error) {
 	var parallelCells []ParallelCell
 	var serveCells []ServeCell
 	var scoreCells []ScoreCell
+	var checkpointCells []CheckpointCell
 	if cfg.Streaming {
 		sc, err := runStreamCells(cfg)
 		if err != nil {
@@ -202,6 +203,11 @@ func RunSuiteParallel(cfg SuiteConfig) (*Report, error) {
 			return nil, err
 		}
 		scoreCells = oc
+		kc, err := runCheckpointCells(cfg)
+		if err != nil {
+			return nil, err
+		}
+		checkpointCells = kc
 	}
 	return &Report{
 		Experiment:        "suite",
@@ -220,6 +226,7 @@ func RunSuiteParallel(cfg SuiteConfig) (*Report, error) {
 		ParallelCells:     parallelCells,
 		ServeCells:        serveCells,
 		ScoreCells:        scoreCells,
+		CheckpointCells:   checkpointCells,
 	}, nil
 }
 

@@ -1,0 +1,202 @@
+package partition
+
+import (
+	"fmt"
+
+	"repro/internal/store"
+	"repro/internal/stream"
+)
+
+// Checkpointer is the seam a streaming partitioner implements to take part
+// in checkpoint/resume. SnapshotState is called at a batch boundary, after
+// the partitioner has committed every edge in [0, Offset) and none after:
+// it must append sections to c capturing everything the algorithm needs to
+// continue from that exact edge. RestoreState is called on a fresh
+// partitioner value before PartitionStream; it must stash the sections and
+// apply them when the run initializes its tables, so that the resumed run
+// is bit-identical to an uninterrupted one.
+//
+// The state encodings are canonical (vertex-major, config-independent; see
+// metrics/state.go), so a checkpoint written at one worker configuration
+// restores under another.
+type Checkpointer interface {
+	SnapshotState(c *store.Checkpoint) error
+	RestoreState(c *store.Checkpoint) error
+}
+
+// CheckpointOptions configures checkpointing of an out-of-core run.
+type CheckpointOptions struct {
+	// Path is where checkpoints are written (store CPK1 format, via
+	// AtomicWriter; the previous checkpoint rotates to Path+".prev").
+	// Empty disables writing - set only Resume to restore without
+	// checkpointing the resumed run.
+	Path string
+	// EveryEdges is the checkpoint cadence in edges. Zero or negative
+	// selects a default of roughly 1/16 of the stream. Cadence is a floor:
+	// checkpoints fire at the first aligned batch boundary at or after
+	// each multiple.
+	EveryEdges int
+	// Resume, when non-nil, restores the run from a previously written
+	// checkpoint (store.LoadCheckpoint validates its integrity). The
+	// partitioner, k, and source geometry must match the checkpoint.
+	Resume *store.Checkpoint
+	// EmitMark, when non-nil, is called while writing each checkpoint,
+	// after every assignment in [0, Offset) has been emitted and none
+	// after. It must make those assignments durable (flush + sync) and
+	// return the emit-stream watermark - the byte offset a resume
+	// truncates the assignment stream to before continuing.
+	EmitMark func() (int64, error)
+}
+
+// CheckpointStats reports checkpoint activity of a run (Result.Pipeline).
+type CheckpointStats struct {
+	// Enabled reports whether checkpoints were written during the run.
+	Enabled bool
+	// EveryEdges is the resolved cadence in edges.
+	EveryEdges int64
+	// Written counts checkpoints written.
+	Written int
+	// Bytes is the total bytes of all checkpoints written.
+	Bytes int64
+	// LastOffset is the stream offset of the last checkpoint written.
+	LastOffset int64
+	// Resumed reports whether the run restored from a checkpoint.
+	Resumed bool
+	// ResumeOffset is the stream offset the run resumed from.
+	ResumeOffset int64
+}
+
+func (s CheckpointStats) String() string {
+	if !s.Enabled && !s.Resumed {
+		return "off"
+	}
+	out := ""
+	if s.Resumed {
+		out = fmt.Sprintf("resumed@%d", s.ResumeOffset)
+	}
+	if s.Enabled {
+		if out != "" {
+			out += " "
+		}
+		out += fmt.Sprintf("every=%d written=%d bytes=%d last@%d",
+			s.EveryEdges, s.Written, s.Bytes, s.LastOffset)
+	}
+	return out
+}
+
+// Checkpoint section names shared between the runner and the partitioners.
+const (
+	sectionEval = "eval.state"
+
+	sectionHDRFReplicas = "hdrf.replicas"
+	sectionHDRFDegrees  = "hdrf.degrees"
+	sectionHDRFSizes    = "hdrf.sizes"
+
+	sectionGreedyReplicas = "greedy.replicas"
+	sectionGreedySizes    = "greedy.sizes"
+
+	sectionCLUGPAssign    = "clugp.assign"
+	sectionCLUGPSplitFrom = "clugp.splitfrom"
+	sectionCLUGPDegree    = "clugp.degree"
+	sectionCLUGPCPart     = "clugp.cpart"
+	sectionCLUGPSizes     = "clugp.sizes"
+	sectionCLUGPScalars   = "clugp.scalars"
+)
+
+// loadSection fetches a named section or reports its absence - a checkpoint
+// missing an algorithm section was written by a different (or older) run
+// shape and cannot restore this one.
+func loadSection(c *store.Checkpoint, name string) ([]byte, error) {
+	data, ok := c.Section(name)
+	if !ok {
+		return nil, fmt.Errorf("partition: checkpoint has no %q section", name)
+	}
+	return data, nil
+}
+
+// consumed rejects trailing bytes after a fully-loaded state section.
+func consumed(rem []byte, what string) error {
+	if len(rem) != 0 {
+		return fmt.Errorf("partition: %d trailing bytes after %s state", len(rem), what)
+	}
+	return nil
+}
+
+// resolveCadence turns the requested cadence into the effective one: at
+// least one block, defaulting to ~1/16 of the stream so a run of any size
+// writes a bounded number of checkpoints.
+func resolveCadence(every int, total int64) int64 {
+	e := int64(every)
+	if e <= 0 {
+		e = (total + 15) / 16
+	}
+	if e < int64(stream.BlockLen) {
+		e = int64(stream.BlockLen)
+	}
+	return e
+}
+
+// validateResume rejects a checkpoint that does not describe this exact
+// run: wrong algorithm, partition count or graph geometry would restore
+// state that silently corrupts the assignment, so each is a hard error.
+func validateResume(p Partitioner, src stream.Source, k int, c *store.Checkpoint) error {
+	if c.Algorithm != p.Name() {
+		return fmt.Errorf("partition: checkpoint is for algorithm %q, not %q", c.Algorithm, p.Name())
+	}
+	if c.K != k {
+		return fmt.Errorf("partition: checkpoint has k=%d, run has k=%d", c.K, k)
+	}
+	if c.NumVertices != src.NumVertices() {
+		return fmt.Errorf("partition: checkpoint has %d vertices, source has %d", c.NumVertices, src.NumVertices())
+	}
+	if c.NumEdges != int64(src.Len()) {
+		return fmt.Errorf("partition: checkpoint has %d edges, source has %d", c.NumEdges, src.Len())
+	}
+	if c.Offset < 0 || c.Offset > c.NumEdges {
+		return fmt.Errorf("partition: checkpoint offset %d outside [0, %d]", c.Offset, c.NumEdges)
+	}
+	if c.Offset%int64(stream.BlockLen) != 0 && c.Offset != c.NumEdges {
+		return fmt.Errorf("partition: checkpoint offset %d is not a multiple of the block length %d", c.Offset, stream.BlockLen)
+	}
+	return nil
+}
+
+// evalStater is the restore seam both evaluator types implement.
+type evalStater interface {
+	AppendState(buf []byte) []byte
+	LoadState(data []byte) error
+}
+
+// writeRunCheckpoint snapshots the run at the current watermark and writes
+// it (atomically, rotating the previous checkpoint to .prev). Called from
+// the emit path right after the watermark's last batch was emitted, so the
+// EmitMark callback sees exactly the assignments in [0, offset).
+func writeRunCheckpoint(p Partitioner, cp Checkpointer, opts *CheckpointOptions, ev evalStater, k, nv int, total, offset int64, stats *CheckpointStats) error {
+	c := &store.Checkpoint{
+		Algorithm:   p.Name(),
+		K:           k,
+		NumVertices: nv,
+		NumEdges:    total,
+		Offset:      offset,
+		Batch:       offset / int64(stream.BlockLen),
+	}
+	if opts.EmitMark != nil {
+		mark, err := opts.EmitMark()
+		if err != nil {
+			return fmt.Errorf("emit watermark: %w", err)
+		}
+		c.EmitMark = mark
+	}
+	if err := cp.SnapshotState(c); err != nil {
+		return err
+	}
+	c.AddSection(sectionEval, ev.AppendState(nil))
+	n, err := store.WriteCheckpointFile(opts.Path, c)
+	if err != nil {
+		return err
+	}
+	stats.Written++
+	stats.Bytes += n
+	stats.LastOffset = offset
+	return nil
+}

@@ -1,12 +1,16 @@
 package partition
 
 import (
+	"encoding/binary"
 	"fmt"
+	"math"
 	"time"
 
 	"repro/internal/cluster"
 	"repro/internal/game"
 	"repro/internal/graph"
+	"repro/internal/metrics"
+	"repro/internal/store"
 	"repro/internal/stream"
 )
 
@@ -71,6 +75,52 @@ type CLUGP struct {
 	pslot []int32  // per-slot master partition
 	mslot []int32  // per-slot mirror partition, or -1
 	dslot []uint32 // per-slot degree
+
+	// live points at the running pass 3's state while it streams, so
+	// SnapshotState can capture it at a commit boundary; resume holds
+	// checkpoint state stashed by RestoreState until the next run.
+	live   *clugpLive
+	resume *clugpResume
+}
+
+// clugpScalars is the scalar diagnostics a checkpoint carries so a resumed
+// run rebuilds LastTrace without re-running passes 1 and 2.
+type clugpScalars struct {
+	numClusters int
+	splits      int64
+	migrations  int64
+	gameRounds  int
+	gameMoves   int64
+	gameBatches int
+	intraFrac   float64
+	healedFrac  float64
+	clusterNs   int64
+	buildNs     int64
+	gameNs      int64
+	transformNs int64 // pass-3 time accumulated before this run
+}
+
+// clugpLive is the state of the pass 3 currently streaming: the mapping
+// tables are read-only during the pass, sizes and overflowed are current at
+// every commit boundary (the score loop flushes before committing).
+type clugpLive struct {
+	cres       *cluster.Result
+	cpart      []int32
+	sizes      []int64
+	overflowed *int64
+	scalars    clugpScalars
+	t3         time.Time // pass-3 start, for accumulated transform time
+}
+
+// clugpResume is the decoded checkpoint state of an interrupted run:
+// everything pass 3 needs, reconstructed without touching passes 1-2.
+type clugpResume struct {
+	numEdges   int64
+	cres       *cluster.Result
+	cpart      []int32
+	sizes      []int64
+	overflowed int64
+	scalars    clugpScalars
 }
 
 // setScoreWorkers implements scoreParallel.
@@ -146,6 +196,9 @@ func (c *CLUGP) PartitionStream(src stream.Source, k int, emit Emit) error {
 
 // run executes the three passes, delivering pass 3's assignment to the sink.
 func (c *CLUGP) run(src stream.Source, k int, sink *assignSink) error {
+	if c.resume != nil {
+		return c.runResume(src, k, sink)
+	}
 	tau := c.Tau
 	if tau == 0 {
 		tau = 1.0
@@ -209,33 +262,12 @@ func (c *CLUGP) run(src stream.Source, k int, sink *assignSink) error {
 	}
 	t3 := time.Now()
 
-	// Pass 3: transformation (Algorithm 1).
-	var overflowed int64
-	if c.ScoreWorkers > 1 {
-		overflowed, err = c.transformSharded(src, cres, asg.Partition, k, tau, sink)
-	} else {
-		overflowed, err = transform(src, cres, asg.Partition, k, tau, sink)
-	}
-	if err != nil {
-		return fmt.Errorf("clugp pass 3: %w", err)
-	}
-	t4 := time.Now()
-
-	tr := &Trace{
-		NumClusters:   cres.NumClusters,
-		Splits:        cres.Splits,
-		Migrations:    cres.Migrations,
-		GameRounds:    asg.Rounds,
-		GameMoves:     asg.Moves,
-		GameBatches:   asg.Batches,
-		Overflowed:    overflowed,
-		ClusterTime:   t1.Sub(t0),
-		BuildTime:     t2.Sub(t1),
-		GameTime:      t3.Sub(t2),
-		TransformTime: t4.Sub(t3),
-	}
+	// Cluster-quality fractions come from pass-2 state alone, so they are
+	// computed before pass 3: a checkpoint taken mid-transformation carries
+	// them, and a resumed run never revisits the cluster graph.
+	var intraFrac, healedFrac float64
 	if total := cg.TotalIntra + cg.TotalInter; total > 0 {
-		tr.IntraFraction = float64(cg.TotalIntra) / float64(total)
+		intraFrac = float64(cg.TotalIntra) / float64(total)
 	}
 	if cg.TotalInter > 0 {
 		var healed int64
@@ -249,9 +281,107 @@ func (c *CLUGP) run(src stream.Source, k int, sink *assignSink) error {
 		}
 		// Each co-located pair's weight got counted from both sides, and
 		// arc weights already combine both edge directions.
-		tr.HealedFraction = float64(healed) / float64(2*cg.TotalInter)
+		healedFrac = float64(healed) / float64(2*cg.TotalInter)
 	}
-	c.LastTrace = tr
+
+	// Pass 3: transformation (Algorithm 1).
+	sizes := make([]int64, k)
+	var overflowed int64
+	c.live = &clugpLive{
+		cres:       cres,
+		cpart:      asg.Partition,
+		sizes:      sizes,
+		overflowed: &overflowed,
+		scalars: clugpScalars{
+			numClusters: cres.NumClusters,
+			splits:      cres.Splits,
+			migrations:  cres.Migrations,
+			gameRounds:  asg.Rounds,
+			gameMoves:   asg.Moves,
+			gameBatches: asg.Batches,
+			intraFrac:   intraFrac,
+			healedFrac:  healedFrac,
+			clusterNs:   int64(t1.Sub(t0)),
+			buildNs:     int64(t2.Sub(t1)),
+			gameNs:      int64(t3.Sub(t2)),
+		},
+		t3: t3,
+	}
+	if c.ScoreWorkers > 1 {
+		err = c.transformSharded(src, numEdges, cres, asg.Partition, k, tau, sizes, &overflowed, sink)
+	} else {
+		err = transform(src, numEdges, cres, asg.Partition, k, tau, sizes, &overflowed, sink)
+	}
+	if err != nil {
+		return fmt.Errorf("clugp pass 3: %w", err)
+	}
+	t4 := time.Now()
+
+	c.LastTrace = &Trace{
+		NumClusters:    cres.NumClusters,
+		Splits:         cres.Splits,
+		Migrations:     cres.Migrations,
+		IntraFraction:  intraFrac,
+		HealedFraction: healedFrac,
+		GameRounds:     asg.Rounds,
+		GameMoves:      asg.Moves,
+		GameBatches:    asg.Batches,
+		Overflowed:     overflowed,
+		ClusterTime:    t1.Sub(t0),
+		BuildTime:      t2.Sub(t1),
+		GameTime:       t3.Sub(t2),
+		TransformTime:  t4.Sub(t3),
+	}
+	return nil
+}
+
+// runResume is run with passes 1 and 2 replaced by the checkpoint's mapping
+// tables: only pass 3 streams, over the tail the runner fast-forwarded to.
+func (c *CLUGP) runResume(src stream.Source, k int, sink *assignSink) error {
+	r := c.resume
+	c.resume = nil
+	tau := c.Tau
+	if tau == 0 {
+		tau = 1.0
+	}
+	if tau < 1.0 {
+		return fmt.Errorf("clugp: tau must be >= 1.0, got %v", tau)
+	}
+	overflowed := r.overflowed
+	t3 := time.Now()
+	c.live = &clugpLive{
+		cres:       r.cres,
+		cpart:      r.cpart,
+		sizes:      r.sizes,
+		overflowed: &overflowed,
+		scalars:    r.scalars,
+		t3:         t3,
+	}
+	var err error
+	if c.ScoreWorkers > 1 {
+		err = c.transformSharded(src, int(r.numEdges), r.cres, r.cpart, k, tau, r.sizes, &overflowed, sink)
+	} else {
+		err = transform(src, int(r.numEdges), r.cres, r.cpart, k, tau, r.sizes, &overflowed, sink)
+	}
+	if err != nil {
+		return fmt.Errorf("clugp pass 3: %w", err)
+	}
+	s := r.scalars
+	c.LastTrace = &Trace{
+		NumClusters:    s.numClusters,
+		Splits:         s.splits,
+		Migrations:     s.migrations,
+		IntraFraction:  s.intraFrac,
+		HealedFraction: s.healedFrac,
+		GameRounds:     s.gameRounds,
+		GameMoves:      s.gameMoves,
+		GameBatches:    s.gameBatches,
+		Overflowed:     overflowed,
+		ClusterTime:    time.Duration(s.clusterNs),
+		BuildTime:      time.Duration(s.buildNs),
+		GameTime:       time.Duration(s.gameNs),
+		TransformTime:  time.Duration(s.transformNs) + time.Since(t3),
+	}
 	return nil
 }
 
@@ -269,11 +399,16 @@ func (c *CLUGP) run(src stream.Source, k int, sink *assignSink) error {
 // exactly those O(1) tables - master partition and mirror partition - so
 // pass 3 keeps its O(1)-per-edge budget. Ties fall back to the paper's
 // cut-the-higher-degree rule (lines 21-22), then to the lighter partition.
-func transform(src stream.Source, cres *cluster.Result, cpart []int32, k int, tau float64, sink *assignSink) (overflowed int64, err error) {
-	numEdges := src.Len()
-	sizes := make([]int64, k)
-	// Lmax = ceil(tau*|E|/k): the ceiling guarantees k*Lmax >= |E| so an
-	// underflow partition always exists when the guard trips.
+func transform(src stream.Source, numEdges int, cres *cluster.Result, cpart []int32, k int, tau float64, sizes []int64, overflowed *int64, sink *assignSink) (err error) {
+	// numEdges is the full stream's edge count, passed in because src may be
+	// a resumed tail covering only the remainder; Lmax must not shrink when
+	// a run resumes. Lmax = ceil(tau*|E|/k): the ceiling guarantees
+	// k*Lmax >= |E| so an underflow partition always exists when the guard
+	// trips. sizes and *overflowed carry the balance bookkeeping across a
+	// checkpoint: zero on a fresh run, the checkpointed values on resume,
+	// and *overflowed is current at every commit so SnapshotState reads a
+	// consistent value.
+	ovf := *overflowed
 	lmax := int64((tau*float64(numEdges) + float64(k) - 1) / float64(k))
 	if lmax < 1 {
 		lmax = 1
@@ -288,7 +423,7 @@ func transform(src stream.Source, cres *cluster.Result, cpart []int32, k int, ta
 		return -1
 	}
 
-	err = forEachBlock(src, func(blk []graph.Edge) error {
+	return forEachBlock(src, func(blk []graph.Edge) error {
 		out := sink.grab(len(blk))
 		for j, e := range blk {
 			u, v := e.Src, e.Dst
@@ -299,7 +434,7 @@ func transform(src stream.Source, cres *cluster.Result, cpart []int32, k int, ta
 			if sizes[pu] >= lmax || sizes[pv] >= lmax {
 				// Balance guard (lines 6-14): reroute to an underflow
 				// partition, preferring the endpoints' own partitions.
-				overflowed++
+				ovf++
 				switch {
 				case sizes[pu] < lmax:
 					p = pu
@@ -355,9 +490,9 @@ func transform(src stream.Source, cres *cluster.Result, cpart []int32, k int, ta
 			out[j] = p
 			sizes[p]++
 		}
+		*overflowed = ovf
 		return sink.commit(blk, out)
 	})
-	return overflowed, err
 }
 
 // transformSharded is transform with the per-edge table lookups - vertex ->
@@ -366,9 +501,8 @@ func transform(src stream.Source, cres *cluster.Result, cpart []int32, k int, ta
 // are read-only during pass 3, so the pipeline runs gather -> score with no
 // apply phase; the score loop is the serial loop verbatim reading slots.
 // Bit-identical to transform for every ScoreWorkers value.
-func (c *CLUGP) transformSharded(src stream.Source, cres *cluster.Result, cpart []int32, k int, tau float64, sink *assignSink) (overflowed int64, err error) {
-	numEdges := src.Len()
-	sizes := make([]int64, k)
+func (c *CLUGP) transformSharded(src stream.Source, numEdges int, cres *cluster.Result, cpart []int32, k int, tau float64, sizes []int64, overflowed *int64, sink *assignSink) (err error) {
+	ovf := *overflowed
 	lmax := int64((tau*float64(numEdges) + float64(k) - 1) / float64(k))
 	if lmax < 1 {
 		lmax = 1
@@ -391,7 +525,7 @@ func (c *CLUGP) transformSharded(src stream.Source, cres *cluster.Result, cpart 
 		}
 	}
 
-	err = forEachBlock(stream.Rebatch(src, 0), func(blk []graph.Edge) error {
+	return forEachBlock(stream.Rebatch(src, 0), func(blk []graph.Edge) error {
 		sp.prepare(blk)
 		c.pslot = growInt32(c.pslot, sp.nslots)
 		c.mslot = growInt32(c.mslot, sp.nslots)
@@ -405,7 +539,7 @@ func (c *CLUGP) transformSharded(src stream.Source, cres *cluster.Result, cpart 
 
 			var p int32
 			if sizes[pu] >= lmax || sizes[pv] >= lmax {
-				overflowed++
+				ovf++
 				switch {
 				case sizes[pu] < lmax:
 					p = pu
@@ -454,9 +588,198 @@ func (c *CLUGP) transformSharded(src stream.Source, cres *cluster.Result, cpart 
 			out[j] = p
 			sizes[p]++
 		}
+		*overflowed = ovf
 		return sink.commit(blk, out)
 	})
-	return overflowed, err
+}
+
+// clugpAppendIDs encodes int32 values that may be cluster.None (-1), each
+// as uvarint(v+1).
+func clugpAppendIDs(buf []byte, ids []int32) []byte {
+	for _, id := range ids {
+		buf = binary.AppendUvarint(buf, uint64(int64(id)+1))
+	}
+	return buf
+}
+
+// clugpLoadIDs fills dst from a uvarint(v+1) stream, rejecting values above
+// max (exclusive upper bound on the decoded id), and returns the remainder.
+func clugpLoadIDs(dst []int32, data []byte, max int64, what string) ([]byte, error) {
+	for i := range dst {
+		x, n := binary.Uvarint(data)
+		if n <= 0 {
+			return nil, fmt.Errorf("clugp: truncated %s state", what)
+		}
+		data = data[n:]
+		if int64(x) > max {
+			return nil, fmt.Errorf("clugp: %s id %d out of range [-1, %d)", what, int64(x)-1, max)
+		}
+		dst[i] = int32(int64(x) - 1)
+	}
+	return data, nil
+}
+
+// SnapshotState implements Checkpointer. A CLUGP checkpoint carries the
+// pass-3 inputs - the vertex->cluster and cluster->partition tables, vertex
+// degrees and mirror marks, all read-only during the pass - plus the live
+// balance bookkeeping (sizes, overflowed) and the pass 1-2 diagnostics, so
+// a resumed run replays neither clustering nor the game.
+func (c *CLUGP) SnapshotState(ck *store.Checkpoint) error {
+	lv := c.live
+	if lv == nil {
+		return fmt.Errorf("clugp: checkpoint requested outside the transformation pass")
+	}
+	ck.AddSection(sectionCLUGPAssign, clugpAppendIDs(nil, lv.cres.Assign))
+	ck.AddSection(sectionCLUGPSplitFrom, clugpAppendIDs(nil, lv.cres.SplitFrom))
+	ck.AddSection(sectionCLUGPDegree, metrics.AppendDegreeState(nil, lv.cres.Degree))
+	ck.AddSection(sectionCLUGPCPart, clugpAppendIDs(nil, lv.cpart))
+	ck.AddSection(sectionCLUGPSizes, metrics.AppendSizesState(nil, lv.sizes))
+	s := lv.scalars
+	var buf []byte
+	for _, x := range []uint64{
+		uint64(s.numClusters),
+		uint64(s.splits),
+		uint64(s.migrations),
+		uint64(s.gameRounds),
+		uint64(s.gameMoves),
+		uint64(s.gameBatches),
+		uint64(*lv.overflowed),
+		math.Float64bits(s.intraFrac),
+		math.Float64bits(s.healedFrac),
+		uint64(s.clusterNs),
+		uint64(s.buildNs),
+		uint64(s.gameNs),
+		uint64(s.transformNs + int64(time.Since(lv.t3))),
+	} {
+		buf = binary.AppendUvarint(buf, x)
+	}
+	ck.AddSection(sectionCLUGPScalars, buf)
+	return nil
+}
+
+// RestoreState implements Checkpointer, decoding and validating the whole
+// pass-3 state eagerly so a forged or mismatched checkpoint fails here, not
+// as a panic mid-stream.
+func (c *CLUGP) RestoreState(ck *store.Checkpoint) error {
+	nv, k := ck.NumVertices, ck.K
+
+	data, err := loadSection(ck, sectionCLUGPScalars)
+	if err != nil {
+		return err
+	}
+	var vals [13]uint64
+	for i := range vals {
+		x, n := binary.Uvarint(data)
+		if n <= 0 {
+			return fmt.Errorf("clugp: truncated scalars state")
+		}
+		vals[i] = x
+		data = data[n:]
+	}
+	if err := consumed(data, "clugp scalars"); err != nil {
+		return err
+	}
+	numClusters := int(vals[0])
+	if numClusters < 0 || numClusters > nv {
+		return fmt.Errorf("clugp: checkpoint has %d clusters for %d vertices", numClusters, nv)
+	}
+
+	assign := make([]cluster.ID, nv)
+	if data, err = loadSection(ck, sectionCLUGPAssign); err != nil {
+		return err
+	}
+	if data, err = clugpLoadIDs(assign, data, int64(numClusters), "cluster assign"); err != nil {
+		return err
+	}
+	if err := consumed(data, "clugp assign"); err != nil {
+		return err
+	}
+
+	splitFrom := make([]cluster.ID, nv)
+	if data, err = loadSection(ck, sectionCLUGPSplitFrom); err != nil {
+		return err
+	}
+	if data, err = clugpLoadIDs(splitFrom, data, int64(numClusters), "split-from"); err != nil {
+		return err
+	}
+	if err := consumed(data, "clugp split-from"); err != nil {
+		return err
+	}
+
+	degree := make([]uint32, nv)
+	if data, err = loadSection(ck, sectionCLUGPDegree); err != nil {
+		return err
+	}
+	if data, err = metrics.LoadDegreeState(degree, data); err != nil {
+		return err
+	}
+	if err := consumed(data, "clugp degree"); err != nil {
+		return err
+	}
+
+	cpart := make([]int32, numClusters)
+	if data, err = loadSection(ck, sectionCLUGPCPart); err != nil {
+		return err
+	}
+	if data, err = clugpLoadIDs(cpart, data, int64(k), "cluster partition"); err != nil {
+		return err
+	}
+	if err := consumed(data, "clugp cluster partition"); err != nil {
+		return err
+	}
+	for ci, p := range cpart {
+		if p < 0 {
+			return fmt.Errorf("clugp: cluster %d has no partition in checkpoint", ci)
+		}
+	}
+
+	sizes := make([]int64, k)
+	if data, err = loadSection(ck, sectionCLUGPSizes); err != nil {
+		return err
+	}
+	if data, err = metrics.LoadSizesState(sizes, data); err != nil {
+		return err
+	}
+	if err := consumed(data, "clugp sizes"); err != nil {
+		return err
+	}
+	var assigned int64
+	for _, sz := range sizes {
+		assigned += sz
+	}
+	if assigned != ck.Offset {
+		return fmt.Errorf("clugp: checkpoint sizes cover %d edges, offset says %d", assigned, ck.Offset)
+	}
+
+	c.resume = &clugpResume{
+		numEdges: ck.NumEdges,
+		cres: &cluster.Result{
+			NumClusters: numClusters,
+			Assign:      assign,
+			Degree:      degree,
+			SplitFrom:   splitFrom,
+			Splits:      int64(vals[1]),
+			Migrations:  int64(vals[2]),
+		},
+		cpart:      cpart,
+		sizes:      sizes,
+		overflowed: int64(vals[6]),
+		scalars: clugpScalars{
+			numClusters: numClusters,
+			splits:      int64(vals[1]),
+			migrations:  int64(vals[2]),
+			gameRounds:  int(vals[3]),
+			gameMoves:   int64(vals[4]),
+			gameBatches: int(vals[5]),
+			intraFrac:   math.Float64frombits(vals[7]),
+			healedFrac:  math.Float64frombits(vals[8]),
+			clusterNs:   int64(vals[9]),
+			buildNs:     int64(vals[10]),
+			gameNs:      int64(vals[11]),
+			transformNs: int64(vals[12]),
+		},
+	}
+	return nil
 }
 
 // StateBytes implements StateSizer. CLUGP's standing state is the two

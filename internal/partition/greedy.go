@@ -3,6 +3,7 @@ package partition
 import (
 	"repro/internal/graph"
 	"repro/internal/metrics"
+	"repro/internal/store"
 	"repro/internal/stream"
 )
 
@@ -41,6 +42,74 @@ type Greedy struct {
 	gt    metrics.GatherTable
 	pipe  scorePipe
 	trace *ScoreTrace
+
+	// resume holds checkpoint state stashed by RestoreState until the next
+	// run consumes it right after its tables reset.
+	resume *greedyResume
+}
+
+// greedyResume is the stashed checkpoint state of a Greedy run (canonical
+// encodings: loads into flat or sharded tables alike).
+type greedyResume struct {
+	replicas []byte
+	sizes    []int64
+}
+
+// SnapshotState implements Checkpointer: the replica table and partition
+// sizes, Greedy's entire per-edge state, in the canonical encoding.
+func (gr *Greedy) SnapshotState(c *store.Checkpoint) error {
+	if gr.ScoreWorkers > 1 {
+		c.AddSection(sectionGreedyReplicas, gr.srs.AppendState(nil))
+	} else {
+		c.AddSection(sectionGreedyReplicas, gr.rs.AppendState(nil))
+	}
+	c.AddSection(sectionGreedySizes, metrics.AppendSizesState(nil, gr.sizes))
+	return nil
+}
+
+// RestoreState implements Checkpointer, stashing the checkpoint's sections
+// for the next run to load once its tables are at the run's geometry.
+func (gr *Greedy) RestoreState(c *store.Checkpoint) error {
+	rep, err := loadSection(c, sectionGreedyReplicas)
+	if err != nil {
+		return err
+	}
+	szs, err := loadSection(c, sectionGreedySizes)
+	if err != nil {
+		return err
+	}
+	sizes := make([]int64, c.K)
+	rem, err := metrics.LoadSizesState(sizes, szs)
+	if err != nil {
+		return err
+	}
+	if err := consumed(rem, "greedy sizes"); err != nil {
+		return err
+	}
+	gr.resume = &greedyResume{replicas: rep, sizes: sizes}
+	return nil
+}
+
+// consumeResume loads the stashed checkpoint state into the just-reset
+// tables (flat or sharded per the current mode).
+func (gr *Greedy) consumeResume() error {
+	r := gr.resume
+	gr.resume = nil
+	var rem []byte
+	var err error
+	if gr.ScoreWorkers > 1 {
+		rem, err = gr.srs.LoadState(r.replicas)
+	} else {
+		rem, err = gr.rs.LoadState(r.replicas)
+	}
+	if err != nil {
+		return err
+	}
+	if err := consumed(rem, "greedy replica"); err != nil {
+		return err
+	}
+	copy(gr.sizes, r.sizes)
+	return nil
 }
 
 // setScoreWorkers implements scoreParallel.
@@ -87,6 +156,11 @@ func (gr *Greedy) run(src stream.Source, k int, sink *assignSink) error {
 		gr.scratch = make([]int32, 0, k)
 	}
 	rs, sizes, scratch := &gr.rs, gr.sizes, gr.scratch
+	if gr.resume != nil {
+		if err := gr.consumeResume(); err != nil {
+			return err
+		}
+	}
 	return forEachBlock(src, func(blk []graph.Edge) error {
 		out := sink.grab(len(blk))
 		for j, e := range blk {
@@ -131,6 +205,11 @@ func (gr *Greedy) runSharded(src stream.Source, k int, sink *assignSink) error {
 		gr.scratch = make([]int32, 0, k)
 	}
 	srs, gt, sizes, scratch := &gr.srs, &gr.gt, gr.sizes, gr.scratch
+	if gr.resume != nil {
+		if err := gr.consumeResume(); err != nil {
+			return err
+		}
+	}
 	sp := &gr.pipe
 	sp.begin(n, gr.srs.NumShards())
 	defer sp.stop()

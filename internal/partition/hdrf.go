@@ -3,6 +3,7 @@ package partition
 import (
 	"repro/internal/graph"
 	"repro/internal/metrics"
+	"repro/internal/store"
 	"repro/internal/stream"
 )
 
@@ -48,6 +49,124 @@ type HDRF struct {
 	gt    metrics.GatherTable
 	pipe  scorePipe
 	trace *ScoreTrace
+
+	// resume holds checkpoint state stashed by RestoreState until the next
+	// run consumes it right after its tables reset.
+	resume *hdrfResume
+}
+
+// hdrfResume is the stashed checkpoint state of an HDRF run. The replica
+// and degree encodings are canonical (metrics/state.go), so they load into
+// either the flat or the sharded tables, whatever configuration the
+// checkpoint was written under.
+type hdrfResume struct {
+	replicas []byte
+	degrees  []byte
+	sizes    []int64
+}
+
+// SnapshotState implements Checkpointer: the replica table, partial-degree
+// table and partition sizes - everything the per-edge loop reads - in the
+// canonical vertex-major encoding. maxSize/minSize are not stored: they are
+// always exactly the extrema of the sizes, so restore recomputes them.
+func (h *HDRF) SnapshotState(c *store.Checkpoint) error {
+	if h.ScoreWorkers > 1 {
+		c.AddSection(sectionHDRFReplicas, h.srs.AppendState(nil))
+		c.AddSection(sectionHDRFDegrees, h.sdeg.AppendState(nil))
+	} else {
+		c.AddSection(sectionHDRFReplicas, h.rs.AppendState(nil))
+		c.AddSection(sectionHDRFDegrees, metrics.AppendDegreeState(nil, h.deg))
+	}
+	c.AddSection(sectionHDRFSizes, metrics.AppendSizesState(nil, h.sizes))
+	return nil
+}
+
+// RestoreState implements Checkpointer, stashing the checkpoint's sections
+// for the next run to load once its tables are at the run's geometry.
+func (h *HDRF) RestoreState(c *store.Checkpoint) error {
+	rep, err := loadSection(c, sectionHDRFReplicas)
+	if err != nil {
+		return err
+	}
+	deg, err := loadSection(c, sectionHDRFDegrees)
+	if err != nil {
+		return err
+	}
+	szs, err := loadSection(c, sectionHDRFSizes)
+	if err != nil {
+		return err
+	}
+	sizes := make([]int64, c.K)
+	rem, err := metrics.LoadSizesState(sizes, szs)
+	if err != nil {
+		return err
+	}
+	if err := consumed(rem, "hdrf sizes"); err != nil {
+		return err
+	}
+	h.resume = &hdrfResume{replicas: rep, degrees: deg, sizes: sizes}
+	return nil
+}
+
+// consumeResume loads the stashed checkpoint state into the just-reset flat
+// tables and returns the recomputed size extrema.
+func (h *HDRF) consumeResume() (maxSize, minSize int64, err error) {
+	r := h.resume
+	h.resume = nil
+	rem, err := h.rs.LoadState(r.replicas)
+	if err != nil {
+		return 0, 0, err
+	}
+	if err := consumed(rem, "hdrf replica"); err != nil {
+		return 0, 0, err
+	}
+	rem, err = metrics.LoadDegreeState(h.deg, r.degrees)
+	if err != nil {
+		return 0, 0, err
+	}
+	if err := consumed(rem, "hdrf degree"); err != nil {
+		return 0, 0, err
+	}
+	copy(h.sizes, r.sizes)
+	maxSize, minSize = sizeExtrema(h.sizes)
+	return maxSize, minSize, nil
+}
+
+// consumeResumeSharded is consumeResume against the sharded tables.
+func (h *HDRF) consumeResumeSharded() (maxSize, minSize int64, err error) {
+	r := h.resume
+	h.resume = nil
+	rem, err := h.srs.LoadState(r.replicas)
+	if err != nil {
+		return 0, 0, err
+	}
+	if err := consumed(rem, "hdrf replica"); err != nil {
+		return 0, 0, err
+	}
+	rem, err = h.sdeg.LoadState(r.degrees)
+	if err != nil {
+		return 0, 0, err
+	}
+	if err := consumed(rem, "hdrf degree"); err != nil {
+		return 0, 0, err
+	}
+	copy(h.sizes, r.sizes)
+	maxSize, minSize = sizeExtrema(h.sizes)
+	return maxSize, minSize, nil
+}
+
+// sizeExtrema returns max and min of sizes (which is never empty: k >= 1).
+func sizeExtrema(sizes []int64) (maxSize, minSize int64) {
+	maxSize, minSize = sizes[0], sizes[0]
+	for _, s := range sizes[1:] {
+		if s > maxSize {
+			maxSize = s
+		}
+		if s < minSize {
+			minSize = s
+		}
+	}
+	return maxSize, minSize
 }
 
 // setScoreWorkers implements scoreParallel.
@@ -99,6 +218,12 @@ func (h *HDRF) run(src stream.Source, k int, sink *assignSink) error {
 	h.sizes = resetInt64(h.sizes, k)
 	rs, deg, sizes := &h.rs, h.deg, h.sizes
 	var maxSize, minSize int64
+	if h.resume != nil {
+		var err error
+		if maxSize, minSize, err = h.consumeResume(); err != nil {
+			return err
+		}
+	}
 
 	return forEachBlock(src, func(blk []graph.Edge) error {
 		out := sink.grab(len(blk))
@@ -190,6 +315,12 @@ func (h *HDRF) runSharded(src stream.Source, k int, sink *assignSink) error {
 		sdeg.ApplySlots(sh, verts, slots, gt)
 	}
 	var maxSize, minSize int64
+	if h.resume != nil {
+		var err error
+		if maxSize, minSize, err = h.consumeResumeSharded(); err != nil {
+			return err
+		}
+	}
 
 	err := forEachBlock(stream.Rebatch(src, 0), func(blk []graph.Edge) error {
 		sp.prepare(blk)

@@ -18,10 +18,12 @@ package partition
 
 import (
 	"fmt"
+	"io"
 	"time"
 
 	"repro/internal/graph"
 	"repro/internal/metrics"
+	"repro/internal/store"
 	"repro/internal/stream"
 )
 
@@ -195,6 +197,13 @@ type OutOfCoreOptions struct {
 	// sequential scoring semantics - held by TestScoreWorkerInvariance.
 	// 0 leaves the partitioner's own setting; 1 forces serial scoring.
 	ScoreWorkers int
+	// Checkpoint, when non-nil, enables crash tolerance: the run snapshots
+	// its state to Checkpoint.Path at batch boundaries, and Checkpoint.Resume
+	// restores a previous snapshot and continues from its exact stream
+	// offset, bit-identical to an uninterrupted run. The partitioner must
+	// implement Checkpointer (HDRF, Greedy and the CLUGP family do); others
+	// fall back to running without checkpoints, recorded in Result.Pipeline.
+	Checkpoint *CheckpointOptions
 }
 
 // PipelineInfo records how the out-of-core hot pass actually executed,
@@ -210,6 +219,20 @@ type PipelineInfo struct {
 	// SerialFallback explains every requested parallel mode that ran
 	// serially anyway; empty when nothing was demoted.
 	SerialFallback string
+	// Checkpoints reports checkpoint/resume activity (zero when disabled).
+	Checkpoints CheckpointStats
+	// RetryAttempts counts stream retry attempts fired during the run, when
+	// the source is retry-wrapped (stream.Retry); 0 otherwise.
+	RetryAttempts int64
+}
+
+// addFallback appends one demotion note to SerialFallback.
+func (i *PipelineInfo) addFallback(note string) {
+	if i.SerialFallback != "" {
+		i.SerialFallback += "; " + note
+	} else {
+		i.SerialFallback = note
+	}
 }
 
 // RunOutOfCore partitions a source in its stored (natural) order without
@@ -248,8 +271,63 @@ func RunOutOfCoreOpts(p Partitioner, src stream.Source, k int, emit Emit, opts O
 		return nil, fmt.Errorf("partition: %s cannot stream its assignment (no StreamingPartitioner)", p.Name())
 	}
 	orig := src
+	nv := src.NumVertices()
+	total := int64(src.Len())
 	parallel := false
 	info := PipelineInfo{DecodeWorkers: 1, ScoreWorkers: 1}
+
+	// Resolve the checkpoint plan before any wrapping: resume validation and
+	// the fast-forward segment are defined against the caller's source.
+	var (
+		ckOpts *CheckpointOptions
+		cp     Checkpointer
+		resume *store.Checkpoint
+		every  int64
+	)
+	if c := opts.Checkpoint; c != nil && (c.Path != "" || c.Resume != nil) {
+		var isCp bool
+		if cp, isCp = p.(Checkpointer); isCp {
+			ckOpts = c
+		} else if c.Resume != nil {
+			// Resuming without restore support would re-partition from
+			// scratch against a truncated emit stream: hard error.
+			return nil, fmt.Errorf("partition: %s cannot restore checkpoint state (no Checkpointer)", p.Name())
+		} else {
+			info.addFallback(p.Name() + " does not snapshot its state, checkpointing disabled")
+		}
+	}
+	resumeOffset := int64(0)
+	if ckOpts != nil && ckOpts.Resume != nil {
+		resume = ckOpts.Resume
+		if err := validateResume(p, src, k, resume); err != nil {
+			return nil, err
+		}
+		if err := cp.RestoreState(resume); err != nil {
+			return nil, fmt.Errorf("partition: %s: restore: %w", p.Name(), err)
+		}
+		resumeOffset = resume.Offset
+		info.Checkpoints.Resumed = true
+		info.Checkpoints.ResumeOffset = resumeOffset
+		if resumeOffset > 0 {
+			seg, isSeg := src.(stream.Segmenter)
+			if !isSeg {
+				return nil, fmt.Errorf("partition: source %T cannot segment into ranges, resume needs a fast-forward segment", src)
+			}
+			tail, err := seg.Segment(int(resumeOffset), int(total))
+			if err != nil {
+				return nil, fmt.Errorf("partition: %s: fast-forward to offset %d: %w", p.Name(), resumeOffset, err)
+			}
+			if tc, isCl := tail.(io.Closer); isCl {
+				defer tc.Close()
+			}
+			src = tail
+		}
+	}
+	if ckOpts != nil && ckOpts.Path != "" {
+		every = resolveCadence(ckOpts.EveryEdges, total)
+		info.Checkpoints.Enabled = true
+		info.Checkpoints.EveryEdges = every
+	}
 	if opts.Workers > 1 {
 		if seg, isSeg := src.(stream.Segmenter); isSeg {
 			par, err := stream.Parallel(seg, stream.ParallelConfig{
@@ -267,8 +345,17 @@ func RunOutOfCoreOpts(p Partitioner, src stream.Source, k int, emit Emit, opts O
 			// Not an error - the serial pass produces identical results -
 			// but no longer silent: the caller asked for parallel decode
 			// and did not get it.
-			info.SerialFallback = fmt.Sprintf("source %T cannot segment into ranges, decode runs serially", src)
+			info.addFallback(fmt.Sprintf("source %T cannot segment into ranges, decode runs serially", src))
 		}
+	}
+	if ckOpts != nil {
+		// Pin every sink commit to a BlockLen-multiple stream offset: serial
+		// algorithms otherwise commit at whatever block granularity the
+		// source delivers (an in-memory view delivers one giant block, which
+		// would leave no mid-stream snapshot points), and a resumed run's
+		// boundaries must land on the same offsets a clean run's do. The
+		// rebatch affects scheduling only, never assignments.
+		src = stream.Rebatch(src, stream.BlockLen)
 	}
 	if opts.ScoreWorkers > 0 {
 		if sw, ok := p.(scoreParallel); ok {
@@ -277,32 +364,55 @@ func RunOutOfCoreOpts(p Partitioner, src stream.Source, k int, emit Emit, opts O
 				info.ScoreWorkers = opts.ScoreWorkers
 			}
 		} else if opts.ScoreWorkers > 1 {
-			note := fmt.Sprintf("%s does not shard its scoring state, scoring runs serially", p.Name())
-			if info.SerialFallback != "" {
-				info.SerialFallback += "; " + note
-			} else {
-				info.SerialFallback = note
-			}
+			info.addFallback(fmt.Sprintf("%s does not shard its scoring state, scoring runs serially", p.Name()))
 		}
 	}
 	var ev qualityObserver
 	if parallel {
 		pev := &metrics.ParallelEvaluator{}
-		pev.Begin(src.NumVertices(), k, opts.Workers)
+		pev.Begin(nv, k, opts.Workers)
 		defer pev.Stop()
 		ev = pev
 	} else {
 		sev := &metrics.Evaluator{}
-		sev.Begin(src.NumVertices(), k)
+		sev.Begin(nv, k)
 		ev = sev
 	}
+	if resume != nil {
+		// Restore the quality accounting to the checkpointed prefix. Safe
+		// for the parallel evaluator between Begin and the first Observe:
+		// the shard workers idle on their channels until a batch arrives.
+		data, okSec := resume.Section(sectionEval)
+		if !okSec {
+			return nil, fmt.Errorf("partition: checkpoint has no %q section", sectionEval)
+		}
+		if err := ev.(evalStater).LoadState(data); err != nil {
+			return nil, fmt.Errorf("partition: restore quality state: %w", err)
+		}
+	}
+	watermark, lastCkpt := resumeOffset, resumeOffset
 	start := time.Now()
 	err := sp.PartitionStream(src, k, func(edges []graph.Edge, assign []int32) error {
 		if err := ev.Observe(edges, assign); err != nil {
 			return err
 		}
 		if emit != nil {
-			return emit(edges, assign)
+			if err := emit(edges, assign); err != nil {
+				return err
+			}
+		}
+		watermark += int64(len(edges))
+		// A checkpoint fires at the first aligned commit boundary past each
+		// cadence multiple. The alignment check matters for multi-pass
+		// algorithms whose internal rebatching commits at other granularity,
+		// and the watermark < total guard skips a pointless snapshot of the
+		// finished run (the final artifact is the output itself).
+		if every > 0 && watermark-lastCkpt >= every && watermark < total &&
+			watermark%int64(stream.BlockLen) == 0 {
+			if err := writeRunCheckpoint(p, cp, ckOpts, ev.(evalStater), k, nv, total, watermark, &info.Checkpoints); err != nil {
+				return fmt.Errorf("checkpoint at offset %d: %w", watermark, err)
+			}
+			lastCkpt = watermark
 		}
 		return nil
 	})
@@ -310,11 +420,14 @@ func RunOutOfCoreOpts(p Partitioner, src stream.Source, k int, emit Emit, opts O
 	if err != nil {
 		return nil, fmt.Errorf("partition: %s: %w", p.Name(), err)
 	}
+	if rc, isRetry := orig.(interface{ RetryAttempts() int64 }); isRetry {
+		info.RetryAttempts = rc.RetryAttempts()
+	}
 	res := &Result{
 		Algorithm:   p.Name(),
 		Order:       stream.Natural,
 		K:           k,
-		NumVertices: src.NumVertices(),
+		NumVertices: nv,
 		// The caller's source, not the parallel wrapper: the wrapper's
 		// fleet is released when this function returns.
 		Stream:   orig,
@@ -322,8 +435,8 @@ func RunOutOfCoreOpts(p Partitioner, src stream.Source, k int, emit Emit, opts O
 		Runtime:  elapsed,
 		Pipeline: info,
 	}
-	if sz, ok := p.(StateSizer); ok {
-		res.StateBytes = sz.StateBytes(src.NumVertices(), src.Len(), k)
+	if sz, isSz := p.(StateSizer); isSz {
+		res.StateBytes = sz.StateBytes(nv, int(total), k)
 	}
 	return res, nil
 }

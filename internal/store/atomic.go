@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"sync"
 )
 
 // AtomicWriter writes a file so that the final path only ever holds a
@@ -23,9 +24,51 @@ import (
 //	... write to w ...
 //	return w.Commit()
 type AtomicWriter struct {
+	mu   sync.Mutex
 	path string
 	f    *os.File
 	done bool
+}
+
+// liveWriters tracks every writer between create and Commit/Abort, so a
+// signal handler can sweep the temp files of a process killed mid-write
+// (AbortPending) instead of littering `.tmp` files next to outputs.
+var (
+	liveWritersMu sync.Mutex
+	liveWriters   = map[*AtomicWriter]struct{}{}
+)
+
+func registerWriter(w *AtomicWriter) {
+	liveWritersMu.Lock()
+	liveWriters[w] = struct{}{}
+	liveWritersMu.Unlock()
+}
+
+func unregisterWriter(w *AtomicWriter) {
+	liveWritersMu.Lock()
+	delete(liveWriters, w)
+	liveWritersMu.Unlock()
+}
+
+// AbortPending aborts every atomic writer that has neither committed nor
+// aborted, removing their temp files, and returns how many were swept. It
+// is meant for signal handlers on the way to exit: the writers' goroutines
+// may still be running, and their next Write fails cleanly rather than
+// resurrecting the file.
+func AbortPending() int {
+	liveWritersMu.Lock()
+	pending := make([]*AtomicWriter, 0, len(liveWriters))
+	for w := range liveWriters {
+		pending = append(pending, w)
+	}
+	liveWritersMu.Unlock()
+	n := 0
+	for _, w := range pending {
+		if w.abort() {
+			n++
+		}
+	}
+	return n
 }
 
 // NewAtomicWriter creates the temp file next to path (same directory, so
@@ -39,11 +82,15 @@ func NewAtomicWriter(path string) (*AtomicWriter, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &AtomicWriter{path: path, f: f}, nil
+	w := &AtomicWriter{path: path, f: f}
+	registerWriter(w)
+	return w, nil
 }
 
 // Write implements io.Writer, appending to the temp file.
 func (w *AtomicWriter) Write(p []byte) (int, error) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
 	if w.done {
 		return 0, fmt.Errorf("store: write to finished atomic writer for %s", w.path)
 	}
@@ -54,10 +101,13 @@ func (w *AtomicWriter) Write(p []byte) (int, error) {
 // final path, fsync the directory. On any error the temp file is removed
 // and the final path is untouched.
 func (w *AtomicWriter) Commit() error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
 	if w.done {
 		return fmt.Errorf("store: atomic writer for %s already finished", w.path)
 	}
 	w.done = true
+	unregisterWriter(w)
 	tmp := w.f.Name()
 	if err := w.f.Sync(); err != nil {
 		w.f.Close()
@@ -91,11 +141,20 @@ func (w *AtomicWriter) Commit() error {
 // no-op after Commit (so "defer w.Abort()" is the error-path cleanup) and
 // is idempotent.
 func (w *AtomicWriter) Abort() {
+	w.abort()
+}
+
+// abort reports whether this call actually swept the temp file.
+func (w *AtomicWriter) abort() bool {
+	w.mu.Lock()
+	defer w.mu.Unlock()
 	if w.done {
-		return
+		return false
 	}
 	w.done = true
+	unregisterWriter(w)
 	tmp := w.f.Name()
 	w.f.Close()
 	os.Remove(tmp)
+	return true
 }

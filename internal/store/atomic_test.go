@@ -1,0 +1,75 @@
+package store
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// tempFiles lists the hidden temp files AtomicWriter would leave in dir.
+func tempFiles(t *testing.T, dir string) []string {
+	t.Helper()
+	matches, err := filepath.Glob(filepath.Join(dir, ".*.tmp*"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return matches
+}
+
+// TestAbortPendingSweepsLiveWriters: the signal-handler sweep aborts every
+// writer caught between create and Commit - their temp files vanish, their
+// final paths stay untouched, later writes fail cleanly instead of
+// resurrecting the file - while committed and aborted writers are left
+// alone and a second sweep finds nothing.
+func TestAbortPendingSweepsLiveWriters(t *testing.T) {
+	dir := t.TempDir()
+
+	committed, err := NewAtomicWriter(filepath.Join(dir, "done.out"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := committed.Write([]byte("complete artifact")); err != nil {
+		t.Fatal(err)
+	}
+	if err := committed.Commit(); err != nil {
+		t.Fatal(err)
+	}
+
+	var pending []*AtomicWriter
+	for _, name := range []string{"a.out", "b.out"} {
+		w, err := NewAtomicWriter(filepath.Join(dir, name))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := w.Write([]byte("half-written")); err != nil {
+			t.Fatal(err)
+		}
+		pending = append(pending, w)
+	}
+	if got := tempFiles(t, dir); len(got) != 2 {
+		t.Fatalf("expected 2 live temp files, found %v", got)
+	}
+
+	if n := AbortPending(); n != 2 {
+		t.Fatalf("AbortPending swept %d writers, want 2", n)
+	}
+	if got := tempFiles(t, dir); len(got) != 0 {
+		t.Fatalf("temp files survived the sweep: %v", got)
+	}
+	if _, err := os.Stat(filepath.Join(dir, "done.out")); err != nil {
+		t.Fatalf("committed file disturbed by the sweep: %v", err)
+	}
+	for _, name := range []string{"a.out", "b.out"} {
+		if _, err := os.Stat(filepath.Join(dir, name)); !os.IsNotExist(err) {
+			t.Fatalf("%s exists (stat err %v); aborted writers must not publish", name, err)
+		}
+	}
+	for _, w := range pending {
+		if _, err := w.Write([]byte("more")); err == nil {
+			t.Fatal("write to a swept writer succeeded")
+		}
+	}
+	if n := AbortPending(); n != 0 {
+		t.Fatalf("second sweep found %d writers, want 0", n)
+	}
+}

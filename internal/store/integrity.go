@@ -352,7 +352,7 @@ func (cw *crcWriter) writeTrailer() error {
 // for checksummed formats, the verified geometry.
 type VerifyInfo struct {
 	// Kind is the magic name: CGR1/CGR2/CGR3 for graphs, CPR1/CPR2 for
-	// saved results.
+	// saved results, CPK1 for checkpoints.
 	Kind string
 	// Checksummed reports whether the format carries an integrity trailer;
 	// when false there was nothing to verify and the scan is a no-op.
@@ -389,7 +389,7 @@ func VerifyFile(path string) (VerifyInfo, error) {
 	case magic, magic2, resultMagic:
 		info.Kind = string(m[:])
 		return info, nil
-	case magic3, resultMagic2:
+	case magic3, resultMagic2, checkpointMagic:
 		info.Kind = string(m[:])
 		info.Checksummed = true
 	default:

@@ -3,10 +3,23 @@ package stream
 import (
 	"fmt"
 	"io"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/graph"
 )
+
+// RetryStats counts the replay activity of a Retry-wrapped source across
+// every cursor sharing it: the top-level wrapper and all its segments bump
+// the same counter, so one read covers a whole parallel ingest. Safe for
+// concurrent use.
+type RetryStats struct {
+	attempts atomic.Int64
+}
+
+// Attempts returns how many retry attempts have fired (each one a fault
+// that was survived by a replay - a green run over healthy media reads 0).
+func (s *RetryStats) Attempts() int64 { return s.attempts.Load() }
 
 // RetryConfig tunes a Retry wrapper.
 type RetryConfig struct {
@@ -25,6 +38,10 @@ type RetryConfig struct {
 	// truncation) then simply fail again until attempts run out, which
 	// costs MaxAttempts-1 replays but never masks the error.
 	Retryable func(error) bool
+	// Stats, when non-nil, receives every fired retry attempt. Retry fills
+	// in a fresh one when nil, so the counter is always live; segments
+	// share their parent's (RetrySource.RetryAttempts reads it).
+	Stats *RetryStats
 }
 
 // Retry wraps src so that transient NextBlock failures are survived by
@@ -46,6 +63,9 @@ type RetryConfig struct {
 func Retry(src Source, cfg RetryConfig) Source {
 	if cfg.MaxAttempts <= 0 {
 		cfg.MaxAttempts = 3
+	}
+	if cfg.Stats == nil {
+		cfg.Stats = &RetryStats{}
 	}
 	rs := RetrySource{base: src, cfg: cfg}
 	if _, ok := src.(Segmenter); ok {
@@ -84,6 +104,7 @@ func (s *RetrySource) Reset() error {
 			return err
 		}
 		s.attempts++
+		s.cfg.Stats.attempts.Add(1)
 		s.sleep()
 	}
 }
@@ -121,6 +142,7 @@ func (s *RetrySource) NextBlock() ([]graph.Edge, error) {
 			return nil, err
 		}
 		s.attempts++
+		s.cfg.Stats.attempts.Add(1)
 		s.sleep()
 		for {
 			rerr := s.base.Reset()
@@ -131,6 +153,7 @@ func (s *RetrySource) NextBlock() ([]graph.Edge, error) {
 				return nil, rerr
 			}
 			s.attempts++
+			s.cfg.Stats.attempts.Add(1)
 			s.sleep()
 		}
 		s.replay = s.pos
@@ -180,9 +203,14 @@ func (s *retrySegmenter) Segment(lo, hi int) (Source, error) {
 			return nil, err
 		}
 		attempts++
+		s.cfg.Stats.attempts.Add(1)
 		s.sleepN(attempts)
 	}
 }
+
+// RetryAttempts returns the total retry attempts fired by this source and
+// every segment derived from it (they share the config's RetryStats).
+func (s *RetrySource) RetryAttempts() int64 { return s.cfg.Stats.Attempts() }
 
 // Close closes the underlying source when it holds resources (file-backed
 // segments do); in-memory sources make it a no-op.
